@@ -1,0 +1,93 @@
+// Command ganglia-sim stands up a whole simulated monitoring federation
+// on loopback TCP: one gmetad per topology node, one emulated gmond
+// cluster per declared cluster, polling on real time. Point gstat or
+// gweb at the printed addresses to explore a realistic wide-area tree
+// without provisioning anything.
+//
+// Usage:
+//
+//	ganglia-sim                          # the paper's fig-2 tree, 100-host clusters
+//	ganglia-sim -topology site.json      # your own tree (see -print-topology)
+//	ganglia-sim -mode onelevel -hosts 50
+//	ganglia-sim -print-topology > site.json
+//
+// Then, in another terminal:
+//
+//	gstat -addr <root query addr> -q /?filter=summary
+//	gweb  -gmetad <root query addr>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ganglia/internal/gmetad"
+	"ganglia/internal/tree"
+)
+
+func main() {
+	var (
+		topoPath  = flag.String("topology", "", "topology JSON file (default: the paper's fig-2 tree)")
+		hosts     = flag.Int("hosts", 100, "hosts per cluster when using the built-in topology")
+		modeStr   = flag.String("mode", "nlevel", "monitoring design: nlevel or onelevel")
+		poll      = flag.Duration("poll", 15*time.Second, "polling interval")
+		archive   = flag.Bool("archive", true, "keep metric histories (enables ?filter=history)")
+		printTopo = flag.Bool("print-topology", false, "print the built-in topology as JSON and exit")
+	)
+	flag.Parse()
+
+	topo := tree.FigureTwo(*hosts)
+	if *printTopo {
+		if err := tree.SaveTopology(os.Stdout, topo); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *topoPath != "" {
+		f, err := os.Open(*topoPath)
+		if err != nil {
+			log.Fatalf("ganglia-sim: %v", err)
+		}
+		topo, err = tree.LoadTopology(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("ganglia-sim: %v", err)
+		}
+	}
+
+	var mode gmetad.Mode
+	switch *modeStr {
+	case "nlevel":
+		mode = gmetad.NLevel
+	case "onelevel":
+		mode = gmetad.OneLevel
+	default:
+		log.Fatalf("ganglia-sim: unknown -mode %q", *modeStr)
+	}
+
+	dep, err := tree.Deploy(topo, tree.DeployConfig{
+		Mode:         mode,
+		Archive:      *archive,
+		PollInterval: *poll,
+	})
+	if err != nil {
+		log.Fatalf("ganglia-sim: %v", err)
+	}
+	defer dep.Stop()
+
+	fmt.Printf("ganglia-sim: %d gmetads, %d clusters, %d hosts (%s design, polling every %v)\n\n",
+		len(topo.Nodes), topo.ClusterCount(), topo.HostCount(), mode, *poll)
+	fmt.Print(dep.AddrTable())
+	fmt.Printf("\ntry:  go run ./cmd/gstat -addr %s -q '/?filter=summary' -format summary\n", dep.RootAddr())
+	fmt.Printf("      go run ./cmd/gweb -gmetad %s\n", dep.RootAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("ganglia-sim: shutting down")
+}

@@ -1,0 +1,163 @@
+// Command gmetad runs a Ganglia wide-area monitor: it polls gmond
+// clusters and child gmetads, summarizes and archives their data, and
+// serves the monitoring tree over two TCP ports — a full-dump port and
+// an interactive query port.
+//
+// Usage:
+//
+//	gmetad -grid SDSC -authority http://sdsc.example/ \
+//	    -source "meteor|gmond|head-a:8649,head-b:8649" \
+//	    -source "attic|gmetad|attic.example:8652" \
+//	    [-mode nlevel|onelevel] [-xml :8651] [-query :8652] [-poll 15s]
+//
+// Each -source flag is "name|kind|addr[,addr...]"; additional addresses
+// are failover targets tried in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ganglia/internal/gmetad"
+	"ganglia/internal/transport"
+)
+
+// sourceFlags accumulates repeated -source flags.
+type sourceFlags []gmetad.DataSource
+
+func (s *sourceFlags) String() string { return fmt.Sprintf("%d sources", len(*s)) }
+
+func (s *sourceFlags) Set(v string) error {
+	parts := strings.Split(v, "|")
+	if len(parts) != 3 {
+		return fmt.Errorf("want name|kind|addrs, got %q", v)
+	}
+	var kind gmetad.SourceKind
+	switch parts[1] {
+	case "gmond":
+		kind = gmetad.SourceGmond
+	case "gmetad":
+		kind = gmetad.SourceGmetad
+	default:
+		return fmt.Errorf("unknown source kind %q (want gmond or gmetad)", parts[1])
+	}
+	addrs := strings.Split(parts[2], ",")
+	*s = append(*s, gmetad.DataSource{Name: parts[0], Kind: kind, Addrs: addrs})
+	return nil
+}
+
+func main() {
+	var sources sourceFlags
+	var (
+		grid        = flag.String("grid", "unspecified", "grid name this gmetad is authoritative for")
+		authority   = flag.String("authority", "", "this daemon's URL, propagated upstream")
+		modeStr     = flag.String("mode", "nlevel", "monitoring design: nlevel or onelevel")
+		xmlAddr     = flag.String("xml", ":8651", "TCP address of the full-dump port (empty to disable)")
+		queryAddr   = flag.String("query", ":8652", "TCP address of the interactive query port (empty to disable)")
+		poll        = flag.Duration("poll", gmetad.DefaultPollInterval, "source polling interval")
+		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-source download timeout")
+		archive     = flag.Bool("archive", true, "keep round-robin metric histories")
+		archivePath = flag.String("archive-path", "", "snapshot file for archive persistence (restored on start, saved periodically)")
+		saveEvery   = flag.Duration("save-every", 5*time.Minute, "archive snapshot interval (with -archive-path)")
+	)
+	flag.Var(&sources, "source", "data source as name|kind|addr[,addr...] (repeatable)")
+	flag.Parse()
+
+	var mode gmetad.Mode
+	switch *modeStr {
+	case "nlevel":
+		mode = gmetad.NLevel
+	case "onelevel":
+		mode = gmetad.OneLevel
+	default:
+		log.Fatalf("gmetad: unknown -mode %q", *modeStr)
+	}
+	if len(sources) == 0 {
+		log.Fatal("gmetad: at least one -source is required")
+	}
+
+	net := &transport.TCPNetwork{}
+	g, err := gmetad.New(gmetad.Config{
+		GridName:     *grid,
+		Authority:    *authority,
+		Network:      net,
+		Sources:      sources,
+		Mode:         mode,
+		PollInterval: *poll,
+		ReadTimeout:  *readTimeout,
+		Archive:      *archive,
+		ArchivePath:  *archivePath,
+		Logger:       log.Default(),
+	})
+	if err != nil {
+		log.Fatalf("gmetad: %v", err)
+	}
+	defer g.Close()
+
+	if *xmlAddr != "" {
+		l, err := net.Listen(*xmlAddr)
+		if err != nil {
+			log.Fatalf("gmetad: listen %s: %v", *xmlAddr, err)
+		}
+		go g.ServeXML(l)
+		fmt.Printf("gmetad: full XML on %s\n", l.Addr())
+	}
+	if *queryAddr != "" {
+		l, err := net.Listen(*queryAddr)
+		if err != nil {
+			log.Fatalf("gmetad: listen %s: %v", *queryAddr, err)
+		}
+		go g.ServeQuery(l)
+		fmt.Printf("gmetad: queries on %s\n", l.Addr())
+	}
+	fmt.Printf("gmetad: grid %q (%s design), %d sources, polling every %v\n",
+		*grid, mode, len(sources), *poll)
+
+	done := make(chan struct{})
+	go g.Run(done)
+
+	status := time.NewTicker(time.Minute)
+	defer status.Stop()
+	var save <-chan time.Time
+	if *archive && *archivePath != "" {
+		t := time.NewTicker(*saveEvery)
+		defer t.Stop()
+		save = t.C
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case <-save:
+			if err := g.SaveArchives(); err != nil {
+				fmt.Printf("gmetad: archive snapshot failed: %v\n", err)
+			}
+		case <-status.C:
+			for _, st := range g.Status() {
+				state := "ok"
+				if st.Failed {
+					state = "FAILED since " + st.DownSince.Format(time.RFC3339)
+					if st.LastError != "" {
+						state += " (" + st.LastError + ")"
+					}
+				}
+				fmt.Printf("gmetad: source %-20s %s\n", st.Name, state)
+			}
+		case <-sig:
+			close(done)
+			if *archive && *archivePath != "" {
+				if err := g.SaveArchives(); err != nil {
+					fmt.Printf("gmetad: final archive snapshot failed: %v\n", err)
+				}
+			}
+			fmt.Println("gmetad: shutting down")
+			return
+		}
+	}
+}

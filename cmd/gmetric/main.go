@@ -1,0 +1,76 @@
+// Command gmetric publishes a user-defined metric on a cluster's
+// multicast channel, like the classic Ganglia gmetric tool. Every gmond
+// on the channel folds the value into its cluster state, so the metric
+// appears in reports and summaries alongside the built-in ones — the
+// "user-defined key-value pairs" of the paper's §1.
+//
+// Usage:
+//
+//	gmetric -name jobs_queued -value 17 -type uint32 -units jobs \
+//	    [-host $(hostname)] [-mcast 239.2.11.71:8649] [-tmax 60] [-dmax 0]
+//
+// Run it from cron (or a batch epilogue) at least every tmax seconds to
+// keep the metric fresh.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ganglia/internal/metric"
+	"ganglia/internal/transport"
+)
+
+func main() {
+	var (
+		name  = flag.String("name", "", "metric name (required)")
+		value = flag.String("value", "", "metric value (required)")
+		typ   = flag.String("type", "string", "metric type: string|int8|uint8|int16|uint16|int32|uint32|float|double|timestamp")
+		units = flag.String("units", "", "unit label")
+		slope = flag.String("slope", "both", "slope: zero|positive|negative|both|unspecified")
+		host  = flag.String("host", "", "host the metric belongs to (default: this host)")
+		ip    = flag.String("ip", "", "host address, informational")
+		mcast = flag.String("mcast", transport.DefaultMulticastGroup, "multicast group")
+		tmax  = flag.Uint("tmax", 60, "maximum seconds between announcements")
+		dmax  = flag.Uint("dmax", 0, "seconds until the metric is purged if silent (0 = never)")
+	)
+	flag.Parse()
+	if *name == "" || *value == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *host == "" {
+		h, err := os.Hostname()
+		if err != nil {
+			log.Fatalf("gmetric: -host not set and hostname unknown: %v", err)
+		}
+		*host = h
+	}
+
+	bus, err := transport.NewUDPBus(*mcast, nil)
+	if err != nil {
+		log.Fatalf("gmetric: join %s: %v", *mcast, err)
+	}
+	defer bus.Close()
+
+	a := metric.Announcement{
+		Host: *host,
+		IP:   *ip,
+		Metric: metric.Metric{
+			Name:   *name,
+			Val:    metric.NewTyped(metric.ParseType(*typ), *value),
+			Units:  *units,
+			Slope:  metric.ParseSlope(*slope),
+			TMAX:   uint32(*tmax),
+			DMAX:   uint32(*dmax),
+			Source: "gmetric",
+		},
+	}
+	if err := bus.Send(a.Encode()); err != nil {
+		log.Fatalf("gmetric: send: %v", err)
+	}
+	fmt.Printf("gmetric: announced %s=%s (%s) for host %s on %s\n",
+		*name, a.Metric.Val.Text(), a.Metric.Val.Type(), *host, *mcast)
+}

@@ -1,0 +1,97 @@
+// Command gmond runs a Ganglia local-area monitor agent: it announces
+// this host's metrics on the cluster multicast channel, listens to its
+// neighbors, and serves the full cluster report as Ganglia XML over
+// TCP.
+//
+// Usage:
+//
+//	gmond -cluster meteor -host $(hostname) [-mcast 239.2.11.71:8649] [-listen :8649]
+//
+// Metric values come from the built-in simulated collector (this
+// repository targets reproducibility, not /proc scraping); the
+// announce/listen/serve protocol is the real one, so any number of
+// gmond processes on one machine or LAN form a working cluster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ganglia/internal/gmond"
+	"ganglia/internal/oscollect"
+	"ganglia/internal/transport"
+)
+
+func main() {
+	var (
+		cluster = flag.String("cluster", "unspecified", "cluster name")
+		host    = flag.String("host", "", "this node's name (required)")
+		ip      = flag.String("ip", "", "this node's address, informational")
+		mcast   = flag.String("mcast", transport.DefaultMulticastGroup, "multicast group to announce on")
+		listen  = flag.String("listen", ":8649", "TCP address serving the cluster XML report")
+		seed    = flag.Int64("seed", 0, "collector seed (default: derived from host name)")
+		deaf    = flag.Bool("deaf", false, "do not listen to the channel")
+		mute    = flag.Bool("mute", false, "do not announce")
+	)
+	flag.Parse()
+	if *host == "" {
+		if h, err := os.Hostname(); err == nil {
+			*host = h
+		}
+	}
+	if *host == "" {
+		log.Fatal("gmond: -host is required")
+	}
+	if *seed == 0 {
+		for _, c := range *host {
+			*seed = *seed*31 + int64(c)
+		}
+	}
+
+	bus, err := transport.NewUDPBus(*mcast, nil)
+	if err != nil {
+		log.Fatalf("gmond: join %s: %v", *mcast, err)
+	}
+	defer bus.Close()
+
+	var collector oscollect.Collector
+	if !*mute {
+		collector = oscollect.NewSimHost(*host, *seed, time.Now())
+	}
+	agent, err := gmond.New(gmond.Config{
+		Cluster:   *cluster,
+		Host:      *host,
+		IP:        *ip,
+		Bus:       bus,
+		Collector: collector,
+		Deaf:      *deaf,
+		Mute:      *mute,
+	})
+	if err != nil {
+		log.Fatalf("gmond: %v", err)
+	}
+	defer agent.Close()
+
+	tcp := &transport.TCPNetwork{}
+	l, err := tcp.Listen(*listen)
+	if err != nil {
+		log.Fatalf("gmond: listen %s: %v", *listen, err)
+	}
+	go agent.Serve(l)
+	fmt.Printf("gmond: cluster %q host %q announcing on %s, serving XML on %s\n",
+		*cluster, *host, *mcast, l.Addr())
+
+	done := make(chan struct{})
+	go agent.Run(done)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	close(done)
+	fmt.Println("gmond: shutting down")
+}

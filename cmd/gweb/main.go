@@ -1,0 +1,69 @@
+// Command gweb serves the Ganglia web frontend: HTML pages rendering
+// the monitoring tree from a gmetad's query port.
+//
+// Usage:
+//
+//	gweb -gmetad localhost:8652 -listen :8080 [-query-support=true]
+//
+// Routes: / (grid summary), /grids (tree navigation), /cluster/{name},
+// /cluster/{name}/summary, /host/{cluster}/{host}, and — when -authority
+// mappings are given — /find/{cluster} (authority-pointer navigation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"ganglia/internal/transport"
+	"ganglia/internal/webfront"
+)
+
+// authorityFlags accumulates repeated -authority flags mapping an
+// authority URL to the query address of its gmetad.
+type authorityFlags map[string]string
+
+func (a authorityFlags) String() string { return fmt.Sprintf("%d authorities", len(a)) }
+
+func (a authorityFlags) Set(v string) error {
+	url, addr, ok := strings.Cut(v, "|")
+	if !ok {
+		return fmt.Errorf("want url|addr, got %q", v)
+	}
+	a[url] = addr
+	return nil
+}
+
+func main() {
+	authorities := authorityFlags{}
+	var (
+		gmetadAddr = flag.String("gmetad", "127.0.0.1:8652", "gmetad query port to present")
+		listen     = flag.String("listen", ":8080", "HTTP listen address")
+		querySup   = flag.Bool("query-support", true, "use subtree queries (N-level); false emulates the legacy full-tree viewer")
+	)
+	flag.Var(authorities, "authority", `authority mapping "url|addr" enabling /find/{cluster} navigation (repeatable)`)
+	flag.Parse()
+
+	net := &transport.TCPNetwork{}
+	v := &webfront.Viewer{
+		Network:      net,
+		Addr:         *gmetadAddr,
+		QuerySupport: *querySup,
+	}
+	srv := webfront.NewServer(v)
+	if len(authorities) > 0 {
+		srv.SetNavigator(&webfront.Navigator{
+			Network:  net,
+			RootAddr: *gmetadAddr,
+			Resolve: func(authority string) (string, bool) {
+				addr, ok := authorities[authority]
+				return addr, ok
+			},
+		})
+	}
+	fmt.Printf("gweb: presenting %s on %s (query support: %v, %d authorities)\n",
+		*gmetadAddr, *listen, *querySup, len(authorities))
+	log.Fatal(http.ListenAndServe(*listen, srv))
+}

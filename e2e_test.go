@@ -1,0 +1,136 @@
+package ganglia
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestE2EBinaries is a deployment smoke test: it builds the real
+// command-line binaries and runs them as separate processes — two gmond
+// daemons announcing on a private UDP multicast group, a gmetric
+// publication, a gmetad polling the cluster over TCP, and gstat
+// querying the gmetad — exactly the wiring a small site would deploy.
+func TestE2EBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Multicast must work in this environment.
+	probeAddr := fmt.Sprintf("239.2.11.71:%d", 20000+rand.Intn(10000))
+	if c, err := net.ListenPacket("udp4", probeAddr); err != nil {
+		t.Skipf("multicast unavailable: %v", err)
+	} else {
+		c.Close()
+	}
+
+	bin := t.TempDir()
+	for _, cmd := range []string{"gmond", "gmetad", "gmetric", "gstat"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	freePort := func() int {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		return l.Addr().(*net.TCPAddr).Port
+	}
+	mcast := fmt.Sprintf("239.2.11.71:%d", 30000+rand.Intn(10000))
+	gmondPort1 := freePort()
+	gmondPort2 := freePort()
+	queryPort := freePort()
+
+	start := func(name string, args ...string) *exec.Cmd {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+			if t.Failed() {
+				t.Logf("%s output:\n%s", name, out.String())
+			}
+		})
+		return cmd
+	}
+
+	start("gmond", "-cluster", "e2e", "-host", "node-a", "-mcast", mcast,
+		"-listen", fmt.Sprintf("127.0.0.1:%d", gmondPort1))
+	start("gmond", "-cluster", "e2e", "-host", "node-b", "-mcast", mcast,
+		"-listen", fmt.Sprintf("127.0.0.1:%d", gmondPort2))
+	start("gmetad", "-grid", "e2e-grid", "-authority", "http://e2e/",
+		"-mode", "nlevel", "-poll", "500ms", "-xml", "",
+		"-query", fmt.Sprintf("127.0.0.1:%d", queryPort),
+		"-source", fmt.Sprintf("e2e|gmond|127.0.0.1:%d,127.0.0.1:%d", gmondPort1, gmondPort2))
+
+	gstat := func(q string) (string, error) {
+		out, err := exec.Command(filepath.Join(bin, "gstat"),
+			"-addr", fmt.Sprintf("127.0.0.1:%d", queryPort), "-q", q, "-format", "xml").CombinedOutput()
+		return string(out), err
+	}
+
+	// Wait for both gmond hosts to reach the gmetad through the real
+	// multicast channel (gmond steps once a second; allow generously).
+	deadline := time.Now().Add(45 * time.Second)
+	var lastOut string
+	for {
+		out, err := gstat("/e2e")
+		if err == nil && strings.Contains(out, `HOST NAME="node-a"`) &&
+			strings.Contains(out, `HOST NAME="node-b"`) {
+			lastOut = out
+			break
+		}
+		lastOut = out
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged; last gstat output:\n%.2000s", lastOut)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	if !strings.Contains(lastOut, `METRIC NAME="load_one"`) {
+		t.Errorf("no load_one metric in cluster view:\n%.1000s", lastOut)
+	}
+
+	// Publish a user metric with gmetric; it must reach the gmetad via
+	// gmond within a few polls.
+	if out, err := exec.Command(filepath.Join(bin, "gmetric"),
+		"-name", "e2e_jobs", "-value", "42", "-type", "uint32",
+		"-host", "node-a", "-mcast", mcast).CombinedOutput(); err != nil {
+		t.Fatalf("gmetric: %v\n%s", err, out)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		out, err := gstat("/e2e/node-a/e2e_jobs")
+		if err == nil && strings.Contains(out, `VAL="42"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gmetric value never arrived; last output:\n%.1000s", out)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	// Summary query over the binaries.
+	out, err := gstat("/?filter=summary")
+	if err != nil {
+		t.Fatalf("summary query: %v", err)
+	}
+	if !strings.Contains(out, `<HOSTS UP="2"`) {
+		t.Errorf("summary does not show 2 hosts:\n%.1000s", out)
+	}
+
+}

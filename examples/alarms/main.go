@@ -1,0 +1,101 @@
+// Alarms: the "general alarm mechanism" the paper names as its most
+// important future feature (§4), running against a live federation.
+//
+// An alarm engine evaluates threshold and liveness rules against each
+// polling round's root report, with hold-down and clear hysteresis so a
+// one-round spike does not page anyone. The example trips a host-down
+// alarm by partitioning a cluster, then heals it.
+//
+//	go run ./examples/alarms
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ganglia"
+)
+
+func main() {
+	clk := ganglia.NewVirtualClock(time.Unix(1_057_000_000, 0))
+	inst, err := ganglia.BuildTree(ganglia.FigureTwo(5), ganglia.TreeBuildConfig{
+		Mode:  ganglia.ModeNLevel,
+		Clock: clk,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	engine, err := ganglia.NewAlarmEngine([]ganglia.AlarmRule{
+		{
+			// Page when any host in the root's local clusters dies and
+			// stays dead for a minute.
+			Name:     "host-down",
+			Severity: ganglia.SeverityCritical,
+			HostDown: true,
+			For:      time.Minute,
+			ClearFor: 30 * time.Second,
+		},
+		{
+			// Warn on saturated CPU anywhere.
+			Name:      "cpu-saturated",
+			Severity:  ganglia.SeverityWarning,
+			Metric:    "cpu_idle",
+			Op:        ganglia.OpLT,
+			Threshold: 2.0,
+			For:       time.Minute,
+		},
+		{
+			// Aggregate rule: fire when a third of any cluster or
+			// remote grid is down. This works even at the root's
+			// coarse resolution, where remote subtrees exist only as
+			// O(m) summaries.
+			Name:      "cluster-degraded",
+			Severity:  ganglia.SeverityCritical,
+			Aggregate: ganglia.AggHostsDownFrac,
+			Op:        ganglia.OpGE,
+			Threshold: 1.0 / 3.0,
+			For:       time.Minute,
+			ClearFor:  30 * time.Second,
+		},
+	}, func(ev ganglia.AlarmEvent) {
+		fmt.Printf("  ALARM %s\n", ev)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	round := func() {
+		clk.Advance(15 * time.Second)
+		inst.PollRound(clk.Now())
+		rep, err := inst.Root().Report(ganglia.MustParseQuery("/"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine.Evaluate(rep, clk.Now())
+	}
+
+	fmt.Println("steady state (4 rounds):")
+	for i := 0; i < 4; i++ {
+		round()
+	}
+	fmt.Printf("  firing alarms: %d\n\n", engine.Firing())
+
+	// Kill three hosts of a root-local cluster. The pseudo-gmond marks
+	// their heartbeats stale, exactly as a dead node would read.
+	fmt.Println("3 hosts of cluster meteor-a stop responding:")
+	inst.Pseudos["meteor-a"].SetDownHosts(3)
+	for i := 0; i < 6; i++ { // hold-down of 1 min = 4 rounds, then fire
+		round()
+	}
+	fmt.Printf("  firing alarms: %d\n\n", engine.Firing())
+
+	fmt.Println("hosts recover:")
+	inst.Pseudos["meteor-a"].SetDownHosts(0)
+	for i := 0; i < 6; i++ {
+		round()
+	}
+	fmt.Printf("  firing alarms: %d\n", engine.Firing())
+}

@@ -1,0 +1,122 @@
+// Archives: the metric-history machinery of paper §2.1 — round-robin
+// databases whose fixed-size, multi-resolution layout keeps a year of
+// history "with a bias towards recent data", zero records during an
+// outage for time-of-death forensics, history queries over the wire,
+// and persistence across a daemon restart.
+//
+//	go run ./examples/archives
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"ganglia"
+)
+
+func main() {
+	start := time.Unix(1_057_000_000, 0)
+	clk := ganglia.NewVirtualClock(start)
+	net := ganglia.NewInMemNetwork()
+
+	// One emulated 4-host cluster and an archiving gmetad.
+	cluster := ganglia.NewPseudoGmond("meteor", 4, 7, clk)
+	l, err := net.Listen("meteor:8649")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go cluster.Serve(l)
+	defer cluster.Close()
+
+	cfg := ganglia.GmetadConfig{
+		GridName: "SDSC",
+		Network:  net,
+		Clock:    clk,
+		Sources: []ganglia.DataSource{{
+			Name: "meteor", Kind: ganglia.SourceGmond, Addrs: []string{"meteor:8649"},
+		}},
+		Archive: true,
+	}
+	meta, err := ganglia.NewGmetad(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 10 minutes of 15-second polling rounds.
+	for i := 0; i < 40; i++ {
+		clk.Advance(15 * time.Second)
+		meta.PollOnce(clk.Now())
+	}
+
+	// History query: the archived load of one host.
+	rep, err := meta.Report(ganglia.MustParseQuery("/meteor/compute-meteor-0/load_one?filter=history"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := rep.Histories[0]
+	fmt.Printf("history %s/%s/%s: %d points at %ds resolution\n",
+		h.Cluster, h.Host, h.Metric, len(h.Points), h.Step)
+	fmt.Printf("  recent: %s\n\n", sketch(h, 30))
+
+	// The cluster summary series is archived too.
+	rep, err = meta.Report(ganglia.MustParseQuery("/meteor/__summary__/load_one?filter=history"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summary series has %d points (sum of load over the cluster)\n\n",
+		len(rep.Histories[0].Points))
+
+	// Outage: two minutes of unreachability writes zero records.
+	net.Fail("meteor:8649")
+	for i := 0; i < 8; i++ {
+		clk.Advance(15 * time.Second)
+		meta.PollOnce(clk.Now())
+	}
+	net.Recover("meteor:8649")
+	clk.Advance(15 * time.Second)
+	meta.PollOnce(clk.Now())
+
+	rep, _ = meta.Report(ganglia.MustParseQuery("/meteor/compute-meteor-0/load_one?filter=history"))
+	h = rep.Histories[0]
+	fmt.Printf("after a 2-minute partition (zeros mark the outage):\n  %s\n\n", sketch(h, 30))
+
+	// Persistence: snapshot the pool, "restart" into a new daemon, and
+	// the history is still there.
+	var snapshot bytes.Buffer
+	if err := meta.Pool().SaveTo(&snapshot); err != nil {
+		log.Fatal(err)
+	}
+	meta.Close()
+	fmt.Printf("snapshot: %d bytes for %d series\n", snapshot.Len(), len(meta.Pool().Keys()))
+
+	restored, err := ganglia.LoadRRDPool(&snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts := restored.Fetch("meteor/compute-meteor-0/load_one", 0 /* Average */, start, clk.Now())
+	fmt.Printf("restored pool serves %d points for the same series\n", len(pts))
+}
+
+// sketch renders the last n points as a compact strip: '#' for live
+// data, '0' for zero records, '.' for unknown.
+func sketch(h *ganglia.History, n int) string {
+	pts := h.Points
+	if len(pts) > n {
+		pts = pts[len(pts)-n:]
+	}
+	var sb strings.Builder
+	for _, p := range pts {
+		switch {
+		case p.Unknown():
+			sb.WriteByte('.')
+		case p.Value == 0:
+			sb.WriteByte('0')
+		default:
+			sb.WriteByte('#')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,125 @@
+// Failover: the fault-tolerance story of paper fig 1 and §2.1.
+//
+// A gmetad monitors a cluster through an ordered list of node
+// addresses. Because every gmond holds redundant global state, the
+// death of the polled node is masked by failing over to a neighbor.
+// When the whole cluster becomes unreachable, the daemon keeps serving
+// the last snapshot (honestly aged, so hosts read as down), retries
+// every polling round, and writes zero records into the metric archives
+// — the paper's time-of-death forensics.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ganglia"
+)
+
+func main() {
+	start := time.Unix(1_057_000_000, 0)
+	clk := ganglia.NewVirtualClock(start)
+	net := ganglia.NewInMemNetwork()
+
+	// A 4-node cluster; every node serves the full cluster report.
+	bus := ganglia.NewInMemBus()
+	var agents []*ganglia.Gmond
+	for i := 0; i < 4; i++ {
+		host := fmt.Sprintf("node-%d", i)
+		g, err := ganglia.NewGmond(ganglia.GmondConfig{
+			Cluster: "meteor", Host: host, Bus: bus, Clock: clk,
+			Collector: ganglia.NewSimHost(host, int64(i+1), start),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer g.Close()
+		l, err := net.Listen(host + ":8649")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go g.Serve(l)
+		agents = append(agents, g)
+	}
+	step := func(seconds int) {
+		for i := 0; i < seconds; i++ {
+			now := clk.Advance(time.Second)
+			for _, g := range agents {
+				g.Step(now)
+			}
+		}
+	}
+	step(60)
+
+	meta, err := ganglia.NewGmetad(ganglia.GmetadConfig{
+		GridName: "SDSC", Network: net, Clock: clk,
+		Sources: []ganglia.DataSource{{
+			Name: "meteor", Kind: ganglia.SourceGmond,
+			// The ordered failover list of fig 1.
+			Addrs: []string{"node-0:8649", "node-1:8649", "node-2:8649"},
+		}},
+		Archive: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer meta.Close()
+
+	poll := func() {
+		step(15)
+		meta.PollOnce(clk.Now())
+	}
+	poll()
+	fmt.Printf("healthy: polling %s\n", meta.Status()[0].ActiveAddr)
+
+	// Node 0 stops. The next poll fails over transparently.
+	net.Fail("node-0:8649")
+	poll()
+	st := meta.Status()[0]
+	fmt.Printf("node-0 dead: failed=%v, now polling %s (failovers so far: %d)\n",
+		st.Failed, st.ActiveAddr, meta.Accounting().Snapshot().Failovers)
+
+	// The whole cluster partitions away.
+	for i := 0; i < 4; i++ {
+		net.Fail(fmt.Sprintf("node-%d:8649", i))
+	}
+	for i := 0; i < 8; i++ {
+		poll()
+	}
+	st = meta.Status()[0]
+	fmt.Printf("\ncluster partitioned: failed=%v since %s\n  last error: %s\n",
+		st.Failed, st.DownSince.Format(time.RFC3339), st.LastError)
+
+	// Old data is still served, aged into "down".
+	rep, err := meta.Report(ganglia.MustParseQuery("/meteor"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	down := 0
+	for _, h := range rep.Grids[0].Clusters[0].Hosts {
+		if !h.Up() {
+			down++
+		}
+	}
+	fmt.Printf("  last snapshot still answerable: %d/%d hosts now read as down\n",
+		down, len(rep.Grids[0].Clusters[0].Hosts))
+
+	// Forensics: zero records mark the outage in the archive.
+	key := "meteor/node-1/load_one"
+	if v, ok := meta.Pool().Last(key); ok {
+		fmt.Printf("  archive %s last value during outage: %.1f (zero record)\n", key, v)
+	}
+
+	// Recovery: the steady retry re-establishes contact — "failures do
+	// not cause permanent fissures in the monitoring tree".
+	net.Recover("node-2:8649")
+	poll()
+	st = meta.Status()[0]
+	fmt.Printf("\nnode-2 back: failed=%v, polling %s again\n", st.Failed, st.ActiveAddr)
+	if v, ok := meta.Pool().Last(key); ok {
+		fmt.Printf("  archive %s resumed with live value: %.2f\n", key, v)
+	}
+}

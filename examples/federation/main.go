@@ -1,0 +1,102 @@
+// Federation: the paper's fig-2 monitoring tree with multi-resolution
+// views and authority chasing.
+//
+// Six gmetads monitor twelve clusters. The example shows the N-level
+// design's multiple-resolution navigation (paper §1, §2.2): the root
+// offers a coarse view of everything; each remote grid summary carries
+// an authority URL; following the pointer to the owning gmetad yields
+// the full-resolution cluster, and one more query yields a single host.
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ganglia"
+)
+
+func main() {
+	clk := ganglia.NewVirtualClock(time.Unix(1_057_000_000, 0))
+	topo := ganglia.FigureTwo(25) // 12 clusters × 25 hosts
+	inst, err := ganglia.BuildTree(topo, ganglia.TreeBuildConfig{
+		Mode:  ganglia.ModeNLevel,
+		Clock: clk,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	// One polling round, leaf-first, carries data to the root.
+	inst.PollRound(clk.Now())
+
+	// Resolution 1: the whole organization, one summary.
+	root := inst.Root()
+	s := root.Summary()
+	fmt.Printf("ROOT view: %d clusters, %d hosts up / %d down\n",
+		topo.ClusterCount(), s.HostsUp, s.HostsDown)
+	if m, ok := s.Metrics["cpu_num"]; ok {
+		fmt.Printf("  total CPUs: %.0f\n", m.Sum)
+	}
+
+	// Resolution 2: the root's view of the sdsc subtree is a summary
+	// with an authority pointer.
+	rep, err := root.Report(ganglia.MustParseQuery("/sdsc"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sdsc := rep.Grids[0].Grids[0]
+	fmt.Printf("\nGRID %s at the root: %d hosts (summary only, %d metrics reduced)\n",
+		sdsc.Name, sdsc.Summary.Hosts(), len(sdsc.Summary.Metrics))
+	fmt.Printf("  authority: %s\n", sdsc.Authority)
+
+	// Resolution 3: follow the authority to sdsc's own gmetad, which
+	// holds its local clusters at full resolution.
+	sdscMeta := inst.Gmetads["sdsc"]
+	rep, err = sdscMeta.Report(ganglia.MustParseQuery("/nashi-a"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := rep.Grids[0].Clusters[0]
+	fmt.Printf("\nCLUSTER %s at its authority: %d hosts at full resolution\n",
+		cluster.Name, len(cluster.Hosts))
+
+	// Resolution 4: one host, one metric — the fig-4 query.
+	rep, err = sdscMeta.Report(ganglia.MustParseQuery("/nashi-a/compute-nashi-a-7/load_one"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := rep.Grids[0].Clusters[0].Hosts[0]
+	fmt.Printf("\nHOST %s: load_one = %s\n", h.Name, h.Metrics[0].Val.Text())
+
+	// The regex extension (paper §4 future work): one query, a slice
+	// of hosts.
+	rep, err = sdscMeta.Report(ganglia.MustParseQuery("/nashi-a/~compute-nashi-a-1[0-9]$"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nregex query /nashi-a/~compute-nashi-a-1[0-9]$ matched %d hosts\n",
+		len(rep.Grids[0].Clusters[0].Hosts))
+
+	// Contrast with the 1-level design: the root must ship and hold
+	// everything at full resolution.
+	oneLevel, err := ganglia.BuildTree(ganglia.FigureTwo(25), ganglia.TreeBuildConfig{
+		Mode:  ganglia.ModeOneLevel,
+		Clock: clk,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer oneLevel.Close()
+	oneLevel.PollRound(clk.Now())
+	repN, _ := root.Report(ganglia.MustParseQuery("/"))
+	rep1, _ := oneLevel.Root().Report(ganglia.MustParseQuery("/"))
+	fmt.Printf("\nroot report, full-resolution hosts: N-level %d vs 1-level %d\n",
+		repN.Hosts(), rep1.Hosts())
+	fmt.Printf("root bytes downloaded per round: N-level %d vs 1-level %d\n",
+		root.Accounting().Snapshot().BytesIn,
+		oneLevel.Root().Accounting().Snapshot().BytesIn)
+}

@@ -1,0 +1,100 @@
+// Quickstart: a three-node cluster monitored end to end, in one
+// process.
+//
+// It wires together the whole Ganglia stack from the paper's fig 1:
+// three gmond agents share a multicast channel and build redundant
+// global state; one of them serves the cluster report over a stream
+// listener; a gmetad polls it, summarizes it and answers path queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ganglia"
+)
+
+func main() {
+	start := time.Unix(1_057_000_000, 0) // any fixed origin makes the run reproducible
+	clk := ganglia.NewVirtualClock(start)
+
+	// The cluster: three gmond agents on one multicast channel.
+	bus := ganglia.NewInMemBus()
+	var agents []*ganglia.Gmond
+	for i := 0; i < 3; i++ {
+		host := fmt.Sprintf("compute-0-%d", i)
+		g, err := ganglia.NewGmond(ganglia.GmondConfig{
+			Cluster:   "meteor",
+			Owner:     "SDSC",
+			Host:      host,
+			IP:        fmt.Sprintf("10.1.0.%d", i+1),
+			Bus:       bus,
+			Clock:     clk,
+			Collector: ganglia.NewSimHost(host, int64(i+1), start),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer g.Close()
+		agents = append(agents, g)
+	}
+
+	// Let the cluster run for a virtual minute: agents announce and
+	// learn about each other with no registration step.
+	for i := 0; i < 60; i++ {
+		now := clk.Advance(time.Second)
+		for _, g := range agents {
+			g.Step(now)
+		}
+	}
+	fmt.Printf("each agent now knows %d hosts (leaderless, learned from the channel)\n\n",
+		agents[0].KnownHosts())
+
+	// Any agent can serve the full cluster; gmetad polls the first.
+	net := ganglia.NewInMemNetwork()
+	l, err := net.Listen("compute-0-0:8649")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go agents[0].Serve(l)
+
+	meta, err := ganglia.NewGmetad(ganglia.GmetadConfig{
+		GridName:  "SDSC",
+		Authority: "http://sdsc.example/ganglia/",
+		Network:   net,
+		Clock:     clk,
+		Sources: []ganglia.DataSource{{
+			Name:  "meteor",
+			Kind:  ganglia.SourceGmond,
+			Addrs: []string{"compute-0-0:8649"},
+		}},
+		Archive: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer meta.Close()
+	meta.PollOnce(clk.Now())
+
+	// Path queries against the three-level hash DOM.
+	rep, err := meta.Report(ganglia.MustParseQuery("/meteor/compute-0-1/load_one"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := rep.Grids[0].Clusters[0].Hosts[0].Metrics[0]
+	fmt.Printf("query /meteor/compute-0-1/load_one -> %s %s (age %ds)\n\n",
+		m.Val.Text(), m.Units, m.TN)
+
+	// The grid summary: sum and mean per metric, host up/down counts.
+	s := meta.Summary()
+	fmt.Printf("grid summary: %d hosts up, %d down\n", s.HostsUp, s.HostsDown)
+	for _, name := range []string{"cpu_num", "load_one", "mem_total"} {
+		if sm, ok := s.Metrics[name]; ok {
+			fmt.Printf("  %-10s sum=%-12.2f mean=%.2f over %d hosts\n",
+				name, sm.Sum, sm.Mean(), sm.Num)
+		}
+	}
+}

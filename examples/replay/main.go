@@ -1,0 +1,115 @@
+// Replay: drive the monitoring stack with a recorded workload trace
+// instead of the synthetic simulator.
+//
+// A CSV trace (offset_seconds,metric,value) feeds a gmond agent through
+// the ReplayCollector; metrics absent from the trace fall back to the
+// simulator. The trace below sketches a batch job arriving on one node:
+// load ramps up, memory drains, the job ends, the node goes idle.
+//
+//	go run ./examples/replay
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"ganglia"
+)
+
+const jobTrace = `offset_seconds,metric,value
+0,load_one,0.10
+0,mem_free,900000
+60,load_one,3.80
+60,mem_free,420000
+120,load_one,4.10
+120,mem_free,150000
+300,load_one,4.05
+300,mem_free,120000
+360,load_one,0.30
+360,mem_free,880000
+`
+
+func main() {
+	start := time.Unix(1_057_000_000, 0)
+	clk := ganglia.NewVirtualClock(start)
+
+	replay, err := ganglia.NewReplayCollector(strings.NewReader(jobTrace), start,
+		ganglia.NewSimHost("batch-node", 1, start))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %v long, metrics %v\n\n", replay.Duration(), replay.Metrics())
+
+	bus := ganglia.NewInMemBus()
+	agent, err := ganglia.NewGmond(ganglia.GmondConfig{
+		Cluster: "batch", Host: "batch-node", Bus: bus, Clock: clk,
+		Collector: replay,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+
+	net := ganglia.NewInMemNetwork()
+	l, err := net.Listen("batch-node:8649")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go agent.Serve(l)
+
+	meta, err := ganglia.NewGmetad(ganglia.GmetadConfig{
+		GridName: "site", Network: net, Clock: clk,
+		Sources: []ganglia.DataSource{{
+			Name: "batch", Kind: ganglia.SourceGmond, Addrs: []string{"batch-node:8649"},
+		}},
+		Archive: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer meta.Close()
+
+	// Watch the job through the monitor: alarm on sustained load.
+	engine, err := ganglia.NewAlarmEngine([]ganglia.AlarmRule{{
+		Name: "batch-busy", Severity: ganglia.SeverityInfo,
+		Metric: "load_one", Op: ganglia.OpGT, Threshold: 2.0,
+		For: 30 * time.Second, ClearFor: 30 * time.Second,
+	}}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("time     load_one  mem_free  alarm")
+	for round := 0; round < 30; round++ { // 7.5 minutes of 15s rounds
+		for i := 0; i < 15; i++ {
+			agent.Step(clk.Advance(time.Second))
+		}
+		now := clk.Now()
+		meta.PollOnce(now)
+		rep, err := meta.Report(ganglia.MustParseQuery("/batch/batch-node/"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine.Evaluate(rep, now)
+		if round%2 == 1 {
+			h := rep.Grids[0].Clusters[0].Hosts[0]
+			load, mem := "-", "-"
+			for _, m := range h.Metrics {
+				switch m.Name {
+				case "load_one":
+					load = m.Val.Text()
+				case "mem_free":
+					mem = m.Val.Text()
+				}
+			}
+			state := ""
+			if engine.Firing() > 0 {
+				state = "BUSY"
+			}
+			fmt.Printf("+%3dm%02ds  %-8s  %-8s  %s\n",
+				int(now.Sub(start).Minutes()), int(now.Sub(start).Seconds())%60, load, mem, state)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package ganglia
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFacadeWrappers exercises the thin constructors the facade adds on
+// top of the internal packages, so a rename or signature drift there is
+// caught at the public surface.
+func TestFacadeWrappers(t *testing.T) {
+	if q, err := ParseQuery("/a/b"); err != nil || q.Depth() != 2 {
+		t.Errorf("ParseQuery: %v %v", q, err)
+	}
+	if _, err := ParseQuery("bogus"); err == nil {
+		t.Error("ParseQuery accepted garbage")
+	}
+	if RealClock().Now().IsZero() {
+		t.Error("RealClock returned zero time")
+	}
+	if net := NewInMemNetwork(); net == nil {
+		t.Error("NewInMemNetwork nil")
+	}
+	if p := NewRRDPool(DefaultRRDSpec()); p == nil || p.Len() != 0 {
+		t.Error("NewRRDPool broken")
+	}
+	if addr := TreeQueryAddr("sdsc"); !strings.Contains(addr, "sdsc") {
+		t.Errorf("TreeQueryAddr = %q", addr)
+	}
+	clk := NewVirtualClock(time.Unix(1_057_000_000, 0))
+	pg := NewPseudoGmond("c", 3, 1, clk)
+	if pg.Hosts() != 3 {
+		t.Errorf("NewPseudoGmond hosts = %d", pg.Hosts())
+	}
+	// NewUDPBus needs multicast; tolerate environments without it.
+	if bus, err := NewUDPBus("239.2.11.71:28649"); err == nil {
+		bus.Close()
+	}
+}
+
+func TestFacadeWebServer(t *testing.T) {
+	clk := NewVirtualClock(time.Unix(1_057_000_000, 0))
+	inst, err := BuildTree(FigureTwo(3), TreeBuildConfig{Mode: ModeNLevel, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	inst.PollRound(clk.Now())
+
+	srv := httptest.NewServer(NewWebServer(&Viewer{
+		Network:      inst.Net,
+		Addr:         TreeQueryAddr("root"),
+		QuerySupport: true,
+	}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}

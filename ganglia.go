@@ -1,0 +1,288 @@
+// Package ganglia is a from-scratch Go implementation of the Ganglia
+// distributed monitoring system as described in "Wide Area Cluster
+// Monitoring with Ganglia" (Sacerdoti, Katz, Massie, Culler — IEEE
+// CLUSTER 2003).
+//
+// The system has two halves (paper fig 1):
+//
+//   - Gmond, the local-area monitor: one agent per cluster node,
+//     announcing metrics over a multicast channel and accumulating
+//     redundant global cluster state from its neighbors, served as
+//     Ganglia XML over TCP.
+//   - Gmetad, the wide-area monitor: polls gmond clusters and child
+//     gmetads, organizes the data in a hash-table DOM, computes
+//     additive summaries, archives round-robin metric histories, and
+//     answers path queries. ModeNLevel is the paper's scalable design
+//     (O(m) summaries for remote grids, authority pointers to full
+//     resolution); ModeOneLevel is the legacy design it is evaluated
+//     against.
+//
+// This package is the public facade: it re-exports the stable surface
+// of the internal packages so applications depend on one import path.
+//
+//	bus := ganglia.NewInMemBus()
+//	agent, _ := ganglia.NewGmond(ganglia.GmondConfig{
+//	    Cluster: "meteor", Host: "n0", Bus: bus,
+//	    Collector: ganglia.NewSimHost("n0", 1, time.Now()),
+//	})
+//
+// See examples/ for complete programs and internal/bench for the
+// harness that regenerates the paper's figures and table.
+package ganglia
+
+import (
+	"io"
+	"time"
+
+	"ganglia/internal/alarm"
+	"ganglia/internal/clock"
+	"ganglia/internal/gmetad"
+	"ganglia/internal/gmond"
+	"ganglia/internal/gxml"
+	"ganglia/internal/metric"
+	"ganglia/internal/oscollect"
+	"ganglia/internal/pseudo"
+	"ganglia/internal/query"
+	"ganglia/internal/rrd"
+	"ganglia/internal/summary"
+	"ganglia/internal/transport"
+	"ganglia/internal/tree"
+	"ganglia/internal/webfront"
+)
+
+// Local-area monitor (gmond).
+type (
+	// Gmond is one local-area monitor agent.
+	Gmond = gmond.Gmond
+	// GmondConfig configures a Gmond.
+	GmondConfig = gmond.Config
+	// Collector supplies host metric values to a Gmond.
+	Collector = oscollect.Collector
+	// SimHost is a simulated cluster node collector.
+	SimHost = oscollect.SimHost
+)
+
+// NewGmond creates a local-area monitor agent.
+func NewGmond(cfg GmondConfig) (*Gmond, error) { return gmond.New(cfg) }
+
+// NewSimHost returns a deterministic simulated host collector.
+func NewSimHost(host string, seed int64, boot time.Time) *SimHost {
+	return oscollect.NewSimHost(host, seed, boot)
+}
+
+// ReplayCollector plays back a recorded metric trace.
+type ReplayCollector = oscollect.Replay
+
+// NewReplayCollector parses a CSV metric trace (offset_seconds, metric,
+// value) anchored at start; metrics absent from the trace fall back to
+// the optional fallback collector.
+func NewReplayCollector(r io.Reader, start time.Time, fallback Collector) (*ReplayCollector, error) {
+	return oscollect.NewReplay(r, start, fallback)
+}
+
+// Wide-area monitor (gmetad).
+type (
+	// Gmetad is one wide-area monitor daemon.
+	Gmetad = gmetad.Gmetad
+	// GmetadConfig configures a Gmetad.
+	GmetadConfig = gmetad.Config
+	// DataSource names one child in the monitoring tree.
+	DataSource = gmetad.DataSource
+	// Mode selects the 1-level or N-level design.
+	Mode = gmetad.Mode
+	// SourceKind distinguishes gmond and gmetad children.
+	SourceKind = gmetad.SourceKind
+	// AccountingSnapshot is a point-in-time copy of a daemon's work
+	// counters.
+	AccountingSnapshot = gmetad.Snapshot
+)
+
+// Gmetad modes and source kinds.
+const (
+	ModeNLevel   = gmetad.NLevel
+	ModeOneLevel = gmetad.OneLevel
+
+	SourceGmond  = gmetad.SourceGmond
+	SourceGmetad = gmetad.SourceGmetad
+)
+
+// NewGmetad creates a wide-area monitor daemon.
+func NewGmetad(cfg GmetadConfig) (*Gmetad, error) { return gmetad.New(cfg) }
+
+// Data model and XML language.
+type (
+	// Metric is one measurement at one host.
+	Metric = metric.Metric
+	// MetricValue is a typed metric value.
+	MetricValue = metric.Value
+	// Report is a GANGLIA_XML document tree.
+	Report = gxml.Report
+	// Grid, Cluster and Host are report tree nodes.
+	Grid    = gxml.Grid
+	Cluster = gxml.Cluster
+	Host    = gxml.Host
+	// Summary is an additive reduction over a host set.
+	Summary = summary.Summary
+)
+
+// Query language.
+type (
+	// Query is a parsed path query.
+	Query = query.Query
+)
+
+// ParseQuery parses a path query such as "/meteor/compute-0-0".
+func ParseQuery(s string) (*Query, error) { return query.Parse(s) }
+
+// MustParseQuery is ParseQuery for constant queries.
+func MustParseQuery(s string) *Query { return query.MustParse(s) }
+
+// Transports.
+type (
+	// Bus is the local-area multicast channel abstraction.
+	Bus = transport.Bus
+	// Network is the wide-area stream fabric abstraction.
+	Network = transport.Network
+	// InMemBus and InMemNetwork are deterministic in-process fabrics.
+	InMemBus     = transport.InMemBus
+	InMemNetwork = transport.InMemNetwork
+	// UDPBus is a real UDP-multicast Bus.
+	UDPBus = transport.UDPBus
+	// TCPNetwork is the production Network.
+	TCPNetwork = transport.TCPNetwork
+)
+
+// NewInMemBus returns an in-process multicast channel.
+func NewInMemBus() *InMemBus { return transport.NewInMemBus() }
+
+// NewInMemNetwork returns an in-process stream network.
+func NewInMemNetwork() *InMemNetwork { return transport.NewInMemNetwork() }
+
+// NewUDPBus joins a real multicast group (see
+// transport.DefaultMulticastGroup).
+func NewUDPBus(group string) (*UDPBus, error) { return transport.NewUDPBus(group, nil) }
+
+// Clocks.
+type (
+	// Clock supplies time to the daemons.
+	Clock = clock.Clock
+	// VirtualClock is a manually advanced clock for tests and
+	// experiments.
+	VirtualClock = clock.Virtual
+)
+
+// NewVirtualClock returns a virtual clock starting at start.
+func NewVirtualClock(start time.Time) *VirtualClock { return clock.NewVirtual(start) }
+
+// RealClock reads the system clock.
+func RealClock() Clock { return clock.Real{} }
+
+// Round-robin archives.
+type (
+	// RRD is one metric's multi-resolution history.
+	RRD = rrd.Database
+	// RRDSpec describes an archive layout.
+	RRDSpec = rrd.Spec
+	// RRDPool manages many archives keyed by path.
+	RRDPool = rrd.Pool
+)
+
+// NewRRD creates a round-robin database.
+func NewRRD(spec RRDSpec) (*RRD, error) { return rrd.New(spec) }
+
+// DefaultRRDSpec is the per-metric archive layout gmetad provisions.
+func DefaultRRDSpec() RRDSpec { return rrd.DefaultSpec() }
+
+// NewRRDPool creates an archive pool whose databases all use spec.
+func NewRRDPool(spec RRDSpec) *RRDPool { return rrd.NewPool(spec) }
+
+// LoadRRDPool restores a pool saved with (*RRDPool).SaveTo.
+var LoadRRDPool = rrd.LoadPool
+
+// History is an archived metric series as served by history queries.
+type History = gxml.History
+
+// Topologies.
+type (
+	// Topology is a declarative monitoring tree.
+	Topology = tree.Topology
+	// TopologyNode is one gmetad in a Topology.
+	TopologyNode = tree.Node
+	// ClusterSpec is one leaf cluster in a Topology.
+	ClusterSpec = tree.ClusterSpec
+	// TreeInstance is a live in-process monitoring tree.
+	TreeInstance = tree.Instance
+	// TreeBuildConfig controls tree instantiation.
+	TreeBuildConfig = tree.BuildConfig
+	// PseudoGmond emulates a whole cluster for experiments.
+	PseudoGmond = pseudo.Gmond
+)
+
+// FigureTwo returns the paper's six-gmetad, twelve-cluster experimental
+// topology.
+func FigureTwo(hostsPerCluster int) *Topology { return tree.FigureTwo(hostsPerCluster) }
+
+// BuildTree instantiates a topology in-process.
+func BuildTree(topo *Topology, cfg TreeBuildConfig) (*TreeInstance, error) {
+	return tree.Build(topo, cfg)
+}
+
+// TreeQueryAddr returns the in-memory query address of a tree node.
+func TreeQueryAddr(node string) string { return tree.QueryAddr(node) }
+
+// NewPseudoGmond returns a cluster emulator.
+func NewPseudoGmond(cluster string, hosts int, seed int64, clk Clock) *PseudoGmond {
+	return pseudo.New(cluster, hosts, seed, clk)
+}
+
+// Presentation layer.
+type (
+	// Viewer fetches and parses gmetad XML for display.
+	Viewer = webfront.Viewer
+	// ViewerResult is one fetch with its timings.
+	ViewerResult = webfront.Result
+	// WebServer renders the monitoring tree over HTTP.
+	WebServer = webfront.Server
+)
+
+// NewWebServer wraps a viewer in an HTTP handler.
+func NewWebServer(v *Viewer) *WebServer { return webfront.NewServer(v) }
+
+// Alarms.
+type (
+	// AlarmRule is one alarm condition.
+	AlarmRule = alarm.Rule
+	// AlarmEvent is one alarm edge.
+	AlarmEvent = alarm.Event
+	// AlarmEngine evaluates rules against reports.
+	AlarmEngine = alarm.Engine
+)
+
+// Alarm severities, operators and aggregates.
+const (
+	SeverityInfo     = alarm.Info
+	SeverityWarning  = alarm.Warning
+	SeverityCritical = alarm.Critical
+
+	OpGT = alarm.GT
+	OpGE = alarm.GE
+	OpLT = alarm.LT
+	OpLE = alarm.LE
+
+	AggNone          = alarm.AggNone
+	AggMean          = alarm.AggMean
+	AggSum           = alarm.AggSum
+	AggHostsDown     = alarm.AggHostsDown
+	AggHostsDownFrac = alarm.AggHostsDownFrac
+)
+
+// NewAlarmEngine compiles alarm rules.
+func NewAlarmEngine(rules []AlarmRule, sink func(AlarmEvent)) (*AlarmEngine, error) {
+	return alarm.NewEngine(rules, sink)
+}
+
+// WriteReport serializes a report tree as Ganglia XML.
+var WriteReport = gxml.WriteReport
+
+// ParseReport reads a Ganglia XML document into a Report tree.
+var ParseReport = gxml.Parse

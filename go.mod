@@ -1,0 +1,3 @@
+module ganglia
+
+go 1.22

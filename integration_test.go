@@ -1,0 +1,214 @@
+package ganglia
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestIntegrationRealTCP runs the full stack over the operating
+// system's TCP loopback: gmond agents share an in-process multicast
+// channel (UDP multicast is environment-dependent) but serve their XML
+// on real sockets; a two-level gmetad hierarchy polls over TCP; a
+// viewer queries the root. This is the deployment wiring of cmd/gmond
+// and cmd/gmetad, exercised end to end.
+func TestIntegrationRealTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	start := time.Unix(1_057_000_000, 0)
+	clk := NewVirtualClock(start)
+	tcp := &TCPNetwork{DialTimeout: 2 * time.Second}
+
+	// Cluster of three gmonds, each serving XML on a loopback port.
+	bus := NewInMemBus()
+	var agents []*Gmond
+	var gmondAddrs []string
+	for i := 0; i < 3; i++ {
+		host := fmt.Sprintf("compute-%d", i)
+		g, err := NewGmond(GmondConfig{
+			Cluster: "meteor", Host: host, Bus: bus, Clock: clk,
+			Collector: NewSimHost(host, int64(i+1), start),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		l, err := tcp.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Skipf("loopback unavailable: %v", err)
+		}
+		go g.Serve(l)
+		agents = append(agents, g)
+		gmondAddrs = append(gmondAddrs, l.Addr().String())
+	}
+	for i := 0; i < 60; i++ {
+		now := clk.Advance(time.Second)
+		for _, g := range agents {
+			g.Step(now)
+		}
+	}
+
+	// Child gmetad polls the cluster with failover across all three
+	// gmond sockets, and serves queries on loopback.
+	child, err := NewGmetad(GmetadConfig{
+		GridName: "sdsc", Authority: "http://sdsc/",
+		Network: tcp, Clock: clk,
+		Sources: []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: gmondAddrs}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Close()
+	childL, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go child.ServeQuery(childL)
+
+	// Root gmetad polls the child over TCP.
+	root, err := NewGmetad(GmetadConfig{
+		GridName: "root", Authority: "http://root/",
+		Network: tcp, Clock: clk,
+		Sources: []DataSource{{Name: "sdsc", Kind: SourceGmetad, Addrs: []string{childL.Addr().String()}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+	rootL, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go root.ServeQuery(rootL)
+
+	child.PollOnce(clk.Now())
+	root.PollOnce(clk.Now())
+
+	// Root's view: the sdsc grid summarized, 3 hosts.
+	s := root.Summary()
+	if got := s.HostsUp; got != 3 {
+		t.Fatalf("root summary hosts up = %d, want 3", got)
+	}
+
+	// Query the root's TCP port like a real client.
+	conn, err := net.Dial("tcp", rootL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(conn, "/\n"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(conn)
+	conn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ParseReport(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("root TCP response unparseable: %v", err)
+	}
+	if len(rep.Grids) != 1 || len(rep.Grids[0].Grids) != 1 {
+		t.Fatalf("root report shape: %+v", rep.Grids)
+	}
+	if rep.Grids[0].Grids[0].Authority != "http://sdsc/" {
+		t.Errorf("authority = %q", rep.Grids[0].Grids[0].Authority)
+	}
+
+	// Kill the first gmond socket; the child fails over on its next
+	// poll and keeps the tree healthy.
+	if len(agents) > 0 {
+		// Closing the listener refuses further dials.
+		// (agents[0].Close also stops its Serve loop.)
+		agents[0].Close()
+	}
+	clk.Advance(15 * time.Second)
+	child.PollOnce(clk.Now())
+	st := child.Status()[0]
+	if st.Failed {
+		t.Fatalf("child failed despite two live gmonds: %+v", st)
+	}
+	if st.ActiveAddr == gmondAddrs[0] {
+		t.Errorf("still polling dead gmond %s", st.ActiveAddr)
+	}
+}
+
+// TestFacadeSurface exercises the public API end to end: cluster →
+// gmetad → query → alarm → archive history.
+func TestFacadeSurface(t *testing.T) {
+	start := time.Unix(1_057_000_000, 0)
+	clk := NewVirtualClock(start)
+
+	inst, err := BuildTree(FigureTwo(5), TreeBuildConfig{
+		Mode:    ModeNLevel,
+		Archive: true,
+		Clock:   clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	for i := 0; i < 4; i++ {
+		clk.Advance(15 * time.Second)
+		inst.PollRound(clk.Now())
+	}
+
+	root := inst.Root()
+	if got := root.Summary().Hosts(); got != 60 {
+		t.Fatalf("tree hosts = %d, want 60", got)
+	}
+
+	// Query via the facade's query parser.
+	rep, err := root.Report(MustParseQuery("/meteor-a/compute-meteor-a-1/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Grids[0].Clusters[0].Hosts[0].Name != "compute-meteor-a-1" {
+		t.Fatalf("host query: %+v", rep.Grids[0].Clusters[0].Hosts)
+	}
+
+	// Alarms over the live report.
+	engine, err := NewAlarmEngine([]AlarmRule{{
+		Name: "always", Severity: SeverityInfo,
+		Metric: "cpu_idle", Op: OpGE, Threshold: -1, // always true
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := root.Report(MustParseQuery("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := engine.Evaluate(full, clk.Now())
+	if len(events) == 0 {
+		t.Error("alarm engine saw no metrics through the facade")
+	}
+
+	// Archived history through the facade types.
+	hist, err := root.Report(MustParseQuery("/meteor-a/compute-meteor-a-0/load_one?filter=history"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Histories) != 1 || len(hist.Histories[0].Points) == 0 {
+		t.Fatalf("history: %+v", hist.Histories)
+	}
+
+	// Standalone RRD via the facade.
+	db, err := NewRRD(DefaultRRDSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := start
+	for i := 0; i < 10; i++ {
+		now = now.Add(15 * time.Second)
+		if err := db.Update(now, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Last() < 0 {
+		t.Error("rrd facade broken")
+	}
+}

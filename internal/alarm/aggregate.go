@@ -1,0 +1,113 @@
+package alarm
+
+import (
+	"fmt"
+	"time"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/summary"
+)
+
+// Aggregate selects summary-level alarming: instead of testing each
+// host's metric, the rule tests a reduction over a whole cluster or
+// grid. These are the alarms that remain possible at the coarse levels
+// of the N-level tree, where only summaries exist — an alarm engine at
+// the root can watch the mean load of a thousand-host grid from an
+// O(m) report.
+type Aggregate int
+
+const (
+	// AggNone is the default: a per-host rule.
+	AggNone Aggregate = iota
+	// AggMean tests the metric's mean over the up hosts.
+	AggMean
+	// AggSum tests the metric's sum over the up hosts.
+	AggSum
+	// AggHostsDown tests the number of down hosts (Metric is ignored).
+	AggHostsDown
+	// AggHostsDownFrac tests the fraction of hosts down, 0..1.
+	AggHostsDownFrac
+)
+
+// String names the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case AggNone:
+		return "none"
+	case AggMean:
+		return "mean"
+	case AggSum:
+		return "sum"
+	case AggHostsDown:
+		return "hosts-down"
+	case AggHostsDownFrac:
+		return "hosts-down-frac"
+	}
+	return fmt.Sprintf("aggregate(%d)", int(a))
+}
+
+// value extracts the aggregate's test value from a summary.
+func (a Aggregate) value(s *summary.Summary, metricName string) (float64, bool) {
+	switch a {
+	case AggMean:
+		return s.Mean(metricName)
+	case AggSum:
+		return s.Sum(metricName)
+	case AggHostsDown:
+		return float64(s.HostsDown), true
+	case AggHostsDownFrac:
+		total := s.Hosts()
+		if total == 0 {
+			return 0, false
+		}
+		return float64(s.HostsDown) / float64(total), true
+	}
+	return 0, false
+}
+
+// evaluateAggregates walks the report's clusters and grids, applying
+// summary-level rules. Clusters in full resolution are reduced on the
+// fly; clusters and grids already in summary form are tested directly.
+func (e *Engine) evaluateAggregates(rep *gxml.Report, now time.Time, events []Event) []Event {
+	type scope struct {
+		name string
+		s    *summary.Summary
+	}
+	var scopes []scope
+	for _, c := range rep.Clusters {
+		scopes = append(scopes, scope{c.Name, c.Summarize()})
+	}
+	var walk func(g *gxml.Grid)
+	walk = func(g *gxml.Grid) {
+		scopes = append(scopes, scope{g.Name, g.Summarize()})
+		for _, c := range g.Clusters {
+			scopes = append(scopes, scope{c.Name, c.Summarize()})
+		}
+		for _, child := range g.Grids {
+			walk(child)
+		}
+	}
+	for _, g := range rep.Grids {
+		walk(g)
+	}
+
+	for i := range e.rules {
+		r := &e.rules[i]
+		if r.Aggregate == AggNone {
+			continue
+		}
+		for _, sc := range scopes {
+			if !match(r.cluster, sc.name) {
+				continue
+			}
+			v, ok := r.Aggregate.value(sc.s, r.Metric)
+			if !ok {
+				continue
+			}
+			key := r.Name + "\x00" + sc.name
+			events = e.step(events, r, key, sc.name, "", r.Metric, v,
+				r.Op.eval(v, r.Threshold), now)
+		}
+	}
+	return events
+}

@@ -1,0 +1,182 @@
+package alarm
+
+import (
+	"testing"
+	"time"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/metric"
+	"ganglia/internal/summary"
+)
+
+// clusterReport builds a full-resolution cluster with per-host load
+// values; hosts with tn>80 read as down.
+func clusterReport(name string, loads []float64, downFrom int) *gxml.Report {
+	c := &gxml.Cluster{Name: name}
+	for i, l := range loads {
+		h := &gxml.Host{Name: hostName(i), TMAX: 20}
+		if i >= downFrom {
+			h.TN = 500
+		}
+		h.Metrics = []metric.Metric{{Name: "load_one", Val: metric.NewFloat(l)}}
+		c.Hosts = append(c.Hosts, h)
+	}
+	return &gxml.Report{Grids: []*gxml.Grid{{Name: "grid", Clusters: []*gxml.Cluster{c}}}}
+}
+
+func hostName(i int) string { return string(rune('a' + i)) }
+
+func TestAggMeanRule(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "mean-load", Cluster: "meteor",
+		Metric: "load_one", Op: GT, Threshold: 2.0,
+		Aggregate: AggMean,
+	}})
+	// Mean 1.0: quiet.
+	rep := clusterReport("meteor", []float64{0.5, 1.0, 1.5}, 99)
+	if evs := e.Evaluate(rep, t0); len(evs) != 0 {
+		t.Fatalf("below threshold: %v", evs)
+	}
+	// Mean 3.0: one event, scoped to the cluster, no host.
+	rep = clusterReport("meteor", []float64{2, 3, 4}, 99)
+	evs := e.Evaluate(rep, t0.Add(15*time.Second))
+	if len(evs) != 1 || evs[0].Type != Fired {
+		t.Fatalf("fire: %v", evs)
+	}
+	if evs[0].Cluster != "meteor" || evs[0].Host != "" || evs[0].Value != 3 {
+		t.Errorf("event: %+v", evs[0])
+	}
+	// One hot host among many must NOT fire a mean rule.
+	e2 := mustEngine(t, []Rule{{
+		Name: "mean-load", Metric: "load_one", Op: GT, Threshold: 2.0, Aggregate: AggMean,
+	}})
+	rep = clusterReport("meteor", []float64{0.1, 0.1, 0.1, 5.0}, 99) // mean 1.3
+	if evs := e2.Evaluate(rep, t0); len(evs) != 0 {
+		t.Fatalf("one hot host fired a mean rule: %v", evs)
+	}
+}
+
+func TestAggSumRule(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "total-load", Cluster: "meteor", Metric: "load_one", Op: GE, Threshold: 6,
+		Aggregate: AggSum,
+	}})
+	evs := e.Evaluate(clusterReport("meteor", []float64{2, 2, 2}, 99), t0)
+	if len(evs) != 1 || evs[0].Value != 6 {
+		t.Fatalf("sum rule: %v", evs)
+	}
+}
+
+func TestAggHostsDown(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "many-down", Cluster: "meteor", Op: GE, Threshold: 2, Aggregate: AggHostsDown,
+		Severity: Critical,
+	}})
+	if evs := e.Evaluate(clusterReport("meteor", []float64{1, 1, 1, 1}, 3), t0); len(evs) != 0 {
+		t.Fatalf("one down host fired: %v", evs)
+	}
+	evs := e.Evaluate(clusterReport("meteor", []float64{1, 1, 1, 1}, 2), t0.Add(15*time.Second))
+	if len(evs) != 1 || evs[0].Value != 2 {
+		t.Fatalf("two down hosts: %v", evs)
+	}
+	// Recovery resolves.
+	evs = e.Evaluate(clusterReport("meteor", []float64{1, 1, 1, 1}, 99), t0.Add(30*time.Second))
+	if len(evs) != 1 || evs[0].Type != Resolved {
+		t.Fatalf("recovery: %v", evs)
+	}
+}
+
+func TestAggHostsDownFrac(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "half-down", Cluster: "m", Op: GE, Threshold: 0.5, Aggregate: AggHostsDownFrac,
+	}})
+	if evs := e.Evaluate(clusterReport("m", []float64{1, 1, 1, 1}, 3), t0); len(evs) != 0 {
+		t.Fatalf("25%% down fired: %v", evs)
+	}
+	if evs := e.Evaluate(clusterReport("m", []float64{1, 1, 1, 1}, 2), t0.Add(time.Second)); len(evs) != 1 {
+		t.Fatalf("50%% down did not fire: %v", evs)
+	}
+}
+
+func TestAggregateOnSummaryFormGrid(t *testing.T) {
+	// Aggregate rules work at coarse resolution: a grid known only as
+	// a summary still alarms — the N-level root can watch its remote
+	// subtrees.
+	s := summary.New()
+	s.HostsUp, s.HostsDown = 8, 4
+	s.AddReduced(summary.Metric{Name: "load_one", Sum: 80, Num: 8})
+	rep := &gxml.Report{Grids: []*gxml.Grid{{
+		Name: "root",
+		Grids: []*gxml.Grid{{
+			Name:    "remote-grid",
+			Summary: s,
+		}},
+	}}}
+
+	e := mustEngine(t, []Rule{
+		{Name: "grid-load", Cluster: "remote-grid", Metric: "load_one", Op: GT, Threshold: 5, Aggregate: AggMean},
+		{Name: "grid-down", Cluster: "remote-grid", Op: GE, Threshold: 3, Aggregate: AggHostsDown},
+	})
+	evs := e.Evaluate(rep, t0)
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	for _, ev := range evs {
+		if ev.Cluster != "remote-grid" {
+			t.Errorf("scope: %+v", ev)
+		}
+	}
+}
+
+func TestAggregateHoldDown(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "sustained", Cluster: "m", Metric: "load_one", Op: GT, Threshold: 2,
+		Aggregate: AggMean, For: 30 * time.Second,
+	}})
+	now := t0
+	if evs := e.Evaluate(clusterReport("m", []float64{9}, 99), now); len(evs) != 0 {
+		t.Fatalf("instant fire despite For: %v", evs)
+	}
+	now = now.Add(15 * time.Second)
+	e.Evaluate(clusterReport("m", []float64{9}, 99), now)
+	now = now.Add(15 * time.Second)
+	evs := e.Evaluate(clusterReport("m", []float64{9}, 99), now)
+	if len(evs) != 1 || evs[0].Type != Fired {
+		t.Fatalf("hold-down: %v", evs)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	if _, err := NewEngine([]Rule{{Name: "r", Aggregate: AggMean}}, nil); err == nil {
+		t.Error("AggMean without metric accepted")
+	}
+	if _, err := NewEngine([]Rule{{Name: "r", Aggregate: Aggregate(99)}}, nil); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+	if _, err := NewEngine([]Rule{{Name: "r", Aggregate: AggHostsDown}}, nil); err != nil {
+		t.Errorf("AggHostsDown without metric rejected: %v", err)
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	for a, want := range map[Aggregate]string{
+		AggNone: "none", AggMean: "mean", AggSum: "sum",
+		AggHostsDown: "hosts-down", AggHostsDownFrac: "hosts-down-frac",
+	} {
+		if a.String() != want {
+			t.Errorf("%d: %q", a, a.String())
+		}
+	}
+}
+
+func TestPerHostRulesIgnoreAggregatesAndViceVersa(t *testing.T) {
+	e := mustEngine(t, []Rule{
+		{Name: "per-host", Metric: "load_one", Op: GT, Threshold: 5},
+		{Name: "agg", Cluster: "m", Metric: "load_one", Op: GT, Threshold: 5, Aggregate: AggMean},
+	})
+	// Loads {9, 0, 0}: per-host fires once (host a), mean=3 stays off.
+	evs := e.Evaluate(clusterReport("m", []float64{9, 0, 0}, 99), t0)
+	if len(evs) != 1 || evs[0].Rule != "per-host" || evs[0].Host == "" {
+		t.Fatalf("events = %v", evs)
+	}
+}

@@ -1,0 +1,416 @@
+// Package alarm implements the pragmatic-level data processing the
+// paper names as its most wanted extension (§4): "a general alarm
+// mechanism that tracks the data and automatically identif[ies]
+// situations that should be relayed to a human observer. This feature
+// will become increasingly important as the size of the monitor tree
+// grows."
+//
+// An Engine evaluates threshold rules against successive gmetad reports
+// and emits edge-triggered events — one when a condition starts firing
+// (after an optional hold-down period) and one when it resolves —
+// rather than re-alerting on every polling round.
+package alarm
+
+import (
+	"fmt"
+	"regexp"
+	"time"
+
+	"ganglia/internal/gxml"
+)
+
+// Severity ranks an alarm.
+type Severity int
+
+// Severities, mildest first.
+const (
+	Info Severity = iota
+	Warning
+	Critical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "INFO"
+	case Warning:
+		return "WARNING"
+	case Critical:
+		return "CRITICAL"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Op is a comparison operator.
+type Op int
+
+// Comparison operators for rule conditions.
+const (
+	GT Op = iota
+	GE
+	LT
+	LE
+)
+
+// String returns the operator's spelling.
+func (o Op) String() string {
+	switch o {
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	}
+	return "?"
+}
+
+func (o Op) eval(v, threshold float64) bool {
+	switch o {
+	case GT:
+		return v > threshold
+	case GE:
+		return v >= threshold
+	case LT:
+		return v < threshold
+	case LE:
+		return v <= threshold
+	}
+	return false
+}
+
+// Rule is one alarm condition. Empty selector strings match anything;
+// non-empty selectors are anchored regular expressions — the richer
+// regex matching of the paper's §4 roadmap.
+type Rule struct {
+	Name     string
+	Severity Severity
+
+	// Cluster and Host select where the rule applies.
+	Cluster string
+	Host    string
+
+	// Either Metric + Op + Threshold for a value rule, or HostDown for
+	// a liveness rule.
+	Metric    string
+	Op        Op
+	Threshold float64
+	HostDown  bool
+
+	// Aggregate, when not AggNone, turns this into a summary-level
+	// rule: the condition tests a reduction over each matching cluster
+	// or grid instead of individual hosts. For AggMean/AggSum, Metric
+	// names the reduced metric (an exact name, not a regex).
+	Aggregate Aggregate
+
+	// For is the hold-down: the condition must persist this long
+	// before the alarm fires (suppresses flapping).
+	For time.Duration
+	// ClearFor is the recovery hold-down before a firing alarm
+	// resolves.
+	ClearFor time.Duration
+}
+
+// EventType distinguishes the two edges of an alarm.
+type EventType int
+
+// Alarm edges.
+const (
+	Fired EventType = iota
+	Resolved
+)
+
+// String names the edge.
+func (e EventType) String() string {
+	if e == Fired {
+		return "FIRED"
+	}
+	return "RESOLVED"
+}
+
+// Event is one alarm edge, ready to relay to a human observer.
+type Event struct {
+	Type     EventType
+	Rule     string
+	Severity Severity
+	Cluster  string
+	Host     string
+	Metric   string
+	Value    float64
+	Time     time.Time
+}
+
+// String formats the event as a log line.
+func (e Event) String() string {
+	target := e.Cluster
+	if e.Host != "" {
+		target += "/" + e.Host
+	}
+	if e.Metric != "" {
+		target += "/" + e.Metric
+	}
+	return fmt.Sprintf("%s %s %s %s value=%.2f", e.Time.UTC().Format(time.RFC3339),
+		e.Severity, e.Type, target, e.Value)
+}
+
+type compiledRule struct {
+	Rule
+	cluster *regexp.Regexp // nil = any
+	host    *regexp.Regexp
+	metric  *regexp.Regexp
+}
+
+type condPhase int
+
+const (
+	phaseOK condPhase = iota
+	phasePending
+	phaseFiring
+	phaseClearing
+)
+
+type condState struct {
+	phase condPhase
+	since time.Time
+	seen  bool
+	value float64
+}
+
+// Engine evaluates rules against reports.
+type Engine struct {
+	rules  []compiledRule
+	states map[string]*condState
+	sink   func(Event)
+}
+
+// NewEngine compiles rules. sink, if non-nil, receives every event as
+// it is emitted (Evaluate also returns them).
+func NewEngine(rules []Rule, sink func(Event)) (*Engine, error) {
+	e := &Engine{states: make(map[string]*condState), sink: sink}
+	for _, r := range rules {
+		if r.Name == "" {
+			return nil, fmt.Errorf("alarm: rule with empty name")
+		}
+		switch r.Aggregate {
+		case AggNone:
+			if !r.HostDown && r.Metric == "" {
+				return nil, fmt.Errorf("alarm: rule %q selects no metric and is not a HostDown rule", r.Name)
+			}
+		case AggMean, AggSum:
+			if r.Metric == "" {
+				return nil, fmt.Errorf("alarm: aggregate rule %q needs a metric name", r.Name)
+			}
+		case AggHostsDown, AggHostsDownFrac:
+			// no metric needed
+		default:
+			return nil, fmt.Errorf("alarm: rule %q has unknown aggregate %d", r.Name, r.Aggregate)
+		}
+		cr := compiledRule{Rule: r}
+		var err error
+		if cr.cluster, err = compileSel(r.Cluster); err != nil {
+			return nil, fmt.Errorf("alarm: rule %q cluster: %w", r.Name, err)
+		}
+		if cr.host, err = compileSel(r.Host); err != nil {
+			return nil, fmt.Errorf("alarm: rule %q host: %w", r.Name, err)
+		}
+		if cr.metric, err = compileSel(r.Metric); err != nil {
+			return nil, fmt.Errorf("alarm: rule %q metric: %w", r.Name, err)
+		}
+		e.rules = append(e.rules, cr)
+	}
+	return e, nil
+}
+
+func compileSel(s string) (*regexp.Regexp, error) {
+	if s == "" {
+		return nil, nil
+	}
+	return regexp.Compile("^(?:" + s + ")$")
+}
+
+func match(re *regexp.Regexp, s string) bool { return re == nil || re.MatchString(s) }
+
+// Evaluate walks one report and returns the alarm edges it produced.
+// Call it once per polling round with the freshest root report.
+func (e *Engine) Evaluate(rep *gxml.Report, now time.Time) []Event {
+	for _, st := range e.states {
+		st.seen = false
+	}
+	var events []Event
+
+	visit := func(c *gxml.Cluster) {
+		for _, h := range c.Hosts {
+			for i := range e.rules {
+				r := &e.rules[i]
+				if r.Aggregate != AggNone {
+					continue // handled by evaluateAggregates
+				}
+				if !match(r.cluster, c.Name) || !match(r.host, h.Name) {
+					continue
+				}
+				if r.HostDown {
+					key := r.Name + "\x00" + c.Name + "\x00" + h.Name
+					events = e.step(events, r, key, c.Name, h.Name, "", float64(h.TN), !h.Up(), now)
+					continue
+				}
+				for j := range h.Metrics {
+					m := &h.Metrics[j]
+					if !match(r.metric, m.Name) {
+						continue
+					}
+					v, ok := m.Val.Float64()
+					if !ok {
+						continue
+					}
+					key := r.Name + "\x00" + c.Name + "\x00" + h.Name + "\x00" + m.Name
+					events = e.step(events, r, key, c.Name, h.Name, m.Name, v, r.Op.eval(v, r.Threshold), now)
+				}
+			}
+		}
+	}
+	for _, c := range rep.Clusters {
+		visit(c)
+	}
+	var walk func(g *gxml.Grid)
+	walk = func(g *gxml.Grid) {
+		for _, c := range g.Clusters {
+			visit(c)
+		}
+		for _, child := range g.Grids {
+			walk(child)
+		}
+	}
+	for _, g := range rep.Grids {
+		walk(g)
+	}
+
+	events = e.evaluateAggregates(rep, now, events)
+
+	// Targets that vanished from the report (purged hosts) resolve
+	// their firing alarms and drop their state.
+	for key, st := range e.states {
+		if st.seen {
+			continue
+		}
+		if st.phase == phaseFiring || st.phase == phaseClearing {
+			ev := e.eventForKey(key, Resolved, st.value, now)
+			events = append(events, ev)
+			if e.sink != nil {
+				e.sink(ev)
+			}
+		}
+		delete(e.states, key)
+	}
+	return events
+}
+
+// step advances one condition's state machine.
+func (e *Engine) step(events []Event, r *compiledRule, key, cluster, host, metric string, v float64, active bool, now time.Time) []Event {
+	st := e.states[key]
+	if st == nil {
+		st = &condState{phase: phaseOK, since: now}
+		e.states[key] = st
+	}
+	st.seen = true
+	st.value = v
+
+	emit := func(t EventType) {
+		ev := Event{
+			Type: t, Rule: r.Name, Severity: r.Severity,
+			Cluster: cluster, Host: host, Metric: metric,
+			Value: v, Time: now,
+		}
+		events = append(events, ev)
+		if e.sink != nil {
+			e.sink(ev)
+		}
+	}
+
+	switch st.phase {
+	case phaseOK:
+		if active {
+			st.phase = phasePending
+			st.since = now
+			if r.For == 0 {
+				st.phase = phaseFiring
+				emit(Fired)
+			}
+		}
+	case phasePending:
+		if !active {
+			st.phase = phaseOK
+		} else if now.Sub(st.since) >= r.For {
+			st.phase = phaseFiring
+			emit(Fired)
+		}
+	case phaseFiring:
+		if !active {
+			st.phase = phaseClearing
+			st.since = now
+			if r.ClearFor == 0 {
+				st.phase = phaseOK
+				emit(Resolved)
+			}
+		}
+	case phaseClearing:
+		if active {
+			st.phase = phaseFiring
+		} else if now.Sub(st.since) >= r.ClearFor {
+			st.phase = phaseOK
+			emit(Resolved)
+		}
+	}
+	return events
+}
+
+// eventForKey reconstructs an event for a vanished target.
+func (e *Engine) eventForKey(key string, t EventType, v float64, now time.Time) Event {
+	var rule, cluster, host, metric string
+	parts := splitKey(key)
+	if len(parts) > 0 {
+		rule = parts[0]
+	}
+	if len(parts) > 1 {
+		cluster = parts[1]
+	}
+	if len(parts) > 2 {
+		host = parts[2]
+	}
+	if len(parts) > 3 {
+		metric = parts[3]
+	}
+	sev := Info
+	for i := range e.rules {
+		if e.rules[i].Name == rule {
+			sev = e.rules[i].Severity
+			break
+		}
+	}
+	return Event{Type: t, Rule: rule, Severity: sev, Cluster: cluster, Host: host, Metric: metric, Value: v, Time: now}
+}
+
+func splitKey(key string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			parts = append(parts, key[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, key[start:])
+}
+
+// Firing returns the currently firing alarm count, for dashboards.
+func (e *Engine) Firing() int {
+	n := 0
+	for _, st := range e.states {
+		if st.phase == phaseFiring || st.phase == phaseClearing {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,250 @@
+package alarm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/metric"
+)
+
+var t0 = time.Unix(1_057_000_000, 0)
+
+// report builds a one-cluster report with one host carrying load_one=v.
+func report(load float64, hostTN uint32) *gxml.Report {
+	return &gxml.Report{
+		Source: "gmetad",
+		Grids: []*gxml.Grid{{
+			Name: "grid",
+			Clusters: []*gxml.Cluster{{
+				Name: "meteor",
+				Hosts: []*gxml.Host{{
+					Name: "n0", TN: hostTN, TMAX: 20,
+					Metrics: []metric.Metric{
+						{Name: "load_one", Val: metric.NewFloat(load)},
+						{Name: "os_name", Val: metric.NewString("Linux")},
+					},
+				}},
+			}},
+		}},
+	}
+}
+
+func mustEngine(t *testing.T, rules []Rule) *Engine {
+	t.Helper()
+	e, err := NewEngine(rules, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestThresholdFiresAndResolves(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "high-load", Severity: Critical,
+		Metric: "load_one", Op: GT, Threshold: 5,
+	}})
+	evs := e.Evaluate(report(1.0, 0), t0)
+	if len(evs) != 0 {
+		t.Fatalf("events below threshold: %v", evs)
+	}
+	evs = e.Evaluate(report(8.0, 0), t0.Add(15*time.Second))
+	if len(evs) != 1 || evs[0].Type != Fired || evs[0].Value != 8.0 {
+		t.Fatalf("fire: %v", evs)
+	}
+	if e.Firing() != 1 {
+		t.Errorf("Firing = %d", e.Firing())
+	}
+	// Still high: no re-alert (edge-triggered).
+	evs = e.Evaluate(report(9.0, 0), t0.Add(30*time.Second))
+	if len(evs) != 0 {
+		t.Fatalf("re-alerted: %v", evs)
+	}
+	// Back to normal: one resolution.
+	evs = e.Evaluate(report(0.5, 0), t0.Add(45*time.Second))
+	if len(evs) != 1 || evs[0].Type != Resolved {
+		t.Fatalf("resolve: %v", evs)
+	}
+	if e.Firing() != 0 {
+		t.Errorf("Firing after resolve = %d", e.Firing())
+	}
+}
+
+func TestHoldDownSuppressesFlapping(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "sustained-load", Metric: "load_one", Op: GT, Threshold: 5,
+		For: 60 * time.Second,
+	}})
+	now := t0
+	// A 15-second spike must not fire.
+	if evs := e.Evaluate(report(9, 0), now); len(evs) != 0 {
+		t.Fatalf("fired instantly despite For: %v", evs)
+	}
+	now = now.Add(15 * time.Second)
+	if evs := e.Evaluate(report(1, 0), now); len(evs) != 0 {
+		t.Fatalf("spike fired: %v", evs)
+	}
+	// Sustained breach fires once For (60s) has elapsed since the
+	// pending edge: pending at +30s, firing at +90s (round 4).
+	for i := 0; i < 5; i++ {
+		now = now.Add(15 * time.Second)
+		evs := e.Evaluate(report(9, 0), now)
+		if i < 4 && len(evs) != 0 {
+			t.Fatalf("round %d: early fire %v", i, evs)
+		}
+		if i == 4 {
+			if len(evs) != 1 || evs[0].Type != Fired {
+				t.Fatalf("no fire after For elapsed: %v", evs)
+			}
+		}
+	}
+}
+
+func TestClearForHysteresis(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "load", Metric: "load_one", Op: GT, Threshold: 5,
+		ClearFor: 60 * time.Second,
+	}})
+	now := t0
+	e.Evaluate(report(9, 0), now)
+	// Brief dip, then high again: must not resolve.
+	now = now.Add(15 * time.Second)
+	if evs := e.Evaluate(report(1, 0), now); len(evs) != 0 {
+		t.Fatalf("resolved instantly despite ClearFor: %v", evs)
+	}
+	now = now.Add(15 * time.Second)
+	if evs := e.Evaluate(report(9, 0), now); len(evs) != 0 {
+		t.Fatalf("dip produced events: %v", evs)
+	}
+	// Sustained recovery resolves.
+	var resolved bool
+	for i := 0; i < 6; i++ {
+		now = now.Add(15 * time.Second)
+		for _, ev := range e.Evaluate(report(1, 0), now) {
+			if ev.Type == Resolved {
+				resolved = true
+			}
+		}
+	}
+	if !resolved {
+		t.Error("never resolved after sustained recovery")
+	}
+}
+
+func TestHostDownRule(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "node-down", Severity: Critical, HostDown: true,
+	}})
+	if evs := e.Evaluate(report(1, 5), t0); len(evs) != 0 {
+		t.Fatalf("up host fired: %v", evs)
+	}
+	evs := e.Evaluate(report(1, 500), t0.Add(15*time.Second))
+	if len(evs) != 1 || evs[0].Type != Fired || evs[0].Host != "n0" {
+		t.Fatalf("down host: %v", evs)
+	}
+	evs = e.Evaluate(report(1, 2), t0.Add(30*time.Second))
+	if len(evs) != 1 || evs[0].Type != Resolved {
+		t.Fatalf("host recovery: %v", evs)
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "meteor-only", Cluster: "meteor", Host: "n[0-9]+",
+		Metric: "load_one", Op: GT, Threshold: 5,
+	}})
+	rep := report(9, 0)
+	rep.Grids[0].Clusters[0].Name = "othercluster"
+	if evs := e.Evaluate(rep, t0); len(evs) != 0 {
+		t.Fatalf("cluster selector ignored: %v", evs)
+	}
+	if evs := e.Evaluate(report(9, 0), t0.Add(time.Second)); len(evs) != 1 {
+		t.Fatalf("matching cluster did not fire: %v", evs)
+	}
+}
+
+func TestVanishedHostResolves(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "load", Metric: "load_one", Op: GT, Threshold: 5,
+	}})
+	e.Evaluate(report(9, 0), t0)
+	if e.Firing() != 1 {
+		t.Fatal("precondition: not firing")
+	}
+	empty := &gxml.Report{Grids: []*gxml.Grid{{Name: "grid", Clusters: []*gxml.Cluster{{Name: "meteor"}}}}}
+	evs := e.Evaluate(empty, t0.Add(time.Minute))
+	if len(evs) != 1 || evs[0].Type != Resolved {
+		t.Fatalf("vanished host: %v", evs)
+	}
+	if e.Firing() != 0 {
+		t.Error("state leaked for vanished host")
+	}
+}
+
+func TestSinkReceivesEvents(t *testing.T) {
+	var got []Event
+	e, err := NewEngine([]Rule{{
+		Name: "load", Metric: "load_one", Op: GT, Threshold: 5,
+	}}, func(ev Event) { got = append(got, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Evaluate(report(9, 0), t0)
+	if len(got) != 1 || got[0].Rule != "load" {
+		t.Fatalf("sink got %v", got)
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	if _, err := NewEngine([]Rule{{Metric: "x"}}, nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewEngine([]Rule{{Name: "r"}}, nil); err == nil {
+		t.Error("no metric, no HostDown accepted")
+	}
+	if _, err := NewEngine([]Rule{{Name: "r", Metric: "["}}, nil); err == nil {
+		t.Error("bad regex accepted")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	cases := []struct {
+		op   Op
+		v    float64
+		want bool
+	}{
+		{GT, 6, true}, {GT, 5, false},
+		{GE, 5, true}, {GE, 4.9, false},
+		{LT, 4, true}, {LT, 5, false},
+		{LE, 5, true}, {LE, 5.1, false},
+	}
+	for _, tc := range cases {
+		if got := tc.op.eval(tc.v, 5); got != tc.want {
+			t.Errorf("%v %v 5 = %v, want %v", tc.v, tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{
+		Type: Fired, Rule: "r", Severity: Critical,
+		Cluster: "meteor", Host: "n0", Metric: "load_one",
+		Value: 8.25, Time: t0,
+	}
+	s := ev.String()
+	for _, want := range []string{"CRITICAL", "FIRED", "meteor/n0/load_one", "8.25"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestStringMetricIgnored(t *testing.T) {
+	e := mustEngine(t, []Rule{{
+		Name: "os", Metric: "os_name", Op: GT, Threshold: 0,
+	}})
+	if evs := e.Evaluate(report(1, 0), t0); len(evs) != 0 {
+		t.Fatalf("string metric fired numeric rule: %v", evs)
+	}
+}

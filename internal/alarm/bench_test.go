@@ -1,0 +1,74 @@
+package alarm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/metric"
+)
+
+// bigReport builds a 12-cluster, hostsPer-host report like the root of
+// the fig-2 tree in 1-level mode.
+func bigReport(hostsPer int) *gxml.Report {
+	g := &gxml.Grid{Name: "root"}
+	for c := 0; c < 12; c++ {
+		cl := &gxml.Cluster{Name: fmt.Sprintf("c%d", c)}
+		for h := 0; h < hostsPer; h++ {
+			host := &gxml.Host{Name: fmt.Sprintf("n%d", h), TMAX: 20}
+			host.Metrics = []metric.Metric{
+				{Name: "load_one", Val: metric.NewFloat(float64(h % 7))},
+				{Name: "cpu_idle", Val: metric.NewFloat(float64(100 - h%90))},
+				{Name: "mem_free", Val: metric.NewUint(uint64(h * 1000))},
+			}
+			cl.Hosts = append(cl.Hosts, host)
+		}
+		g.Clusters = append(g.Clusters, cl)
+	}
+	return &gxml.Report{Grids: []*gxml.Grid{g}}
+}
+
+// BenchmarkEvaluate1200Hosts measures one alarm round over a tree-sized
+// report: the per-polling-round cost of the paper's §4 alarm mechanism.
+func BenchmarkEvaluate1200Hosts(b *testing.B) {
+	e, err := NewEngine([]Rule{
+		{Name: "load", Metric: "load_one", Op: GT, Threshold: 5},
+		{Name: "idle", Metric: "cpu_idle", Op: LT, Threshold: 5},
+		{Name: "down", HostDown: true},
+		{Name: "agg", Metric: "load_one", Op: GT, Threshold: 3, Aggregate: AggMean},
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := bigReport(100)
+	now := time.Unix(1_057_000_000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(15 * time.Second)
+		e.Evaluate(rep, now)
+	}
+}
+
+func BenchmarkEvaluateManyRules(b *testing.B) {
+	var rules []Rule
+	for i := 0; i < 50; i++ {
+		rules = append(rules, Rule{
+			Name: fmt.Sprintf("r%d", i), Cluster: fmt.Sprintf("c%d", i%12),
+			Metric: "load_one", Op: GT, Threshold: float64(i),
+		})
+	}
+	e, err := NewEngine(rules, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := bigReport(25)
+	now := time.Unix(1_057_000_000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(15 * time.Second)
+		e.Evaluate(rep, now)
+	}
+}

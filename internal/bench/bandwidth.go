@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gmond"
+	"ganglia/internal/oscollect"
+	"ganglia/internal/transport"
+)
+
+// BandwidthConfig parameterizes the gmond traffic measurement behind
+// the paper's §2.1 claim: "the monitor on a 128-node cluster uses less
+// than 56Kbps of network bandwidth, roughly the capacity of a dialup
+// modem."
+type BandwidthConfig struct {
+	// Hosts is the cluster size; the paper cites 128.
+	Hosts int
+	// WarmupSeconds lets every metric announce at least once.
+	WarmupSeconds int
+	// WindowSeconds is the steady-state measurement window.
+	WindowSeconds int
+}
+
+func (c *BandwidthConfig) defaults() {
+	if c.Hosts == 0 {
+		c.Hosts = 128
+	}
+	if c.WarmupSeconds == 0 {
+		c.WarmupSeconds = 30
+	}
+	if c.WindowSeconds == 0 {
+		c.WindowSeconds = 300
+	}
+}
+
+// BandwidthResult is the measured steady-state multicast traffic.
+type BandwidthResult struct {
+	Config  BandwidthConfig
+	Packets uint64
+	Bytes   uint64
+	Kbps    float64
+	// PaperBoundKbps is the claim under test.
+	PaperBoundKbps float64
+}
+
+// RunBandwidth stands up a cluster of real gmond agents on one
+// in-memory multicast channel and measures their steady-state announce
+// traffic.
+func RunBandwidth(cfg BandwidthConfig) (*BandwidthResult, error) {
+	cfg.defaults()
+	bus := transport.NewInMemBus()
+	clk := clock.NewVirtual(t0)
+	agents := make([]*gmond.Gmond, 0, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		host := fmt.Sprintf("n%d", i)
+		g, err := gmond.New(gmond.Config{
+			Cluster:   "bandwidth",
+			Host:      host,
+			Bus:       bus,
+			Clock:     clk,
+			Collector: oscollect.NewSimHost(host, int64(i+1), t0),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer g.Close()
+		agents = append(agents, g)
+	}
+	step := func(n int) {
+		for i := 0; i < n; i++ {
+			now := clk.Advance(time.Second)
+			for _, g := range agents {
+				g.Step(now)
+			}
+		}
+	}
+	step(cfg.WarmupSeconds)
+	start := bus.Stats()
+	step(cfg.WindowSeconds)
+	end := bus.Stats()
+
+	bytes := end.Bytes - start.Bytes
+	return &BandwidthResult{
+		Config:         cfg,
+		Packets:        end.Packets - start.Packets,
+		Bytes:          bytes,
+		Kbps:           float64(bytes) * 8 / float64(cfg.WindowSeconds) / 1000,
+		PaperBoundKbps: 56,
+	}, nil
+}
+
+// ShapeErrors verifies the paper's bound.
+func (r *BandwidthResult) ShapeErrors() []string {
+	var errs []string
+	if r.Kbps == 0 {
+		errs = append(errs, "no traffic measured")
+	}
+	if r.Kbps > r.PaperBoundKbps {
+		errs = append(errs, fmt.Sprintf("%.1f kbit/s exceeds the paper's %.0f kbit/s bound",
+			r.Kbps, r.PaperBoundKbps))
+	}
+	return errs
+}
+
+// Table renders the result as text.
+func (r *BandwidthResult) Table() string {
+	return fmt.Sprintf(
+		"Gmon bandwidth (§2.1 claim): %d-node cluster, %ds steady-state window\n"+
+			"  packets: %d\n  bytes:   %d\n  rate:    %.1f kbit/s (paper bound: <%.0f kbit/s)\n",
+		r.Config.Hosts, r.Config.WindowSeconds, r.Packets, r.Bytes, r.Kbps, r.PaperBoundKbps)
+}

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ganglia/internal/gmetad"
+	"ganglia/internal/webfront"
+)
+
+// The experiment tests use reduced workloads (smaller clusters, fewer
+// rounds) so the suite stays fast; the full paper-scale parameters are
+// exercised by cmd/ganglia-bench and the root bench_test.go.
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunFig5(Fig5Config{ClusterSize: 40, Rounds: 4, WarmupRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, e := range res.ShapeErrors() {
+		t.Error(e)
+	}
+	tab := res.Table()
+	for _, want := range []string{"root", "ucsd", "physics", "math", "sdsc", "attic", "TOTAL"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunFig6(Fig6Config{Sizes: []int{10, 40, 80}, Rounds: 3, WarmupRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, e := range res.ShapeErrors() {
+		t.Error(e)
+	}
+	t.Logf("\n%s", res.Table())
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunTable1(Table1Config{ClusterSize: 60, Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, e := range res.ShapeErrors() {
+		t.Error(e)
+	}
+	// The N-level downloads must be dramatically smaller for meta and
+	// host views.
+	meta := res.row(webfront.MetaView)
+	host := res.row(webfront.HostView)
+	if meta.NLevelBytes*10 > meta.OneLevelBytes {
+		t.Errorf("meta view: N-level %dB vs 1-level %dB — summary not compact",
+			meta.NLevelBytes, meta.OneLevelBytes)
+	}
+	if host.NLevelBytes*10 > host.OneLevelBytes {
+		t.Errorf("host view: N-level %dB vs 1-level %dB — subtree not compact",
+			host.NLevelBytes, host.OneLevelBytes)
+	}
+	t.Logf("\n%s", res.Table())
+}
+
+func TestBandwidthClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunBandwidth(BandwidthConfig{Hosts: 128, WarmupSeconds: 30, WindowSeconds: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.ShapeErrors() {
+		t.Error(e)
+	}
+	t.Logf("\n%s", res.Table())
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var f5 Fig5Config
+	f5.defaults()
+	if f5.ClusterSize != 100 || f5.PollInterval != 15*time.Second {
+		t.Errorf("fig5 defaults: %+v", f5)
+	}
+	var f6 Fig6Config
+	f6.defaults()
+	if len(f6.Sizes) != len(PaperSizes) {
+		t.Errorf("fig6 defaults: %+v", f6)
+	}
+	var t1 Table1Config
+	t1.defaults()
+	if t1.ClusterSize != 100 || t1.Samples != 5 {
+		t.Errorf("table1 defaults: %+v", t1)
+	}
+	var bw BandwidthConfig
+	bw.defaults()
+	if bw.Hosts != 128 {
+		t.Errorf("bandwidth defaults: %+v", bw)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := formatTable([]string{"a", "bbb"}, [][]string{{"xx", "y"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Errorf("no separator: %q", lines[1])
+	}
+}
+
+func TestAggregateAndRowHelpers(t *testing.T) {
+	res := &Fig5Result{Rows: []Fig5Row{
+		{Node: "root", OneLevel: 10, NLevel: 2},
+		{Node: "leaf", OneLevel: 5, NLevel: 4},
+	}}
+	if got := res.Aggregate(gmetad.OneLevel); got != 15 {
+		t.Errorf("aggregate 1-level = %v", got)
+	}
+	if got := res.Aggregate(gmetad.NLevel); got != 6 {
+		t.Errorf("aggregate N-level = %v", got)
+	}
+	if res.row("root") == nil || res.row("ghost") != nil {
+		t.Error("row lookup broken")
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunFidelity(FidelityConfig{Hosts: 48, Rounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.ShapeErrors() {
+		t.Error(e)
+	}
+	t.Logf("\n%s", res.Table())
+}
+
+func TestCSVEmitters(t *testing.T) {
+	f5 := &Fig5Result{
+		Config: Fig5Config{ClusterSize: 10, Rounds: 2},
+		Rows: []Fig5Row{
+			{Node: "root", OneLevel: 1.5, NLevel: 0.5},
+			{Node: "leaf", OneLevel: 0.5, NLevel: 0.6},
+		},
+	}
+	var buf strings.Builder
+	if err := f5.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"gmetad,one_level_cpu_pct", "root,1.5000", "TOTAL,2.0000,1.1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 csv missing %q:\n%s", want, out)
+		}
+	}
+
+	f6 := &Fig6Result{Points: []Fig6Point{{ClusterSize: 10, OneLevel: 2, NLevel: 1}}}
+	buf.Reset()
+	if err := f6.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10,2.0000,1.0000") {
+		t.Errorf("fig6 csv:\n%s", buf.String())
+	}
+
+	t1 := &Table1Result{Rows: []Table1Row{{
+		View: webfront.HostView, OneLevel: 2 * time.Second, NLevel: 10 * time.Millisecond,
+		OneLevelBytes: 1000, NLevelBytes: 10,
+	}}}
+	buf.Reset()
+	if err := t1.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Host,2.000000,0.010000,200.00,1000,10") {
+		t.Errorf("table1 csv:\n%s", buf.String())
+	}
+}
+
+func TestFidelityHelpers(t *testing.T) {
+	r := &FidelityResult{PseudoWork: 12 * time.Millisecond, RealWork: 10 * time.Millisecond,
+		PseudoBytes: 100, RealBytes: 100}
+	r.Config.defaults()
+	if d := r.RelDiff(); d < 0.19 || d > 0.21 {
+		t.Errorf("RelDiff = %v", d)
+	}
+	if errs := r.ShapeErrors(); len(errs) != 0 {
+		t.Errorf("within tolerance but errors: %v", errs)
+	}
+	bad := &FidelityResult{PseudoWork: 30 * time.Millisecond, RealWork: 10 * time.Millisecond,
+		PseudoBytes: 500, RealBytes: 100}
+	bad.Config.defaults()
+	if errs := bad.ShapeErrors(); len(errs) != 2 {
+		t.Errorf("out-of-tolerance errors = %v", errs)
+	}
+	empty := &FidelityResult{}
+	if errs := empty.ShapeErrors(); len(errs) != 1 {
+		t.Errorf("empty result errors = %v", errs)
+	}
+	if !strings.Contains(r.Table(), "fidelity") {
+		t.Error("table missing title")
+	}
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"ganglia/internal/gmetad"
+)
+
+// CSV emitters, for plotting the regenerated figures with external
+// tools. Columns are stable and documented in the header row.
+
+// WriteCSV emits the Figure 5 series.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"gmetad", "one_level_cpu_pct", "n_level_cpu_pct"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Node,
+			fmt.Sprintf("%.4f", row.OneLevel),
+			fmt.Sprintf("%.4f", row.NLevel),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{
+		"TOTAL",
+		fmt.Sprintf("%.4f", r.Aggregate(gmetad.OneLevel)),
+		fmt.Sprintf("%.4f", r.Aggregate(gmetad.NLevel)),
+	}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 6 series.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cluster_size", "one_level_cpu_pct", "n_level_cpu_pct"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if err := cw.Write([]string{
+			fmt.Sprintf("%d", p.ClusterSize),
+			fmt.Sprintf("%.4f", p.OneLevel),
+			fmt.Sprintf("%.4f", p.NLevel),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Table 1 cells.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"view", "one_level_seconds", "n_level_seconds", "speedup", "one_level_bytes", "n_level_bytes"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.View.String(),
+			fmt.Sprintf("%.6f", row.OneLevel.Seconds()),
+			fmt.Sprintf("%.6f", row.NLevel.Seconds()),
+			fmt.Sprintf("%.2f", row.Speedup()),
+			fmt.Sprintf("%d", row.OneLevelBytes),
+			fmt.Sprintf("%d", row.NLevelBytes),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

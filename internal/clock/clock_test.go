@@ -1,0 +1,65 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	before := time.Now()
+	got := Real{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("Real.Now %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	start := time.Unix(1_057_000_000, 0)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Errorf("Now = %v, want %v", v.Now(), start)
+	}
+	got := v.Advance(15 * time.Second)
+	want := start.Add(15 * time.Second)
+	if !got.Equal(want) || !v.Now().Equal(want) {
+		t.Errorf("after Advance: %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualSet(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	v.Set(time.Unix(50, 0)) // backwards jump allowed
+	if v.Now() != time.Unix(50, 0) {
+		t.Errorf("Set: %v", v.Now())
+	}
+}
+
+func TestVirtualAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Advance did not panic")
+		}
+	}()
+	NewVirtual(time.Unix(0, 0)).Advance(-time.Second)
+}
+
+func TestVirtualConcurrent(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.Advance(time.Millisecond)
+				_ = v.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); got != time.Unix(8, 0) {
+		t.Errorf("after 8000 x 1ms advances: %v, want 8s", got)
+	}
+}

@@ -1,0 +1,112 @@
+package gmetad
+
+import (
+	"time"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/summary"
+)
+
+// SummaryHost is the pseudo-host archive key segment for cluster and
+// grid summary series, e.g. "Meteor/__summary__/load_one".
+const SummaryHost = "__summary__"
+
+// archiveSource writes one polling round's samples into the round-robin
+// pool. The archive scope is the crux of the two designs:
+//
+//   - 1-level: every ancestor keeps full-resolution archives for every
+//     host below it ("every monitor between a cluster and the root will
+//     keep identical metric archives for that cluster", §2.1) — so the
+//     whole flattened cluster index is archived.
+//   - N-level: full archives only for local (gmond) clusters this node
+//     is authoritative for; remote grids contribute only their O(m)
+//     summary series ("nodes in the N-level monitoring tree keep only
+//     summary archives of descendants rather than full duplicates",
+//     §3.3).
+func (g *Gmetad) archiveSource(data *sourceData, now time.Time) {
+	fullDetail := g.cfg.Mode == OneLevel || data.kind == SourceGmond
+	if fullDetail {
+		for _, cname := range data.clusterOrder {
+			c := data.clusters[cname]
+			for _, hname := range c.order {
+				g.archiveHost(cname, c.hosts[hname], now)
+			}
+			g.archiveSummary(cname, c.summary, now)
+		}
+	}
+	// The source-level summary series is kept in both designs: the
+	// 1-level web frontend recomputes it per page (Table 1), but the
+	// daemon still archives grid totals.
+	if data.kind == SourceGmetad {
+		g.archiveSummary(data.name, data.summary, now)
+	}
+}
+
+// archiveHost writes one host's numeric metrics. A down host gets
+// explicit zero records — "if a monitored node has failed, it keeps a
+// 'zero' record during the downtime, aiding time-of-death forensic
+// analysis" (§2.1).
+func (g *Gmetad) archiveHost(cluster string, h *gxml.Host, now time.Time) {
+	up := h.Up()
+	for i := range h.Metrics {
+		m := &h.Metrics[i]
+		v, ok := m.Val.Float64()
+		if !ok {
+			continue // non-numeric metrics are not archived
+		}
+		if !up {
+			v = 0
+		}
+		key := cluster + "/" + h.Name + "/" + m.Name
+		// ErrPastUpdate is expected when two polls land within one
+		// archive step; the sample is simply coalesced away.
+		_ = g.pool.Update(key, now, v)
+	}
+}
+
+// archiveSummary writes a reduction's SUM series under the
+// __summary__ pseudo-host.
+func (g *Gmetad) archiveSummary(scope string, s *summary.Summary, now time.Time) {
+	if s == nil {
+		return
+	}
+	for _, name := range s.Names() {
+		m := s.Metrics[name]
+		key := scope + "/" + SummaryHost + "/" + name
+		_ = g.pool.Update(key, now, m.Sum)
+	}
+}
+
+// zeroFill writes zero records for every series a source feeds, used
+// while the source is unreachable.
+func (g *Gmetad) zeroFill(data *sourceData, now time.Time) {
+	fullDetail := g.cfg.Mode == OneLevel || data.kind == SourceGmond
+	if fullDetail {
+		for _, cname := range data.clusterOrder {
+			c := data.clusters[cname]
+			for _, hname := range c.order {
+				h := c.hosts[hname]
+				for i := range h.Metrics {
+					m := &h.Metrics[i]
+					if _, ok := m.Val.Float64(); !ok {
+						continue
+					}
+					_ = g.pool.Update(cname+"/"+hname+"/"+m.Name, now, 0)
+				}
+			}
+			g.zeroFillSummary(cname, c.summary, now)
+		}
+	}
+	if data.kind == SourceGmetad {
+		g.zeroFillSummary(data.name, data.summary, now)
+	}
+}
+
+func (g *Gmetad) zeroFillSummary(scope string, s *summary.Summary, now time.Time) {
+	if s == nil {
+		return
+	}
+	for _, name := range s.Names() {
+		_ = g.pool.Update(scope+"/"+SummaryHost+"/"+name, now, 0)
+	}
+}

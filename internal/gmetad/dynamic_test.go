@@ -1,0 +1,129 @@
+package gmetad
+
+import (
+	"testing"
+	"time"
+
+	"ganglia/internal/query"
+)
+
+func TestAddRemoveSource(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 4, 1)
+	r.cluster("nashi", "nashi:8649", 3, 2)
+	g := r.gmetad(Config{
+		GridName: "SDSC",
+		Sources:  []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+	}, "")
+	g.PollOnce(r.clk.Now())
+	if got := g.Summary().Hosts(); got != 4 {
+		t.Fatalf("precondition: %d hosts", got)
+	}
+
+	// Attach a new cluster at runtime.
+	if err := g.AddSource(DataSource{Name: "nashi", Kind: SourceGmond, Addrs: []string{"nashi:8649"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddSource(DataSource{Name: "nashi", Kind: SourceGmond, Addrs: []string{"x:1"}}); err == nil {
+		t.Error("duplicate AddSource accepted")
+	}
+	if err := g.AddSource(DataSource{Name: "", Addrs: []string{"x:1"}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := g.AddSource(DataSource{Name: "y"}); err == nil {
+		t.Error("no addrs accepted")
+	}
+	r.clk.Advance(15 * time.Second)
+	g.PollOnce(r.clk.Now())
+	if got := g.Summary().Hosts(); got != 7 {
+		t.Errorf("after AddSource: %d hosts, want 7", got)
+	}
+	if _, err := g.Report(query.MustParse("/nashi")); err != nil {
+		t.Errorf("new source not queryable: %v", err)
+	}
+
+	// Detach it again.
+	if !g.RemoveSource("nashi") {
+		t.Fatal("RemoveSource returned false")
+	}
+	if g.RemoveSource("nashi") {
+		t.Error("double remove returned true")
+	}
+	if got := g.Summary().Hosts(); got != 4 {
+		t.Errorf("after RemoveSource: %d hosts", got)
+	}
+	if _, err := g.Report(query.MustParse("/nashi")); err == nil {
+		t.Error("removed source still queryable")
+	}
+	if names := g.SourceNames(); len(names) != 1 || names[0] != "meteor" {
+		t.Errorf("SourceNames = %v", names)
+	}
+}
+
+func TestOneLevelLazySummaries(t *testing.T) {
+	// The legacy daemon computes no summaries on the polling path, but
+	// summary queries still answer (computed at query time).
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 6, 1)
+	g := r.gmetad(Config{
+		GridName: "SDSC",
+		Mode:     OneLevel,
+		Sources:  []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+	}, "")
+	g.PollOnce(r.clk.Now())
+
+	rep, err := g.Report(query.MustParse("/meteor?filter=summary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Grids[0].Clusters[0]
+	if c.Summary == nil || c.Summary.Hosts() != 6 {
+		t.Fatalf("1-level cluster summary: %+v", c.Summary)
+	}
+	rep, err = g.Report(query.MustParse("/?filter=summary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Grids[0].Summary == nil || rep.Grids[0].Summary.Hosts() != 6 {
+		t.Fatalf("1-level root summary: %+v", rep.Grids[0].Summary)
+	}
+	// Successive lazy computations agree (no caching artifacts).
+	s1, _ := g.Summary().Sum("cpu_num")
+	s2, _ := g.Summary().Sum("cpu_num")
+	if s1 != s2 || s1 <= 0 {
+		t.Errorf("lazy summaries unstable: %v vs %v", s1, s2)
+	}
+}
+
+func TestOneLevelArchivesNoSummarySeries(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 3, 1)
+	g := r.gmetad(Config{
+		GridName:    "SDSC",
+		Mode:        OneLevel,
+		Sources:     []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+		Archive:     true,
+		ArchiveSpec: smallArchive(),
+	}, "")
+	r.clk.Advance(15 * time.Second)
+	g.PollOnce(r.clk.Now())
+	for _, k := range g.Pool().Keys() {
+		if containsSummaryHost(k) {
+			t.Errorf("1-level daemon archived summary series %q", k)
+		}
+	}
+	if g.Pool().Len() == 0 {
+		t.Error("1-level daemon archived nothing")
+	}
+}
+
+func containsSummaryHost(key string) bool {
+	return len(key) > 0 && (func() bool {
+		for i := 0; i+len(SummaryHost) <= len(key); i++ {
+			if key[i:i+len(SummaryHost)] == SummaryHost {
+				return true
+			}
+		}
+		return false
+	})()
+}

@@ -1,0 +1,387 @@
+// Package gmetad implements the Ganglia wide-area monitor, the system
+// the paper is about.
+//
+// A gmetad polls a configured set of data sources — gmond clusters and
+// child gmetads — over TCP, parses their Ganglia XML into a three-level
+// hash-table DOM (data sources → hosts or summaries → metrics, paper
+// §2.3.2), computes additive summaries, archives metric histories in
+// round-robin databases, and answers path queries from viewers and
+// parent gmetads.
+//
+// Two designs are provided, selected by Config.Mode:
+//
+//   - OneLevel reproduces the legacy design (paper §2.1, Ganglia
+//     2.5.1): every node reports the union of its children's data at
+//     full resolution and archives every metric in its subtree, so the
+//     root bears the load of the entire cluster set.
+//   - NLevel is the paper's contribution (§2.2, Ganglia 2.5.4): a node
+//     is the authority only for its local clusters; remote grids are
+//     polled, kept and re-reported in O(m) summary form, with an
+//     authority URL pointing at the child that owns the detail.
+//
+// Polling and parsing run on their own time scale, decoupled from query
+// service by per-source snapshot swapping under fine-grained locks
+// (§2.3.1): a query arriving during a parse is answered from the
+// previous snapshot, trading freshness for latency.
+package gmetad
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/rrd"
+	"ganglia/internal/transport"
+)
+
+// DefaultPollInterval is the paper's polling cadence: "Gmeta system
+// gathers data from sources at a low frequency polling interval,
+// generally every 15 seconds" (§2.3.1).
+const DefaultPollInterval = 15 * time.Second
+
+// Mode selects the monitoring-tree design under test.
+type Mode int
+
+const (
+	// NLevel is the paper's scalable design: summaries for remote
+	// grids, full resolution only for local clusters.
+	NLevel Mode = iota
+	// OneLevel is the legacy design: full resolution and full archives
+	// for the entire subtree.
+	OneLevel
+)
+
+// String names the mode as the paper's figures do.
+func (m Mode) String() string {
+	switch m {
+	case NLevel:
+		return "N-level"
+	case OneLevel:
+		return "1-level"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// SourceKind distinguishes the two kinds of data source.
+type SourceKind int
+
+const (
+	// SourceGmond is a leaf cluster served by gmond agents; this
+	// gmetad is its authority and keeps it at full resolution.
+	SourceGmond SourceKind = iota
+	// SourceGmetad is a child wide-area monitor owning a subtree.
+	SourceGmetad
+)
+
+// DataSource names one child of this gmetad in the monitoring tree.
+// The trust edge of paper fig 2 is realized by listing the child here.
+type DataSource struct {
+	// Name labels the cluster or grid this source feeds.
+	Name string
+	// Kind selects the polling contract: gmond dumps XML on connect,
+	// gmetad accepts a query line first.
+	Kind SourceKind
+	// Addrs is the ordered failover list. All gmond agents hold
+	// redundant global state, so any responding address yields the
+	// complete cluster report; gmetad walks the list until one answers
+	// (paper fig 1) and retries failed sources every poll.
+	Addrs []string
+}
+
+// Config configures a Gmetad.
+type Config struct {
+	// GridName names the grid this gmetad is authoritative for.
+	GridName string
+	// Authority is this daemon's URL, propagated upstream so coarse
+	// summaries can be chased back to full-resolution data (§2.2).
+	Authority string
+
+	// Network is the stream fabric used to poll sources.
+	Network transport.Network
+	// Clock positions polling rounds and soft-state ages; defaults to
+	// the system clock.
+	Clock clock.Clock
+
+	// Sources are the children in the monitoring tree.
+	Sources []DataSource
+
+	// Mode selects the 1-level or N-level design; default NLevel.
+	Mode Mode
+
+	// PollInterval is the source polling cadence for Run; defaults to
+	// DefaultPollInterval. PollOnce ignores it.
+	PollInterval time.Duration
+
+	// ReadTimeout bounds one source download. The paper detects remote
+	// failures "with TCP timeouts"; a source that connects but never
+	// completes its report is failed after this long. Defaults to 30 s
+	// (wall-clock, independent of the logical Clock).
+	ReadTimeout time.Duration
+
+	// Archive enables round-robin metric histories.
+	Archive bool
+	// ArchiveSpec configures the databases; defaults to
+	// rrd.DefaultSpec.
+	ArchiveSpec rrd.Spec
+	// ArchivePath, if set, names a snapshot file: New restores the
+	// pool from it when present, and SaveArchives rewrites it. The
+	// real gmetad keeps its RRD files on disk for the same reason —
+	// history must survive daemon restarts.
+	ArchivePath string
+
+	// Logger, if set, receives operational events: source failures,
+	// recoveries and failovers. Nil disables logging (tests and
+	// experiments run silent).
+	Logger *log.Logger
+}
+
+// logf logs an operational event when a logger is configured.
+func (g *Gmetad) logf(format string, args ...any) {
+	if g.cfg.Logger != nil {
+		g.cfg.Logger.Printf("gmetad[%s]: "+format, append([]any{g.cfg.GridName}, args...)...)
+	}
+}
+
+// Gmetad is one wide-area monitor daemon.
+type Gmetad struct {
+	cfg  Config
+	acct Accounting
+	pool *rrd.Pool
+
+	mu    sync.RWMutex
+	slots map[string]*sourceSlot
+	order []string
+
+	listeners listenerSet
+}
+
+// New creates a Gmetad. It performs no I/O until PollOnce, Run or a
+// Serve method is invoked.
+func New(cfg Config) (*Gmetad, error) {
+	if cfg.GridName == "" {
+		return nil, fmt.Errorf("gmetad: empty grid name")
+	}
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("gmetad: nil network")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = DefaultPollInterval
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if len(cfg.ArchiveSpec.Archives) == 0 {
+		cfg.ArchiveSpec = rrd.DefaultSpec()
+	}
+	g := &Gmetad{
+		cfg:   cfg,
+		slots: make(map[string]*sourceSlot, len(cfg.Sources)),
+	}
+	if cfg.Archive {
+		if cfg.ArchivePath != "" {
+			if f, err := os.Open(cfg.ArchivePath); err == nil {
+				pool, err := rrd.LoadPool(f)
+				f.Close()
+				if err != nil {
+					return nil, fmt.Errorf("gmetad: restore archives from %s: %w", cfg.ArchivePath, err)
+				}
+				g.pool = pool
+			}
+		}
+		if g.pool == nil {
+			g.pool = rrd.NewPool(cfg.ArchiveSpec)
+		}
+	}
+	for _, src := range cfg.Sources {
+		if src.Name == "" {
+			return nil, fmt.Errorf("gmetad: data source with empty name")
+		}
+		if len(src.Addrs) == 0 {
+			return nil, fmt.Errorf("gmetad: data source %q has no addresses", src.Name)
+		}
+		if _, dup := g.slots[src.Name]; dup {
+			return nil, fmt.Errorf("gmetad: duplicate data source %q", src.Name)
+		}
+		g.slots[src.Name] = &sourceSlot{cfg: src}
+		g.order = append(g.order, src.Name)
+	}
+	return g, nil
+}
+
+// GridName returns the configured grid name.
+func (g *Gmetad) GridName() string { return g.cfg.GridName }
+
+// Mode returns the configured design.
+func (g *Gmetad) Mode() Mode { return g.cfg.Mode }
+
+// Accounting returns the live work counters.
+func (g *Gmetad) Accounting() *Accounting { return &g.acct }
+
+// Pool returns the archive pool, or nil when archiving is disabled.
+func (g *Gmetad) Pool() *rrd.Pool { return g.pool }
+
+// SourceNames returns the configured source names in order.
+func (g *Gmetad) SourceNames() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// AddSource attaches a new child at runtime. The static configuration
+// of trust edges is the paper's acknowledged limitation (§4); dynamic
+// sources are the hook the MDS-style self-organizing join protocol
+// (package tree's Autojoin) builds on.
+func (g *Gmetad) AddSource(src DataSource) error {
+	if src.Name == "" {
+		return fmt.Errorf("gmetad: data source with empty name")
+	}
+	if len(src.Addrs) == 0 {
+		return fmt.Errorf("gmetad: data source %q has no addresses", src.Name)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.slots[src.Name]; dup {
+		return fmt.Errorf("gmetad: duplicate data source %q", src.Name)
+	}
+	g.slots[src.Name] = &sourceSlot{cfg: src}
+	g.order = append(g.order, src.Name)
+	return nil
+}
+
+// RemoveSource detaches a child; its data disappears from subsequent
+// reports. Archived history is retained for forensics.
+func (g *Gmetad) RemoveSource(name string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.slots[name]; !ok {
+		return false
+	}
+	delete(g.slots, name)
+	for i, n := range g.order {
+		if n == name {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// snapshotOrder returns the slot list under the read lock, so pollers
+// and reporters tolerate concurrent AddSource/RemoveSource.
+func (g *Gmetad) snapshotOrder() []*sourceSlot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*sourceSlot, 0, len(g.order))
+	for _, name := range g.order {
+		out = append(out, g.slots[name])
+	}
+	return out
+}
+
+// SourceStatus describes one source's health.
+type SourceStatus struct {
+	Name       string
+	Failed     bool
+	DownSince  time.Time
+	LastPolled time.Time
+	ActiveAddr string
+	LastError  string
+}
+
+// Status reports per-source health, for operators and tests.
+func (g *Gmetad) Status() []SourceStatus {
+	out := make([]SourceStatus, 0)
+	for _, s := range g.snapshotOrder() {
+		s.mu.RLock()
+		st := SourceStatus{
+			Name:       s.cfg.Name,
+			Failed:     s.failed,
+			DownSince:  s.downSince,
+			ActiveAddr: s.activeAddr,
+		}
+		if s.data != nil {
+			st.LastPolled = s.data.polled
+		}
+		if s.lastErr != nil {
+			st.LastError = s.lastErr.Error()
+		}
+		s.mu.RUnlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+// PollOnce polls every source once, sequentially and deterministically;
+// the experiment harness drives rounds through it with a virtual clock.
+func (g *Gmetad) PollOnce(now time.Time) {
+	for _, slot := range g.snapshotOrder() {
+		g.pollSource(slot, now)
+	}
+}
+
+// Run polls all sources every PollInterval until done is closed.
+// Sources are polled concurrently, like the threaded C implementation.
+func (g *Gmetad) Run(done <-chan struct{}) {
+	poll := func() {
+		var wg sync.WaitGroup
+		now := g.cfg.Clock.Now()
+		for _, slot := range g.snapshotOrder() {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				g.pollSource(slot, now)
+			}()
+		}
+		wg.Wait()
+	}
+	poll()
+	t := time.NewTicker(g.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			poll()
+		}
+	}
+}
+
+// SaveArchives snapshots the archive pool to Config.ArchivePath,
+// atomically (write to a temporary file, then rename).
+func (g *Gmetad) SaveArchives() error {
+	if g.pool == nil {
+		return fmt.Errorf("gmetad: archiving disabled")
+	}
+	if g.cfg.ArchivePath == "" {
+		return fmt.Errorf("gmetad: no archive path configured")
+	}
+	tmp := g.cfg.ArchivePath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := g.pool.SaveTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, g.cfg.ArchivePath)
+}
+
+// Close stops all Serve loops.
+func (g *Gmetad) Close() {
+	g.listeners.closeAll()
+}

@@ -1,0 +1,827 @@
+package gmetad
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gxml"
+	"ganglia/internal/pseudo"
+	"ganglia/internal/query"
+	"ganglia/internal/rrd"
+	"ganglia/internal/transport"
+)
+
+var t0 = time.Unix(1_057_000_000, 0)
+
+// rig is one wide-area test setup: an in-memory network, a virtual
+// clock, pseudo-gmond clusters, and gmetad daemons under test.
+type rig struct {
+	t   *testing.T
+	net *transport.InMemNetwork
+	clk *clock.Virtual
+}
+
+func newRig(t *testing.T) *rig {
+	return &rig{t: t, net: transport.NewInMemNetwork(), clk: clock.NewVirtual(t0)}
+}
+
+// cluster starts a pseudo-gmond serving at addr.
+func (r *rig) cluster(name, addr string, hosts int, seed int64) *pseudo.Gmond {
+	r.t.Helper()
+	p := pseudo.New(name, hosts, seed, r.clk)
+	l, err := r.net.Listen(addr)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	go p.Serve(l)
+	r.t.Cleanup(p.Close)
+	return p
+}
+
+// gmetad builds a daemon; queryAddr, if non-empty, starts its
+// interactive query port.
+func (r *rig) gmetad(cfg Config, queryAddr string) *Gmetad {
+	r.t.Helper()
+	cfg.Network = r.net
+	cfg.Clock = r.clk
+	g, err := New(cfg)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if queryAddr != "" {
+		l, err := r.net.Listen(queryAddr)
+		if err != nil {
+			r.t.Fatal(err)
+		}
+		go g.ServeQuery(l)
+	}
+	r.t.Cleanup(g.Close)
+	return g
+}
+
+// ask sends a query line to addr and parses the XML response.
+func (r *rig) ask(addr, q string) (*gxml.Report, error) {
+	conn, err := r.net.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, q+"\n"); err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(conn)
+	if err != nil {
+		return nil, err
+	}
+	return gxml.Parse(bytes.NewReader(data))
+}
+
+func smallArchive() rrd.Spec {
+	return rrd.Spec{
+		Step:      15 * time.Second,
+		Heartbeat: 60 * time.Second,
+		Archives:  []rrd.ArchiveSpec{{Step: 15 * time.Second, Rows: 64, CF: rrd.Average}},
+	}
+}
+
+func TestPollSingleCluster(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 20, 1)
+	g := r.gmetad(Config{
+		GridName:  "SDSC",
+		Authority: "http://sdsc/",
+		Sources:   []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+	}, "")
+	g.PollOnce(r.clk.Now())
+
+	rep, err := g.Report(query.MustParse("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Grids) != 1 {
+		t.Fatalf("grids = %d", len(rep.Grids))
+	}
+	grid := rep.Grids[0]
+	if grid.Name != "SDSC" || grid.Authority != "http://sdsc/" {
+		t.Errorf("self grid: %+v", grid)
+	}
+	if len(grid.Clusters) != 1 || grid.Clusters[0].Name != "meteor" {
+		t.Fatalf("clusters: %+v", grid.Clusters)
+	}
+	if got := len(grid.Clusters[0].Hosts); got != 20 {
+		t.Errorf("hosts = %d", got)
+	}
+	snap := g.Accounting().Snapshot()
+	if snap.Polls != 1 || snap.BytesIn == 0 || snap.DownloadParse == 0 {
+		t.Errorf("accounting: %+v", snap)
+	}
+}
+
+func TestQueryEngineLevels(t *testing.T) {
+	r := newRig(t)
+	p := r.cluster("meteor", "meteor:8649", 10, 1)
+	g := r.gmetad(Config{
+		GridName: "SDSC",
+		Sources:  []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+	}, "")
+	g.PollOnce(r.clk.Now())
+
+	hostName := p.Report(r.clk.Now()).Clusters[0].Hosts[3].Name
+
+	// Depth 1: one cluster.
+	rep, err := g.Report(query.MustParse("/meteor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.Grids[0].Clusters[0].Hosts); n != 10 {
+		t.Errorf("cluster query: %d hosts", n)
+	}
+
+	// Depth 2: one host.
+	rep, err = g.Report(query.MustParse("/meteor/" + hostName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Grids[0].Clusters[0]
+	if len(c.Hosts) != 1 || c.Hosts[0].Name != hostName {
+		t.Fatalf("host query: %+v", c.Hosts)
+	}
+	if len(c.Hosts[0].Metrics) < 30 {
+		t.Errorf("host metrics = %d", len(c.Hosts[0].Metrics))
+	}
+
+	// Depth 3: one metric.
+	rep, err = g.Report(query.MustParse("/meteor/" + hostName + "/load_one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := rep.Grids[0].Clusters[0].Hosts[0].Metrics
+	if len(ms) != 1 || ms[0].Name != "load_one" {
+		t.Fatalf("metric query: %+v", ms)
+	}
+
+	// Summary filter on the cluster.
+	rep, err = g.Report(query.MustParse("/meteor?filter=summary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = rep.Grids[0].Clusters[0]
+	if len(c.Hosts) != 0 || c.Summary == nil || c.Summary.Hosts() != 10 {
+		t.Fatalf("summary filter: hosts=%d summary=%+v", len(c.Hosts), c.Summary)
+	}
+
+	// Root summary filter.
+	rep, err = g.Report(query.MustParse("/?filter=summary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Grids[0].Summary == nil || rep.Grids[0].Summary.Hosts() != 10 {
+		t.Fatalf("root summary: %+v", rep.Grids[0].Summary)
+	}
+
+	// Not-found paths.
+	for _, bad := range []string{"/nope", "/meteor/nope", "/meteor/" + hostName + "/nope"} {
+		if _, err := g.Report(query.MustParse(bad)); !errors.Is(err, ErrNotFound) {
+			t.Errorf("%s: err = %v, want ErrNotFound", bad, err)
+		}
+	}
+}
+
+func TestRegexQueries(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 12, 1)
+	g := r.gmetad(Config{
+		GridName: "SDSC",
+		Sources:  []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+	}, "")
+	g.PollOnce(r.clk.Now())
+
+	rep, err := g.Report(query.MustParse(`/meteor/~compute-meteor-[0-3]$`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.Grids[0].Clusters[0].Hosts); n != 4 {
+		t.Errorf("regex host query matched %d hosts, want 4", n)
+	}
+
+	rep, err = g.Report(query.MustParse(`/~met.*`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.Grids[0].Clusters); n != 1 {
+		t.Errorf("regex source query matched %d clusters", n)
+	}
+
+	// Depth-3 regex metric selection.
+	host := rep.Grids[0].Clusters[0].Hosts[0].Name
+	rep, err = g.Report(query.MustParse("/meteor/" + host + "/~^load_"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := rep.Grids[0].Clusters[0].Hosts[0].Metrics
+	if len(ms) != 3 {
+		t.Errorf("regex metric query matched %d, want 3 (load_one/five/fifteen)", len(ms))
+	}
+}
+
+func TestFailoverBetweenClusterNodes(t *testing.T) {
+	r := newRig(t)
+	p := pseudo.New("meteor", 10, 1, r.clk)
+	// The same emulator answers on two node addresses — redundant
+	// global state in the real system.
+	for _, addr := range []string{"node-a:8649", "node-b:8649"} {
+		l, err := r.net.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go p.Serve(l)
+	}
+	t.Cleanup(p.Close)
+
+	g := r.gmetad(Config{
+		GridName: "SDSC",
+		Sources: []DataSource{{
+			Name: "meteor", Kind: SourceGmond,
+			Addrs: []string{"node-a:8649", "node-b:8649"},
+		}},
+	}, "")
+
+	g.PollOnce(r.clk.Now())
+	if st := g.Status()[0]; st.Failed || st.ActiveAddr != "node-a:8649" {
+		t.Fatalf("initial poll: %+v", st)
+	}
+
+	// Primary node stops; the next poll must fail over transparently.
+	r.net.Fail("node-a:8649")
+	r.clk.Advance(15 * time.Second)
+	g.PollOnce(r.clk.Now())
+	st := g.Status()[0]
+	if st.Failed {
+		t.Fatalf("source failed despite live secondary: %+v", st)
+	}
+	if st.ActiveAddr != "node-b:8649" {
+		t.Errorf("active addr = %s", st.ActiveAddr)
+	}
+	if s := g.Accounting().Snapshot(); s.Failovers != 1 {
+		t.Errorf("failovers = %d", s.Failovers)
+	}
+	if _, err := g.Report(query.MustParse("/meteor")); err != nil {
+		t.Errorf("report after failover: %v", err)
+	}
+}
+
+func TestTotalFailureAndRecovery(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 5, 1)
+	g := r.gmetad(Config{
+		GridName:    "SDSC",
+		Sources:     []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+		Archive:     true,
+		ArchiveSpec: smallArchive(),
+	}, "")
+	g.PollOnce(r.clk.Now())
+
+	// Partition the cluster entirely.
+	r.net.Fail("meteor:8649")
+	downAt := r.clk.Now()
+	for i := 0; i < 8; i++ {
+		r.clk.Advance(15 * time.Second)
+		g.PollOnce(r.clk.Now())
+	}
+	st := g.Status()[0]
+	if !st.Failed {
+		t.Fatal("source not marked failed")
+	}
+	if st.DownSince.Before(downAt) || st.LastError == "" {
+		t.Errorf("failure detail: %+v", st)
+	}
+	// Old data still served, but aged: hosts now read as down.
+	rep, err := g.Report(query.MustParse("/meteor"))
+	if err != nil {
+		t.Fatalf("report during outage: %v", err)
+	}
+	for _, h := range rep.Grids[0].Clusters[0].Hosts {
+		if h.Up() {
+			t.Errorf("host %s still up after 2min outage (TN=%d)", h.Name, h.TN)
+		}
+	}
+	// Zero records written during downtime.
+	keys := g.Pool().Keys()
+	if len(keys) == 0 {
+		t.Fatal("no archives")
+	}
+	var zeroSeen bool
+	for _, k := range keys {
+		if strings.Contains(k, "/load_one") {
+			if v, ok := g.Pool().Last(k); ok && v == 0 {
+				zeroSeen = true
+			}
+		}
+	}
+	if !zeroSeen {
+		t.Error("no zero records during downtime")
+	}
+
+	// The periodic retry picks the cluster back up as soon as it heals.
+	r.net.Recover("meteor:8649")
+	r.clk.Advance(15 * time.Second)
+	g.PollOnce(r.clk.Now())
+	st = g.Status()[0]
+	if st.Failed {
+		t.Fatalf("source still failed after recovery: %+v", st)
+	}
+	rep, err = g.Report(query.MustParse("/meteor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range rep.Grids[0].Clusters[0].Hosts {
+		if !h.Up() {
+			t.Errorf("host %s down after recovery", h.Name)
+		}
+	}
+}
+
+// buildTwoLevel builds child gmetads ("sdsc" with two clusters) and a
+// root polling the child, in the given mode.
+func buildTwoLevel(t *testing.T, r *rig, mode Mode, archive bool) (child, root *Gmetad) {
+	r.cluster("meteor", "meteor:8649", 10, 1)
+	r.cluster("nashi", "nashi:8649", 8, 2)
+	child = r.gmetad(Config{
+		GridName:  "sdsc",
+		Authority: "http://sdsc/",
+		Mode:      mode,
+		Sources: []DataSource{
+			{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}},
+			{Name: "nashi", Kind: SourceGmond, Addrs: []string{"nashi:8649"}},
+		},
+		Archive:     archive,
+		ArchiveSpec: smallArchive(),
+	}, "sdsc:8652")
+	root = r.gmetad(Config{
+		GridName:  "root",
+		Authority: "http://root/",
+		Mode:      mode,
+		Sources: []DataSource{
+			{Name: "sdsc", Kind: SourceGmetad, Addrs: []string{"sdsc:8652"}},
+		},
+		Archive:     archive,
+		ArchiveSpec: smallArchive(),
+	}, "root:8652")
+	return child, root
+}
+
+func TestNLevelSummarizesRemoteGrids(t *testing.T) {
+	r := newRig(t)
+	child, root := buildTwoLevel(t, r, NLevel, false)
+	child.PollOnce(r.clk.Now())
+	root.PollOnce(r.clk.Now())
+
+	rep, err := root.Report(query.MustParse("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := rep.Grids[0]
+	if len(self.Clusters) != 0 {
+		t.Errorf("root has %d full clusters; remote data must be summary-only", len(self.Clusters))
+	}
+	if len(self.Grids) != 1 {
+		t.Fatalf("root grids = %d", len(self.Grids))
+	}
+	sdsc := self.Grids[0]
+	if sdsc.Name != "sdsc" {
+		t.Errorf("grid name %q", sdsc.Name)
+	}
+	// The authority pointer must lead back to the child (§2.2).
+	if sdsc.Authority != "http://sdsc/" {
+		t.Errorf("authority = %q", sdsc.Authority)
+	}
+	if sdsc.Summary == nil {
+		t.Fatal("no summary on remote grid")
+	}
+	if got := sdsc.Summary.Hosts(); got != 18 {
+		t.Errorf("summary hosts = %d, want 18", got)
+	}
+	if sum, ok := sdsc.Summary.Sum("cpu_num"); !ok || sum <= 0 {
+		t.Errorf("cpu_num sum = %v %v", sum, ok)
+	}
+	// The wire transfer was O(m): far smaller than the full trees.
+	if in := root.Accounting().Snapshot().BytesIn; in > 20_000 {
+		t.Errorf("N-level root downloaded %d bytes; summary form should be small", in)
+	}
+}
+
+func TestOneLevelReportsUnion(t *testing.T) {
+	r := newRig(t)
+	child, root := buildTwoLevel(t, r, OneLevel, false)
+	child.PollOnce(r.clk.Now())
+	root.PollOnce(r.clk.Now())
+
+	rep, err := root.Report(query.MustParse("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Hosts(); got != 18 {
+		t.Errorf("1-level root sees %d full-resolution hosts, want 18", got)
+	}
+	// Full-detail queries resolve through the root even though the
+	// clusters live below the child.
+	hrep, err := root.Report(query.MustParse("/meteor"))
+	if err != nil {
+		t.Fatalf("nested cluster query: %v", err)
+	}
+	if n := len(hrep.Grids[0].Clusters[0].Hosts); n != 10 {
+		t.Errorf("nested cluster query: %d hosts", n)
+	}
+	// And the download was the full tree.
+	if in := root.Accounting().Snapshot().BytesIn; in < 50_000 {
+		t.Errorf("1-level root downloaded only %d bytes; expected the full union", in)
+	}
+}
+
+func TestArchiveScopeByMode(t *testing.T) {
+	r := newRig(t)
+	childN, rootN := buildTwoLevel(t, r, NLevel, true)
+	childN.PollOnce(r.clk.Now())
+	rootN.PollOnce(r.clk.Now())
+
+	// N-level root: only summary series for the remote grid.
+	for _, k := range rootN.Pool().Keys() {
+		if !strings.Contains(k, "/"+SummaryHost+"/") {
+			t.Errorf("N-level root archives host series %q", k)
+		}
+	}
+	if rootN.Pool().Len() == 0 {
+		t.Error("N-level root archived nothing")
+	}
+	// Child is the authority: full host archives plus summaries.
+	var hostSeries int
+	for _, k := range childN.Pool().Keys() {
+		if !strings.Contains(k, "/"+SummaryHost+"/") {
+			hostSeries++
+		}
+	}
+	if hostSeries == 0 {
+		t.Error("child archived no host series")
+	}
+}
+
+func TestOneLevelDuplicatesArchives(t *testing.T) {
+	r := newRig(t)
+	child, root := buildTwoLevel(t, r, OneLevel, true)
+	child.PollOnce(r.clk.Now())
+	root.PollOnce(r.clk.Now())
+
+	// The superfluous duplication of §2.1: root and child both keep
+	// full host archives for the same clusters.
+	childHostKeys := map[string]bool{}
+	for _, k := range child.Pool().Keys() {
+		if !strings.Contains(k, "/"+SummaryHost+"/") {
+			childHostKeys[k] = true
+		}
+	}
+	dup := 0
+	for _, k := range root.Pool().Keys() {
+		if childHostKeys[k] {
+			dup++
+		}
+	}
+	if dup == 0 {
+		t.Error("1-level root does not duplicate child archives; redundancy missing")
+	}
+	if dup != len(childHostKeys) {
+		t.Errorf("root duplicates %d of %d child host series", dup, len(childHostKeys))
+	}
+}
+
+func TestQueryPortProtocol(t *testing.T) {
+	r := newRig(t)
+	child, root := buildTwoLevel(t, r, NLevel, false)
+	child.PollOnce(r.clk.Now())
+	root.PollOnce(r.clk.Now())
+
+	rep, err := r.ask("sdsc:8652", "/meteor/compute-meteor-0/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Grids[0].Clusters[0]
+	if len(c.Hosts) != 1 || c.Hosts[0].Name != "compute-meteor-0" {
+		t.Fatalf("query port response: %+v", c.Hosts)
+	}
+
+	// The paper's fig-4 flow: a summary at the root names the child's
+	// authority; following the pointer reaches full resolution.
+	rootRep, err := r.ask("root:8652", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := rootRep.Grids[0].Grids[0].Authority
+	if auth != "http://sdsc/" {
+		t.Fatalf("authority pointer = %q", auth)
+	}
+
+	// Bad queries produce an error comment, not a hang or empty doc.
+	conn, err := r.net.Dial("sdsc:8652")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(conn, "not-a-query\n")
+	data, _ := io.ReadAll(conn)
+	conn.Close()
+	if !strings.Contains(string(data), "ERROR") {
+		t.Errorf("bad query response: %q", data)
+	}
+}
+
+func TestServeXMLFullDump(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 5, 1)
+	g := r.gmetad(Config{
+		GridName: "SDSC",
+		Sources:  []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+	}, "")
+	l, err := r.net.Listen("sdsc:8651")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go g.ServeXML(l)
+	g.PollOnce(r.clk.Now())
+
+	conn, err := r.net.Dial("sdsc:8651")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(conn)
+	conn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := gxml.Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hosts() != 5 {
+		t.Errorf("full dump hosts = %d", rep.Hosts())
+	}
+	if s := g.Accounting().Snapshot(); s.Queries != 1 || s.BytesOut == 0 || s.Serve == 0 {
+		t.Errorf("serve accounting: %+v", s)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	cases := []Config{
+		{Network: net},  // no grid name
+		{GridName: "g"}, // no network
+		{GridName: "g", Network: net, Sources: []DataSource{{Name: "", Addrs: []string{"a"}}}},
+		{GridName: "g", Network: net, Sources: []DataSource{{Name: "x"}}}, // no addrs
+		{GridName: "g", Network: net, Sources: []DataSource{
+			{Name: "x", Addrs: []string{"a"}}, {Name: "x", Addrs: []string{"b"}},
+		}}, // duplicate
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestQueriesDuringPolls(t *testing.T) {
+	// The two-time-scale design (§2.3.1): queries run concurrently with
+	// polling and always see a complete snapshot. Run under -race.
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 30, 1)
+	g := r.gmetad(Config{
+		GridName:    "SDSC",
+		Sources:     []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+		Archive:     true,
+		ArchiveSpec: smallArchive(),
+	}, "")
+	g.PollOnce(r.clk.Now())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			r.clk.Advance(15 * time.Second)
+			g.PollOnce(r.clk.Now())
+		}
+	}()
+	queries := 0
+	for {
+		select {
+		case <-done:
+			if queries == 0 {
+				t.Error("no queries overlapped polling")
+			}
+			return
+		default:
+			rep, err := g.Report(query.MustParse("/meteor"))
+			if err != nil {
+				t.Fatalf("query during poll: %v", err)
+			}
+			if n := len(rep.Grids[0].Clusters[0].Hosts); n != 30 {
+				t.Fatalf("torn snapshot: %d hosts", n)
+			}
+			queries++
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if NLevel.String() != "N-level" || OneLevel.String() != "1-level" {
+		t.Errorf("mode names: %q %q", NLevel.String(), OneLevel.String())
+	}
+}
+
+func TestThreeLevelTree(t *testing.T) {
+	// Deeper than the paper's fig 2: leaf → mid → root, N-level all the
+	// way. The root must see one summary covering every host.
+	r := newRig(t)
+	r.cluster("physics-c", "physics-c:8649", 6, 1)
+	leaf := r.gmetad(Config{
+		GridName: "physics", Authority: "http://physics/",
+		Sources: []DataSource{{Name: "physics-c", Kind: SourceGmond, Addrs: []string{"physics-c:8649"}}},
+	}, "physics:8652")
+	r.cluster("ucsd-c", "ucsd-c:8649", 4, 2)
+	mid := r.gmetad(Config{
+		GridName: "ucsd", Authority: "http://ucsd/",
+		Sources: []DataSource{
+			{Name: "ucsd-c", Kind: SourceGmond, Addrs: []string{"ucsd-c:8649"}},
+			{Name: "physics", Kind: SourceGmetad, Addrs: []string{"physics:8652"}},
+		},
+	}, "ucsd:8652")
+	root := r.gmetad(Config{
+		GridName: "root", Authority: "http://root/",
+		Sources: []DataSource{{Name: "ucsd", Kind: SourceGmetad, Addrs: []string{"ucsd:8652"}}},
+	}, "")
+
+	leaf.PollOnce(r.clk.Now())
+	mid.PollOnce(r.clk.Now())
+	root.PollOnce(r.clk.Now())
+
+	s := root.Summary()
+	if got := s.Hosts(); got != 10 {
+		t.Errorf("root summary hosts = %d, want 10 (6 physics + 4 ucsd)", got)
+	}
+	// Mid reports its local cluster full-res and physics as a summary.
+	rep, err := mid.Report(query.MustParse("/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Grids[0].Clusters) != 1 || len(rep.Grids[0].Grids) != 1 {
+		t.Errorf("mid root report shape: %d clusters, %d grids",
+			len(rep.Grids[0].Clusters), len(rep.Grids[0].Grids))
+	}
+}
+
+func TestSourceNames(t *testing.T) {
+	r := newRig(t)
+	g := r.gmetad(Config{
+		GridName: "g",
+		Sources: []DataSource{
+			{Name: "b", Kind: SourceGmond, Addrs: []string{"b:1"}},
+			{Name: "a", Kind: SourceGmond, Addrs: []string{"a:1"}},
+		},
+	}, "")
+	names := g.SourceNames()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("SourceNames = %v (order must be configuration order)", names)
+	}
+}
+
+func BenchmarkPollRound100Hosts(b *testing.B) {
+	r := &rig{net: transport.NewInMemNetwork(), clk: clock.NewVirtual(t0)}
+	p := pseudo.New("meteor", 100, 1, r.clk)
+	l, err := r.net.Listen("meteor:8649")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go p.Serve(l)
+	defer p.Close()
+	g, err := New(Config{
+		GridName: "SDSC",
+		Network:  r.net,
+		Clock:    r.clk,
+		Sources:  []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.clk.Advance(15 * time.Second)
+		g.PollOnce(r.clk.Now())
+	}
+}
+
+func BenchmarkQueryHost(b *testing.B) {
+	r := &rig{net: transport.NewInMemNetwork(), clk: clock.NewVirtual(t0)}
+	p := pseudo.New("meteor", 100, 1, r.clk)
+	l, _ := r.net.Listen("meteor:8649")
+	go p.Serve(l)
+	defer p.Close()
+	g, err := New(Config{
+		GridName: "SDSC",
+		Network:  r.net,
+		Clock:    r.clk,
+		Sources:  []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.PollOnce(r.clk.Now())
+	q := query.MustParse("/meteor/compute-meteor-50/")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Report(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryFullCluster(b *testing.B) {
+	r := &rig{net: transport.NewInMemNetwork(), clk: clock.NewVirtual(t0)}
+	p := pseudo.New("meteor", 100, 1, r.clk)
+	l, _ := r.net.Listen("meteor:8649")
+	go p.Serve(l)
+	defer p.Close()
+	g, err := New(Config{
+		GridName: "SDSC",
+		Network:  r.net,
+		Clock:    r.clk,
+		Sources:  []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.PollOnce(r.clk.Now())
+	q := query.MustParse("/meteor")
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := g.Report(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		if err := gxml.WriteReport(&buf, rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debug edits
+
+func TestReportDeterministic(t *testing.T) {
+	// With time frozen, two serializations of the same query are
+	// byte-identical — reports must not depend on map iteration order.
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 10, 1)
+	r.cluster("nashi", "nashi:8649", 8, 2)
+	g := r.gmetad(Config{
+		GridName: "SDSC",
+		Sources: []DataSource{
+			{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}},
+			{Name: "nashi", Kind: SourceGmond, Addrs: []string{"nashi:8649"}},
+		},
+	}, "")
+	g.PollOnce(r.clk.Now())
+	serialize := func() []byte {
+		rep, err := g.Report(query.MustParse("/"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gxml.WriteReport(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := serialize(), serialize()
+	if !bytes.Equal(a, b) {
+		t.Error("two serializations of the same state differ")
+	}
+	// The summary form too.
+	serializeSum := func() []byte {
+		rep, err := g.Report(query.MustParse("/?filter=summary"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gxml.WriteReport(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(serializeSum(), serializeSum()) {
+		t.Error("two summary serializations differ")
+	}
+}

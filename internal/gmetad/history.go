@@ -1,0 +1,53 @@
+package gmetad
+
+import (
+	"fmt"
+	"time"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/query"
+	"ganglia/internal/rrd"
+)
+
+// historyReport answers a depth-3 ?filter=history query from the
+// round-robin archives: the "basic queries against" metric histories of
+// paper §2.1. The path addresses cluster/host/metric with literal
+// segments; the pseudo-host SummaryHost addresses a cluster's summary
+// series.
+func (g *Gmetad) historyReport(q *query.Query) (*gxml.Report, error) {
+	if g.pool == nil {
+		return nil, fmt.Errorf("gmetad: archiving disabled, no histories")
+	}
+	if q.Depth() != query.MaxDepth {
+		return nil, fmt.Errorf("%w: history queries address /cluster/host/metric", ErrNotFound)
+	}
+	for _, seg := range q.Segments {
+		if seg.IsRegex() {
+			return nil, fmt.Errorf("%w: history queries take literal segments", ErrNotFound)
+		}
+	}
+	cluster, host, metricName := q.Segments[0].Name(), q.Segments[1].Name(), q.Segments[2].Name()
+	key := cluster + "/" + host + "/" + metricName
+
+	// Serve the whole retained window of the finest archive — the
+	// highest-resolution view, biased to recent data (§2.1).
+	points := g.pool.FetchRecent(key, rrd.Average)
+	if points == nil {
+		return nil, fmt.Errorf("%w: no archive for %s", ErrNotFound, key)
+	}
+	h := &gxml.History{
+		Cluster: cluster,
+		Host:    host,
+		Metric:  metricName,
+		CF:      rrd.Average.String(),
+		Step:    int64(g.cfg.ArchiveSpec.Step / time.Second),
+	}
+	for _, p := range points {
+		h.Points = append(h.Points, gxml.HistoryPoint{Time: p.Time.Unix(), Value: p.Value})
+	}
+	return &gxml.Report{
+		Version:   gxml.Version,
+		Source:    "gmetad",
+		Histories: []*gxml.History{h},
+	}, nil
+}

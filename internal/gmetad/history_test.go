@@ -1,0 +1,188 @@
+package gmetad
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ganglia/internal/query"
+)
+
+func TestHistoryQuery(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 4, 1)
+	g := r.gmetad(Config{
+		GridName:    "SDSC",
+		Sources:     []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+		Archive:     true,
+		ArchiveSpec: smallArchive(),
+	}, "sdsc:8652")
+
+	// Ten polling rounds build up archive rows.
+	for i := 0; i < 10; i++ {
+		r.clk.Advance(15 * time.Second)
+		g.PollOnce(r.clk.Now())
+	}
+
+	rep, err := g.Report(query.MustParse("/meteor/compute-meteor-0/load_one?filter=history"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Histories) != 1 {
+		t.Fatalf("histories = %d", len(rep.Histories))
+	}
+	h := rep.Histories[0]
+	if h.Cluster != "meteor" || h.Host != "compute-meteor-0" || h.Metric != "load_one" {
+		t.Errorf("identity: %+v", h)
+	}
+	if h.CF != "AVERAGE" || h.Step != 15 {
+		t.Errorf("cf/step: %q %d", h.CF, h.Step)
+	}
+	if len(h.Points) < 5 {
+		t.Fatalf("points = %d", len(h.Points))
+	}
+	known := 0
+	for _, p := range h.Points {
+		if !p.Unknown() {
+			known++
+			if p.Value < 0 || p.Value > 100 {
+				t.Errorf("implausible archived load %v", p.Value)
+			}
+		}
+	}
+	if known == 0 {
+		t.Error("all points unknown")
+	}
+	// Points are in time order at the archive step.
+	for i := 1; i < len(h.Points); i++ {
+		if h.Points[i].Time-h.Points[i-1].Time != 15 {
+			t.Errorf("gap %ds between points %d,%d", h.Points[i].Time-h.Points[i-1].Time, i-1, i)
+		}
+	}
+}
+
+func TestHistoryQuerySummarySeries(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 4, 1)
+	g := r.gmetad(Config{
+		GridName:    "SDSC",
+		Sources:     []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+		Archive:     true,
+		ArchiveSpec: smallArchive(),
+	}, "")
+	for i := 0; i < 6; i++ {
+		r.clk.Advance(15 * time.Second)
+		g.PollOnce(r.clk.Now())
+	}
+	rep, err := g.Report(query.MustParse("/meteor/" + SummaryHost + "/cpu_num?filter=history"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rep.Histories[0]
+	if len(h.Points) == 0 {
+		t.Fatal("no summary history points")
+	}
+	last := h.Points[len(h.Points)-1]
+	if last.Unknown() || last.Value <= 0 {
+		t.Errorf("summary series last point: %+v", last)
+	}
+}
+
+func TestHistoryQueryRoundTripsOverWire(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 3, 1)
+	g := r.gmetad(Config{
+		GridName:    "SDSC",
+		Sources:     []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+		Archive:     true,
+		ArchiveSpec: smallArchive(),
+	}, "sdsc:8652")
+	for i := 0; i < 6; i++ {
+		r.clk.Advance(15 * time.Second)
+		g.PollOnce(r.clk.Now())
+	}
+	rep, err := r.ask("sdsc:8652", "/meteor/compute-meteor-1/cpu_idle?filter=history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Histories) != 1 || len(rep.Histories[0].Points) == 0 {
+		t.Fatalf("wire history: %+v", rep.Histories)
+	}
+}
+
+func TestHistoryQueryErrors(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 3, 1)
+	noArchive := r.gmetad(Config{
+		GridName: "noarch",
+		Sources:  []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+	}, "")
+	noArchive.PollOnce(r.clk.Now())
+	if _, err := noArchive.Report(query.MustParse("/meteor/x/load_one?filter=history")); err == nil {
+		t.Error("history with archiving disabled succeeded")
+	}
+
+	g := r.gmetad(Config{
+		GridName:    "SDSC",
+		Sources:     []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+		Archive:     true,
+		ArchiveSpec: smallArchive(),
+	}, "")
+	r.clk.Advance(15 * time.Second)
+	g.PollOnce(r.clk.Now())
+
+	cases := []string{
+		"/meteor?filter=history",                       // wrong depth
+		"/meteor/~comp.*/load_one?filter=history",      // regex segment
+		"/meteor/no-such-host/load_one?filter=history", // unknown series
+	}
+	for _, qs := range cases {
+		if _, err := g.Report(query.MustParse(qs)); !errors.Is(err, ErrNotFound) &&
+			!strings.Contains(fmt.Sprint(err), "history") {
+			t.Errorf("%s: err = %v", qs, err)
+		}
+	}
+}
+
+func TestHistoryRecordsZeroDuringOutage(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 3, 1)
+	g := r.gmetad(Config{
+		GridName:    "SDSC",
+		Sources:     []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+		Archive:     true,
+		ArchiveSpec: smallArchive(),
+	}, "")
+	for i := 0; i < 4; i++ {
+		r.clk.Advance(15 * time.Second)
+		g.PollOnce(r.clk.Now())
+	}
+	r.net.Fail("meteor:8649")
+	for i := 0; i < 4; i++ {
+		r.clk.Advance(15 * time.Second)
+		g.PollOnce(r.clk.Now())
+	}
+	rep, err := g.Report(query.MustParse("/meteor/compute-meteor-0/cpu_idle?filter=history"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := rep.Histories[0].Points
+	// The tail of the series must be zero records, not silence: the
+	// paper's time-of-death forensic signature.
+	last := pts[len(pts)-1]
+	if last.Unknown() || last.Value != 0 {
+		t.Errorf("last point during outage = %+v, want explicit 0", last)
+	}
+	// And earlier points hold live (non-zero) data.
+	live := false
+	for _, p := range pts {
+		if !p.Unknown() && p.Value > 0 {
+			live = true
+		}
+	}
+	if !live {
+		t.Error("no live data before the outage")
+	}
+}

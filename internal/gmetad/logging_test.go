@@ -1,0 +1,85 @@
+package gmetad
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"testing"
+	"time"
+
+	"ganglia/internal/pseudo"
+)
+
+func TestOperationalLogging(t *testing.T) {
+	r := newRig(t)
+	p := pseudo.New("meteor", 4, 1, r.clk)
+	for _, addr := range []string{"a:8649", "b:8649"} {
+		l, err := r.net.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go p.Serve(l)
+	}
+	t.Cleanup(p.Close)
+
+	var buf bytes.Buffer
+	g := r.gmetad(Config{
+		GridName: "SDSC",
+		Logger:   log.New(&buf, "", 0),
+		Sources: []DataSource{{
+			Name: "meteor", Kind: SourceGmond,
+			Addrs: []string{"a:8649", "b:8649"},
+		}},
+	}, "")
+
+	g.PollOnce(r.clk.Now())
+	if buf.Len() != 0 {
+		t.Errorf("healthy poll logged: %q", buf.String())
+	}
+
+	// Failover logs once.
+	r.net.Fail("a:8649")
+	r.clk.Advance(15 * time.Second)
+	g.PollOnce(r.clk.Now())
+	if !strings.Contains(buf.String(), "failed over a:8649 -> b:8649") {
+		t.Errorf("no failover log: %q", buf.String())
+	}
+	buf.Reset()
+
+	// Repeat polls on the failover target stay quiet.
+	r.clk.Advance(15 * time.Second)
+	g.PollOnce(r.clk.Now())
+	if buf.Len() != 0 {
+		t.Errorf("steady failover state logged again: %q", buf.String())
+	}
+
+	// Total outage logs DOWN once, not once per retry.
+	r.net.Fail("b:8649")
+	for i := 0; i < 3; i++ {
+		r.clk.Advance(15 * time.Second)
+		g.PollOnce(r.clk.Now())
+	}
+	if got := strings.Count(buf.String(), "DOWN"); got != 1 {
+		t.Errorf("DOWN logged %d times: %q", got, buf.String())
+	}
+	buf.Reset()
+
+	// Recovery logs with the outage duration.
+	r.net.Recover("b:8649")
+	r.clk.Advance(15 * time.Second)
+	g.PollOnce(r.clk.Now())
+	out := buf.String()
+	if !strings.Contains(out, "recovered via b:8649") || !strings.Contains(out, "down") {
+		t.Errorf("no recovery log: %q", out)
+	}
+}
+
+func TestNilLoggerSilent(t *testing.T) {
+	// Just exercising the nil path; must not panic.
+	r := newRig(t)
+	g := r.gmetad(Config{
+		GridName: "g",
+		Sources:  []DataSource{{Name: "x", Kind: SourceGmond, Addrs: []string{"nowhere:1"}}},
+	}, "")
+	g.PollOnce(r.clk.Now())
+}

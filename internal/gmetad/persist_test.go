@@ -1,0 +1,97 @@
+package gmetad
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ganglia/internal/query"
+)
+
+func TestArchivePersistenceAcrossRestart(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 3, 1)
+	path := filepath.Join(t.TempDir(), "archives.gob")
+
+	cfg := Config{
+		GridName:    "SDSC",
+		Sources:     []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+		Archive:     true,
+		ArchiveSpec: smallArchive(),
+		ArchivePath: path,
+	}
+	g := r.gmetad(cfg, "")
+	for i := 0; i < 8; i++ {
+		r.clk.Advance(15 * time.Second)
+		g.PollOnce(r.clk.Now())
+	}
+	wantLen := g.Pool().Len()
+	if wantLen == 0 {
+		t.Fatal("nothing archived")
+	}
+	if err := g.SaveArchives(); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	g.Close()
+
+	// "Restart" the daemon: a fresh Gmetad restores the pool.
+	g2 := r.gmetad(cfg, "")
+	if g2.Pool().Len() != wantLen {
+		t.Fatalf("restored %d series, want %d", g2.Pool().Len(), wantLen)
+	}
+	// History queries span the restart: old rows plus new rows.
+	oldRows := len(mustHistory(t, g2, "/meteor/compute-meteor-0/cpu_idle?filter=history"))
+	for i := 0; i < 4; i++ {
+		r.clk.Advance(15 * time.Second)
+		g2.PollOnce(r.clk.Now())
+	}
+	newRows := len(mustHistory(t, g2, "/meteor/compute-meteor-0/cpu_idle?filter=history"))
+	if newRows <= oldRows {
+		t.Errorf("history did not grow after restart: %d -> %d", oldRows, newRows)
+	}
+}
+
+func mustHistory(t *testing.T, g *Gmetad, q string) []int64 {
+	t.Helper()
+	rep, err := g.Report(query.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []int64
+	for _, p := range rep.Histories[0].Points {
+		times = append(times, p.Time)
+	}
+	return times
+}
+
+func TestSaveArchivesErrors(t *testing.T) {
+	r := newRig(t)
+	g := r.gmetad(Config{GridName: "g"}, "")
+	if err := g.SaveArchives(); err == nil {
+		t.Error("save with archiving disabled succeeded")
+	}
+	g2 := r.gmetad(Config{GridName: "g2", Archive: true, ArchiveSpec: smallArchive()}, "")
+	if err := g2.SaveArchives(); err == nil {
+		t.Error("save without path succeeded")
+	}
+}
+
+func TestNewRejectsCorruptArchiveFile(t *testing.T) {
+	r := newRig(t)
+	path := filepath.Join(t.TempDir(), "corrupt.gob")
+	if err := writeFile(path, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Config{
+		GridName: "g", Network: r.net, Clock: r.clk,
+		Archive: true, ArchiveSpec: smallArchive(), ArchivePath: path,
+	})
+	if err == nil {
+		t.Error("corrupt archive file accepted")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

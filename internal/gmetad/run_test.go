@@ -1,0 +1,94 @@
+package gmetad
+
+import (
+	"testing"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/pseudo"
+	"ganglia/internal/transport"
+)
+
+func TestRunPollsOnRealTime(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	p := pseudo.New("meteor", 3, 1, clock.Real{})
+	l, err := net.Listen("meteor:8649")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(l)
+	defer p.Close()
+
+	g, err := New(Config{
+		GridName:     "SDSC",
+		Network:      net,
+		PollInterval: 20 * time.Millisecond,
+		Sources:      []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		g.Run(done)
+		close(finished)
+	}()
+
+	deadline := time.After(5 * time.Second)
+	for g.Accounting().Snapshot().Polls < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("Run performed fewer than 3 polls in 5s")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(done)
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on done")
+	}
+	if g.Summary().Hosts() != 3 {
+		t.Errorf("hosts = %d", g.Summary().Hosts())
+	}
+}
+
+func TestAccountingHelpers(t *testing.T) {
+	a := Snapshot{
+		DownloadParse: 10 * time.Millisecond,
+		Summarize:     5 * time.Millisecond,
+		Archive:       3 * time.Millisecond,
+		Serve:         2 * time.Millisecond,
+		Polls:         4,
+		BytesIn:       100,
+	}
+	if a.Work() != 20*time.Millisecond {
+		t.Errorf("Work = %v", a.Work())
+	}
+	if got := a.CPUPercent(2 * time.Second); got != 1.0 {
+		t.Errorf("CPUPercent = %v", got)
+	}
+	if got := a.CPUPercent(0); got != 0 {
+		t.Errorf("CPUPercent(0) = %v", got)
+	}
+	b := Snapshot{DownloadParse: 4 * time.Millisecond, Polls: 1, BytesIn: 30}
+	d := a.Sub(b)
+	if d.DownloadParse != 6*time.Millisecond || d.Polls != 3 || d.BytesIn != 70 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	g, err := New(Config{GridName: "SDSC", Network: net, Mode: OneLevel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.GridName() != "SDSC" || g.Mode() != OneLevel {
+		t.Errorf("accessors: %q %v", g.GridName(), g.Mode())
+	}
+}

@@ -1,0 +1,142 @@
+package gmetad
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/query"
+)
+
+// listenerSet tracks the daemon's open listeners for Close.
+type listenerSet struct {
+	mu        sync.Mutex
+	listeners []net.Listener
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// add registers a listener and takes one WaitGroup slot for its serve
+// loop; the slot is taken under the mutex so it is ordered before any
+// closeAll Wait.
+func (ls *listenerSet) add(l net.Listener) bool {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.closed {
+		l.Close()
+		return false
+	}
+	ls.listeners = append(ls.listeners, l)
+	ls.wg.Add(1)
+	return true
+}
+
+func (ls *listenerSet) closeAll() {
+	ls.mu.Lock()
+	ls.closed = true
+	l := ls.listeners
+	ls.listeners = nil
+	ls.mu.Unlock()
+	for _, x := range l {
+		x.Close()
+	}
+	ls.wg.Wait()
+}
+
+// ServeXML serves the legacy full-dump contract (gmetad's all-trusted
+// TCP port, historically 8651): every connection receives the complete
+// root report and is closed. Returns when the listener closes.
+func (g *Gmetad) ServeXML(l net.Listener) {
+	if !g.listeners.add(l) {
+		return
+	}
+	defer g.listeners.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		g.listeners.wg.Add(1)
+		go func(c net.Conn) {
+			defer g.listeners.wg.Done()
+			defer c.Close()
+			g.answer(c, &query.Query{})
+		}(conn)
+	}
+}
+
+// ServeQuery serves the interactive query contract (historically port
+// 8652): the client sends one query line, receives the selected subtree
+// as XML, and the connection closes. This is the port the paper's
+// Table 1 viewer exercises.
+func (g *Gmetad) ServeQuery(l net.Listener) {
+	if !g.listeners.add(l) {
+		return
+	}
+	defer g.listeners.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		g.listeners.wg.Add(1)
+		go func(c net.Conn) {
+			defer g.listeners.wg.Done()
+			defer c.Close()
+			line, err := bufio.NewReaderSize(c, 1024).ReadString('\n')
+			if err != nil && line == "" {
+				return
+			}
+			q, err := query.Parse(line)
+			if err != nil {
+				fmt.Fprintf(c, "<!-- ERROR %s -->\n", xmlCommentSafe(err.Error()))
+				return
+			}
+			g.answer(c, q)
+		}(conn)
+	}
+}
+
+// answer builds and writes one query response, accounting the work as
+// serve time.
+func (g *Gmetad) answer(c net.Conn, q *query.Query) {
+	g.acct.queries.Add(1)
+	timed(&g.acct.serve, func() {
+		rep, err := g.Report(q)
+		if err != nil {
+			fmt.Fprintf(c, "<!-- ERROR %s -->\n", xmlCommentSafe(err.Error()))
+			return
+		}
+		cw := &countingWriter{w: c}
+		_ = gxml.WriteReport(cw, rep)
+		g.acct.bytesOut.Add(cw.n)
+	})
+}
+
+// xmlCommentSafe strips "--" so an error message cannot terminate the
+// comment early.
+func xmlCommentSafe(s string) string {
+	out := make([]byte, 0, len(s))
+	var prev byte
+	for i := 0; i < len(s); i++ {
+		if s[i] == '-' && prev == '-' {
+			continue
+		}
+		out = append(out, s[i])
+		prev = s[i]
+	}
+	return string(out)
+}
+
+type countingWriter struct {
+	w interface{ Write([]byte) (int, error) }
+	n int64
+}
+
+func (cw *countingWriter) Write(b []byte) (int, error) {
+	n, err := cw.w.Write(b)
+	cw.n += int64(n)
+	return n, err
+}

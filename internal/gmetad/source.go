@@ -1,0 +1,151 @@
+package gmetad
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"ganglia/internal/gxml"
+)
+
+// pollSource polls one data source: dial with failover, download and
+// parse the report, summarize, archive, and publish the new snapshot.
+// On total failure the previous snapshot is retained (its soft-state
+// ages mark everything stale) and zero records are written to the
+// archives — the paper's downtime forensics (§2.1). Failed sources are
+// retried on every polling round, so "failures do not cause permanent
+// fissures in the monitoring tree".
+func (g *Gmetad) pollSource(slot *sourceSlot, now time.Time) {
+	g.acct.polls.Add(1)
+
+	conn, addr, err := g.dialFailover(slot)
+	if err != nil {
+		g.sourceFailed(slot, now, err)
+		return
+	}
+	defer conn.Close()
+	// Bound the whole exchange: a source that connects but stalls is a
+	// remote failure, detected by timeout like any link failure.
+	_ = conn.SetDeadline(time.Now().Add(g.cfg.ReadTimeout))
+
+	// A child gmetad expects a query line; in N-level mode we ask for
+	// the O(m) summary form of its subtree, in 1-level mode for the
+	// full tree (the legacy union-reporting behaviour under test).
+	if slot.cfg.Kind == SourceGmetad {
+		q := "/\n"
+		if g.cfg.Mode == NLevel {
+			q = "/?filter=summary\n"
+		}
+		if _, err := io.WriteString(conn, q); err != nil {
+			g.sourceFailed(slot, now, fmt.Errorf("send query: %w", err))
+			return
+		}
+	}
+
+	b := newBuilder(slot.cfg, now, g.cfg.Mode != OneLevel)
+	var data *sourceData
+	var parseErr error
+	timed(&g.acct.downloadParse, func() {
+		cr := &countingReader{r: conn}
+		parseErr = gxml.ParseStream(bufio.NewReaderSize(cr, 64*1024), b.handler())
+		g.acct.bytesIn.Add(cr.n)
+	})
+	if parseErr != nil {
+		g.sourceFailed(slot, now, fmt.Errorf("parse %s: %w", addr, parseErr))
+		return
+	}
+	timed(&g.acct.summarize, func() {
+		data = b.finish()
+	})
+
+	if g.pool != nil {
+		timed(&g.acct.archive, func() {
+			g.archiveSource(data, now)
+		})
+	}
+
+	slot.mu.Lock()
+	slot.data = data
+	recovered := slot.failed
+	var wasDown time.Duration
+	if recovered {
+		wasDown = now.Sub(slot.downSince)
+		slot.failed = false
+		slot.downSince = time.Time{}
+	}
+	slot.lastErr = nil
+	movedFrom := ""
+	if slot.activeAddr != "" && slot.activeAddr != addr {
+		movedFrom = slot.activeAddr
+	}
+	slot.activeAddr = addr
+	slot.mu.Unlock()
+
+	if recovered {
+		g.logf("source %s recovered via %s after %v down", slot.cfg.Name, addr, wasDown)
+	} else if movedFrom != "" {
+		g.logf("source %s failed over %s -> %s", slot.cfg.Name, movedFrom, addr)
+	}
+}
+
+// dialFailover walks the source's address list in order and returns the
+// first connection established. Every gmond agent holds redundant
+// global cluster state, so any responder yields the complete report —
+// the automatic failover of paper fig 1.
+func (g *Gmetad) dialFailover(slot *sourceSlot) (net.Conn, string, error) {
+	var firstErr error
+	for i, addr := range slot.cfg.Addrs {
+		conn, err := g.cfg.Network.Dial(addr)
+		if err == nil {
+			if i > 0 {
+				g.acct.failovers.Add(1)
+			}
+			return conn, addr, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, "", fmt.Errorf("all %d addresses failed: %w", len(slot.cfg.Addrs), firstErr)
+}
+
+// sourceFailed records a poll failure and writes zero records for every
+// series this source feeds, so the archives show an unambiguous
+// time-of-death signature instead of a silent gap.
+func (g *Gmetad) sourceFailed(slot *sourceSlot, now time.Time, err error) {
+	g.acct.pollFails.Add(1)
+	slot.mu.Lock()
+	slot.lastErr = err
+	firstFailure := !slot.failed
+	if firstFailure {
+		slot.failed = true
+		slot.downSince = now
+	}
+	data := slot.data
+	slot.mu.Unlock()
+
+	if firstFailure {
+		g.logf("source %s DOWN: %v (retrying every poll)", slot.cfg.Name, err)
+	}
+
+	if g.pool == nil || data == nil {
+		return
+	}
+	timed(&g.acct.archive, func() {
+		g.zeroFill(data, now)
+	})
+}
+
+// countingReader tracks download volume.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}

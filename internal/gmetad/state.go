@@ -1,0 +1,282 @@
+package gmetad
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/metric"
+	"ganglia/internal/summary"
+)
+
+// sourceSlot is the level-1 entry of the hash DOM: one per data source.
+// Each slot carries its own RWMutex — the paper's "fine-grained locks on
+// its data structures that enable the parser and query engine threads
+// to operate at once" (§2.3.1). The poller builds a fresh sourceData
+// off-lock and swaps it in, so queries always see a complete snapshot.
+type sourceSlot struct {
+	cfg DataSource
+
+	mu         sync.RWMutex
+	data       *sourceData // nil until the first successful poll
+	failed     bool
+	downSince  time.Time
+	lastErr    error
+	activeAddr string
+}
+
+// snapshot returns the current data (possibly nil) and failure state.
+func (s *sourceSlot) snapshot() (*sourceData, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data, s.failed
+}
+
+// sourceData is one immutable poll result.
+type sourceData struct {
+	name      string
+	kind      SourceKind
+	authority string // child gmetad's authority URL
+	localtime int64
+	polled    time.Time
+
+	// clusters indexes every full-resolution cluster found in the
+	// report, including clusters nested in child grids (1-level mode).
+	clusters map[string]*clusterData
+	// clusterOrder preserves deterministic serialization order.
+	clusterOrder []string
+
+	// grids preserves the child's grid tree for faithful
+	// re-serialization in 1-level mode.
+	grids []*gxml.Grid
+
+	// summary is the additive reduction over the whole source.
+	summary *summary.Summary
+}
+
+// clusterData is the level-2/3 hash structure for one cluster: hosts by
+// name, each host's metrics by name (within gxml.Host), plus the
+// cluster's reduction.
+type clusterData struct {
+	meta    gxml.Cluster // Name/Owner/URL/LocalTime only
+	hosts   map[string]*gxml.Host
+	order   []string
+	summary *summary.Summary
+	// inGrid marks clusters found nested inside a child grid (1-level
+	// mode); they are summarized through the grid walk, not directly.
+	inGrid bool
+}
+
+// newClusterData wraps cluster attributes.
+func newClusterData(name, owner, url string, localtime int64) *clusterData {
+	return &clusterData{
+		meta:  gxml.Cluster{Name: name, Owner: owner, URL: url, LocalTime: localtime},
+		hosts: make(map[string]*gxml.Host),
+	}
+}
+
+// finalize sorts hosts and, when computeSummary is set, computes the
+// cluster's reduction. A cluster that arrived in summary form (no
+// hosts, parsed HOSTS/METRICS tags) keeps the summary it came with.
+func (c *clusterData) finalize(computeSummary bool) {
+	c.order = c.order[:0]
+	for name := range c.hosts {
+		c.order = append(c.order, name)
+	}
+	sort.Strings(c.order)
+	if len(c.hosts) == 0 && c.summary != nil {
+		return
+	}
+	if !computeSummary {
+		return
+	}
+	c.summary = c.summaryOf()
+}
+
+// summaryOf returns the cluster's reduction, computing it on the fly
+// when the poller skipped summarization (1-level mode, where the legacy
+// daemon kept no summaries; the rare summary query pays at query time).
+func (c *clusterData) summaryOf() *summary.Summary {
+	if c.summary != nil {
+		return c.summary
+	}
+	s := summary.New()
+	for _, name := range c.order {
+		h := c.hosts[name]
+		up := h.Up()
+		s.AddHost(up)
+		if !up {
+			continue
+		}
+		for _, m := range h.Metrics {
+			s.AddMetric(m)
+		}
+	}
+	return s
+}
+
+// summaryOf returns the source's reduction, computing it on demand when
+// the poller skipped summarization.
+func (d *sourceData) summaryOf() *summary.Summary {
+	if d.summary != nil {
+		return d.summary
+	}
+	total := summary.New()
+	for _, name := range d.clusterOrder {
+		c := d.clusters[name]
+		if c.inGrid {
+			continue
+		}
+		total.Merge(c.summaryOf())
+	}
+	for _, g := range d.grids {
+		total.Merge(g.Summarize())
+	}
+	return total
+}
+
+// builder assembles a sourceData from streaming parse events.
+type builder struct {
+	out *sourceData
+	// summarize controls whether reductions are computed during the
+	// parse. The N-level design summarizes on the polling time scale;
+	// the legacy 1-level daemon does not summarize at all.
+	summarize bool
+
+	gridStack []*gxml.Grid
+	curClu    *clusterData
+	curGXML   *gxml.Cluster // shadow node in the grid tree
+	curHost   *gxml.Host
+
+	// gridSummaries collects the summary form of grids that arrive
+	// pre-reduced from a child gmetad.
+	summStack []*summary.Summary
+}
+
+func newBuilder(src DataSource, polled time.Time, summarize bool) *builder {
+	return &builder{
+		summarize: summarize,
+		out: &sourceData{
+			name:     src.Name,
+			kind:     src.Kind,
+			polled:   polled,
+			clusters: make(map[string]*clusterData),
+		},
+	}
+}
+
+// handler returns the gxml callbacks that feed the builder.
+func (b *builder) handler() *gxml.Handler {
+	return &gxml.Handler{
+		StartGrid: func(name, authority string, lt int64) {
+			g := &gxml.Grid{Name: name, Authority: authority, LocalTime: lt}
+			if len(b.gridStack) == 0 {
+				b.out.grids = append(b.out.grids, g)
+				if b.out.authority == "" {
+					b.out.authority = authority
+				}
+				if b.out.localtime == 0 {
+					b.out.localtime = lt
+				}
+			} else {
+				parent := b.gridStack[len(b.gridStack)-1]
+				parent.Grids = append(parent.Grids, g)
+			}
+			b.gridStack = append(b.gridStack, g)
+			b.summStack = append(b.summStack, nil)
+		},
+		EndGrid: func() {
+			g := b.gridStack[len(b.gridStack)-1]
+			if s := b.summStack[len(b.summStack)-1]; s != nil {
+				g.Summary = s
+			}
+			b.gridStack = b.gridStack[:len(b.gridStack)-1]
+			b.summStack = b.summStack[:len(b.summStack)-1]
+		},
+		StartCluster: func(name, owner, url string, lt int64) {
+			b.curClu = newClusterData(name, owner, url, lt)
+			b.curGXML = &gxml.Cluster{Name: name, Owner: owner, URL: url, LocalTime: lt}
+			if len(b.gridStack) > 0 {
+				b.curClu.inGrid = true
+				parent := b.gridStack[len(b.gridStack)-1]
+				parent.Clusters = append(parent.Clusters, b.curGXML)
+			}
+			if b.out.localtime == 0 {
+				b.out.localtime = lt
+			}
+		},
+		EndCluster: func() {
+			b.curClu.finalize(b.summarize)
+			if _, dup := b.out.clusters[b.curClu.meta.Name]; !dup {
+				b.out.clusters[b.curClu.meta.Name] = b.curClu
+				b.out.clusterOrder = append(b.out.clusterOrder, b.curClu.meta.Name)
+			}
+			// Share host storage with the grid-tree shadow node.
+			for _, name := range b.curClu.order {
+				b.curGXML.Hosts = append(b.curGXML.Hosts, b.curClu.hosts[name])
+			}
+			b.curGXML.Summary = b.curClu.summary
+			b.curClu, b.curGXML = nil, nil
+		},
+		StartHost: func(h gxml.Host) {
+			hh := h
+			b.curHost = &hh
+		},
+		EndHost: func() {
+			if b.curClu != nil {
+				if _, dup := b.curClu.hosts[b.curHost.Name]; !dup {
+					b.curClu.hosts[b.curHost.Name] = b.curHost
+					b.curClu.order = append(b.curClu.order, b.curHost.Name)
+				}
+			}
+			b.curHost = nil
+		},
+		Metric: func(m metric.Metric) {
+			if b.curHost != nil {
+				b.curHost.Metrics = append(b.curHost.Metrics, m)
+			}
+		},
+		SummaryHosts: func(up, down uint32) {
+			s := b.currentSummary()
+			if s != nil {
+				s.HostsUp, s.HostsDown = up, down
+			}
+		},
+		SummaryMetric: func(sm summary.Metric) {
+			if s := b.currentSummary(); s != nil {
+				s.AddReduced(sm)
+			}
+		},
+	}
+}
+
+// currentSummary locates the summary under construction for the
+// innermost open grid or cluster.
+func (b *builder) currentSummary() *summary.Summary {
+	if b.curClu != nil {
+		// Cluster in summary form (a child served a cluster-summary
+		// query); keep it on the cluster.
+		if b.curClu.summary == nil {
+			b.curClu.summary = summary.New()
+		}
+		return b.curClu.summary
+	}
+	if n := len(b.summStack); n > 0 {
+		if b.summStack[n-1] == nil {
+			b.summStack[n-1] = summary.New()
+		}
+		return b.summStack[n-1]
+	}
+	return nil
+}
+
+// finish computes the source-level reduction (when summarizing) and
+// returns the result.
+func (b *builder) finish() *sourceData {
+	if !b.summarize {
+		return b.out
+	}
+	b.out.summary = b.out.summaryOf()
+	return b.out
+}

@@ -1,0 +1,113 @@
+package gmond
+
+import (
+	"testing"
+	"time"
+
+	"ganglia/internal/metric"
+)
+
+func findMetric(t *testing.T, g *Gmond, host, name string) *metric.Metric {
+	t.Helper()
+	rep := g.Report(g.cfg.Clock.Now())
+	for _, c := range rep.Clusters {
+		for _, h := range c.Hosts {
+			if h.Name != host {
+				continue
+			}
+			for i := range h.Metrics {
+				if h.Metrics[i].Name == name {
+					return &h.Metrics[i]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func TestSetMetricPropagates(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	tc.run(30 * time.Second)
+
+	err := tc.agents[0].SetMetric(metric.Metric{
+		Name:  "jobs_queued",
+		Val:   metric.NewInt(17),
+		Units: "jobs",
+		TMAX:  120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the publisher and its neighbor see the metric immediately
+	// (synchronous in-memory delivery).
+	for i, g := range tc.agents {
+		m := findMetric(t, g, "compute-0-0", "jobs_queued")
+		if m == nil {
+			t.Fatalf("agent %d: metric not visible", i)
+		}
+		if m.Val.Text() != "17" || m.Units != "jobs" {
+			t.Errorf("agent %d: %q %q", i, m.Val.Text(), m.Units)
+		}
+		if m.Source != "gmetric" {
+			t.Errorf("agent %d: source %q", i, m.Source)
+		}
+	}
+
+	// Updating replaces the value.
+	if err := tc.agents[0].SetMetric(metric.Metric{
+		Name: "jobs_queued", Val: metric.NewInt(3), TMAX: 120,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m := findMetric(t, tc.agents[1], "compute-0-0", "jobs_queued"); m.Val.Text() != "3" {
+		t.Errorf("update not applied: %q", m.Val.Text())
+	}
+}
+
+func TestSetMetricDMAXExpiry(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	tc.run(20 * time.Second)
+	if err := tc.agents[0].SetMetric(metric.Metric{
+		Name: "ephemeral_kv", Val: metric.NewString("x"), TMAX: 20, DMAX: 60,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if findMetric(t, tc.agents[1], "compute-0-0", "ephemeral_kv") == nil {
+		t.Fatal("not visible")
+	}
+	// Publisher goes quiet about it; after DMAX the neighbor purges it.
+	tc.clk.Advance(90 * time.Second)
+	if findMetric(t, tc.agents[1], "compute-0-0", "ephemeral_kv") != nil {
+		t.Error("user metric survived past DMAX")
+	}
+}
+
+func TestSetMetricValidation(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	g := tc.agents[0]
+	if err := g.SetMetric(metric.Metric{Val: metric.NewInt(1)}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := g.SetMetric(metric.Metric{Name: metric.HeartbeatName, Val: metric.NewInt(1)}); err == nil {
+		t.Error("reserved name accepted")
+	}
+	mute, err := New(Config{Cluster: "c", Host: "m", Bus: tc.bus, Clock: tc.clk, Mute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close()
+	if err := mute.SetMetric(metric.Metric{Name: "x", Val: metric.NewInt(1)}); err == nil {
+		t.Error("mute agent published")
+	}
+}
+
+func TestSetMetricDefaultTMAX(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	if err := tc.agents[0].SetMetric(metric.Metric{Name: "kv", Val: metric.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	m := findMetric(t, tc.agents[0], "compute-0-0", "kv")
+	if m == nil || m.TMAX != 60 {
+		t.Errorf("default TMAX: %+v", m)
+	}
+}

@@ -1,0 +1,531 @@
+package gmond
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gxml"
+	"ganglia/internal/metric"
+	"ganglia/internal/oscollect"
+	"ganglia/internal/transport"
+)
+
+var t0 = time.Unix(1_057_000_000, 0)
+
+// testCluster spins up n gmond agents on one in-memory channel, driven
+// by a shared virtual clock.
+type testCluster struct {
+	bus    *transport.InMemBus
+	clk    *clock.Virtual
+	agents []*Gmond
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		bus: transport.NewInMemBus(),
+		clk: clock.NewVirtual(t0),
+	}
+	for i := 0; i < n; i++ {
+		host := fmt.Sprintf("compute-0-%d", i)
+		g, err := New(Config{
+			Cluster:   "Meteor",
+			Owner:     "SDSC",
+			Host:      host,
+			IP:        fmt.Sprintf("10.1.0.%d", i+1),
+			Bus:       tc.bus,
+			Clock:     tc.clk,
+			Collector: oscollect.NewSimHost(host, int64(i+1), t0),
+		})
+		if err != nil {
+			t.Fatalf("New(%s): %v", host, err)
+		}
+		t.Cleanup(g.Close)
+		tc.agents = append(tc.agents, g)
+	}
+	return tc
+}
+
+// run advances the cluster in 1-second steps for d.
+func (tc *testCluster) run(d time.Duration) {
+	steps := int(d / time.Second)
+	for i := 0; i < steps; i++ {
+		now := tc.clk.Advance(time.Second)
+		for _, g := range tc.agents {
+			g.Step(now)
+		}
+	}
+}
+
+func TestSingleAgentReportsItself(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	tc.run(30 * time.Second)
+	g := tc.agents[0]
+	rep := g.Report(tc.clk.Now())
+	if len(rep.Clusters) != 1 {
+		t.Fatalf("clusters = %d", len(rep.Clusters))
+	}
+	c := rep.Clusters[0]
+	if c.Name != "Meteor" || c.Owner != "SDSC" {
+		t.Errorf("cluster attrs: %q %q", c.Name, c.Owner)
+	}
+	if len(c.Hosts) != 1 {
+		t.Fatalf("hosts = %d", len(c.Hosts))
+	}
+	h := c.Hosts[0]
+	if h.Name != "compute-0-0" || !h.Up() {
+		t.Errorf("host %q up=%v", h.Name, h.Up())
+	}
+	if len(h.Metrics) < 30 {
+		t.Errorf("metrics = %d, want the standard ~30+", len(h.Metrics))
+	}
+	// The heartbeat is host-level state, not a METRIC tag.
+	for _, m := range h.Metrics {
+		if m.Name == metric.HeartbeatName {
+			t.Error("heartbeat leaked into METRIC list")
+		}
+	}
+}
+
+func TestRedundantGlobalState(t *testing.T) {
+	tc := newTestCluster(t, 5)
+	tc.run(25 * time.Second)
+	for i, g := range tc.agents {
+		if got := g.KnownHosts(); got != 5 {
+			t.Errorf("agent %d knows %d hosts, want 5", i, got)
+		}
+	}
+	// Every agent can serve the full cluster (failover property): all
+	// reports list the same host set.
+	now := tc.clk.Now()
+	var names []string
+	for _, h := range tc.agents[0].Report(now).Clusters[0].Hosts {
+		names = append(names, h.Name)
+	}
+	for i, g := range tc.agents[1:] {
+		hosts := g.Report(now).Clusters[0].Hosts
+		if len(hosts) != len(names) {
+			t.Fatalf("agent %d reports %d hosts", i+1, len(hosts))
+		}
+		for j, h := range hosts {
+			if h.Name != names[j] {
+				t.Errorf("agent %d host[%d] = %q, want %q", i+1, j, h.Name, names[j])
+			}
+		}
+	}
+}
+
+func TestDynamicJoinWithoutRegistration(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	tc.run(time.Minute)
+	if tc.agents[0].KnownHosts() != 2 {
+		t.Fatalf("precondition: %d hosts", tc.agents[0].KnownHosts())
+	}
+	// A new node joins mid-flight; nothing is configured anywhere.
+	host := "compute-0-99"
+	g, err := New(Config{
+		Cluster: "Meteor", Host: host, IP: "10.1.0.100",
+		Bus: tc.bus, Clock: tc.clk,
+		Collector: oscollect.NewSimHost(host, 99, tc.clk.Now()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	tc.agents = append(tc.agents, g)
+	tc.run(25 * time.Second)
+	for i, a := range tc.agents {
+		if a.KnownHosts() != 3 {
+			t.Errorf("agent %d knows %d hosts after join, want 3", i, a.KnownHosts())
+		}
+	}
+}
+
+func TestStopFailureMarksHostDown(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	tc.run(time.Minute)
+
+	// Node 2 stops (no more Steps). Its heartbeat ages on the others.
+	dead := tc.agents[2]
+	tc.agents = tc.agents[:2]
+	_ = dead
+
+	tc.run(30 * time.Second) // heartbeat TN ~30 < 4*20: still up
+	rep := tc.agents[0].Report(tc.clk.Now())
+	if h := findHost(t, rep, "compute-0-2"); !h.Up() {
+		t.Error("host down too early (flapping)")
+	}
+
+	tc.run(60 * time.Second) // TN now > 80
+	rep = tc.agents[0].Report(tc.clk.Now())
+	h := findHost(t, rep, "compute-0-2")
+	if h.Up() {
+		t.Errorf("host still up with TN=%d TMAX=%d", h.TN, h.TMAX)
+	}
+	// Down hosts remain in the report — the paper's forensic "zero
+	// records" depend on the host staying visible.
+	if len(h.Metrics) == 0 {
+		t.Error("down host lost its last-known metrics")
+	}
+}
+
+func TestMetricDMAXExpiry(t *testing.T) {
+	bus := transport.NewInMemBus()
+	clk := clock.NewVirtual(t0)
+	defs := []metric.Definition{
+		{Name: "ephemeral", Type: metric.TypeFloat, CollectEvery: 10, TMAX: 20, DMAX: 60},
+	}
+	g, err := New(Config{
+		Cluster: "c", Host: "n0", Bus: bus, Clock: clk,
+		Collector: oscollect.NewSimHost("n0", 1, t0), Metrics: defs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g.Step(clk.Advance(time.Second))
+	rep := g.Report(clk.Now())
+	if len(findHost(t, rep, "n0").Metrics) != 1 {
+		t.Fatal("metric not announced")
+	}
+	// Stop stepping; after DMAX the metric must be purged.
+	clk.Advance(90 * time.Second)
+	rep = g.Report(clk.Now())
+	if n := len(findHost(t, rep, "n0").Metrics); n != 0 {
+		t.Errorf("expired metric still present (%d)", n)
+	}
+}
+
+func TestMuteAndDeaf(t *testing.T) {
+	bus := transport.NewInMemBus()
+	clk := clock.NewVirtual(t0)
+	talker, err := New(Config{
+		Cluster: "c", Host: "talker", Bus: bus, Clock: clk,
+		Collector: oscollect.NewSimHost("talker", 1, t0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer talker.Close()
+	mute, err := New(Config{
+		Cluster: "c", Host: "mute", Bus: bus, Clock: clk, Mute: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close()
+	deaf, err := New(Config{
+		Cluster: "c", Host: "deaf", Bus: bus, Clock: clk, Deaf: true,
+		Collector: oscollect.NewSimHost("deaf", 2, t0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deaf.Close()
+
+	for i := 0; i < 30; i++ {
+		now := clk.Advance(time.Second)
+		talker.Step(now)
+		mute.Step(now)
+		deaf.Step(now)
+	}
+	// The mute agent hears talker and deaf but never announces itself.
+	if got := mute.KnownHosts(); got != 2 {
+		t.Errorf("mute agent knows %d hosts, want 2 (talker+deaf)", got)
+	}
+	// The deaf agent knows only itself.
+	if got := deaf.KnownHosts(); got != 1 {
+		t.Errorf("deaf agent knows %d hosts, want 1", got)
+	}
+	// Nobody learned about the mute agent.
+	if got := talker.KnownHosts(); got != 2 {
+		t.Errorf("talker knows %d hosts, want 2 (self+deaf)", got)
+	}
+}
+
+func TestMuteRequiresNoCollector(t *testing.T) {
+	bus := transport.NewInMemBus()
+	if _, err := New(Config{Cluster: "c", Host: "h", Bus: bus, Mute: true}); err != nil {
+		t.Errorf("mute agent should not need a collector: %v", err)
+	}
+	if _, err := New(Config{Cluster: "c", Host: "h", Bus: bus}); err == nil {
+		t.Error("non-mute agent without collector accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bus := transport.NewInMemBus()
+	col := oscollect.NewSimHost("h", 1, t0)
+	if _, err := New(Config{Host: "h", Bus: bus, Collector: col}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if _, err := New(Config{Cluster: "c", Bus: bus, Collector: col}); err == nil {
+		t.Error("empty host accepted")
+	}
+	if _, err := New(Config{Cluster: "c", Host: "h", Collector: col}); err == nil {
+		t.Error("nil bus accepted")
+	}
+}
+
+func TestValueThresholdTriggersEarlyAnnounce(t *testing.T) {
+	bus := transport.NewInMemBus()
+	clk := clock.NewVirtual(t0)
+	col := &stepCollector{val: 1.0}
+	defs := []metric.Definition{
+		{Name: "jumpy", Type: metric.TypeFloat, CollectEvery: 5, TMAX: 1200, ValueThreshold: 0.05},
+	}
+	g, err := New(Config{
+		Cluster: "c", Host: "n0", Bus: bus, Clock: clk, Collector: col, Metrics: defs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	listener, err := New(Config{Cluster: "c", Host: "listener", Bus: bus, Clock: clk, Mute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listener.Close()
+
+	g.Step(clk.Advance(time.Second)) // initial announce
+	read := func() (float64, uint32) {
+		rep := listener.Report(clk.Now())
+		h := findHost(t, rep, "n0")
+		for _, m := range h.Metrics {
+			if m.Name == "jumpy" {
+				f, _ := m.Val.Float64()
+				return f, m.TN
+			}
+		}
+		t.Fatal("jumpy not heard")
+		return 0, 0
+	}
+	if v, _ := read(); v != 1.0 {
+		t.Fatalf("initial value %v", v)
+	}
+
+	// Small drift below threshold: no re-announce even after several
+	// collection intervals.
+	col.val = 1.02
+	for i := 0; i < 20; i++ {
+		g.Step(clk.Advance(time.Second))
+	}
+	if v, _ := read(); v != 1.0 {
+		t.Errorf("sub-threshold change was announced: %v", v)
+	}
+
+	// Large jump: announced at the next collection.
+	col.val = 2.0
+	for i := 0; i < 6; i++ {
+		g.Step(clk.Advance(time.Second))
+	}
+	if v, _ := read(); v != 2.0 {
+		t.Errorf("super-threshold change not announced: %v", v)
+	}
+}
+
+type stepCollector struct{ val float64 }
+
+func (c *stepCollector) Collect(def metric.Definition, now time.Time) metric.Value {
+	return metric.NewFloat(c.val)
+}
+
+func TestPacketLossTolerance(t *testing.T) {
+	tc := newTestCluster(t, 4)
+	tc.bus.SetLossRate(0.3, 99)
+	tc.run(3 * time.Minute)
+	now := tc.clk.Now()
+	for i, g := range tc.agents {
+		if g.KnownHosts() != 4 {
+			t.Errorf("agent %d knows %d hosts under 30%% loss", i, g.KnownHosts())
+		}
+		for _, h := range g.Report(now).Clusters[0].Hosts {
+			if !h.Up() {
+				t.Errorf("agent %d sees %s down under loss", i, h.Name)
+			}
+		}
+	}
+}
+
+func TestBadPacketsCounted(t *testing.T) {
+	tc := newTestCluster(t, 1)
+	tc.bus.Send([]byte("definitely not xdr"))
+	_, bad := tc.agents[0].PacketsIn()
+	if bad != 1 {
+		t.Errorf("bad packets = %d, want 1", bad)
+	}
+	tc.run(10 * time.Second) // agent keeps working
+	if tc.agents[0].KnownHosts() != 1 {
+		t.Error("agent wedged by bad packet")
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	tc.run(time.Minute)
+	now := tc.clk.Now()
+	var a, b bytes.Buffer
+	if err := gxml.WriteReport(&a, tc.agents[0].Report(now)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gxml.WriteReport(&b, tc.agents[1].Report(now)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two agents with full state produced different XML (breaks transparent failover)")
+	}
+}
+
+func TestServeXMLOverNetwork(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	tc.run(time.Minute)
+
+	net := transport.NewInMemNetwork()
+	l, err := net.Listen("compute-0-0:8649")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tc.agents[0].Serve(l)
+
+	conn, err := net.Dial("compute-0-0:8649")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(conn)
+	conn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := gxml.Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("served XML unparseable: %v", err)
+	}
+	if rep.Source != "gmond" || len(rep.Clusters) != 1 {
+		t.Errorf("source=%q clusters=%d", rep.Source, len(rep.Clusters))
+	}
+	if got := len(rep.Clusters[0].Hosts); got != 3 {
+		t.Errorf("served %d hosts", got)
+	}
+	tc.agents[0].Close() // must stop Serve and not hang
+}
+
+func findHost(t *testing.T, rep *gxml.Report, name string) *gxml.Host {
+	t.Helper()
+	for _, c := range rep.Clusters {
+		for _, h := range c.Hosts {
+			if h.Name == name {
+				return h
+			}
+		}
+	}
+	t.Fatalf("host %q not in report", name)
+	return nil
+}
+
+func TestBandwidth128NodeCluster(t *testing.T) {
+	// Paper §2.1: "the monitor on a 128-node cluster uses less than
+	// 56Kbps of network bandwidth". Reproduce the measurement.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bus := transport.NewInMemBus()
+	clk := clock.NewVirtual(t0)
+	var agents []*Gmond
+	for i := 0; i < 128; i++ {
+		host := fmt.Sprintf("n%d", i)
+		g, err := New(Config{
+			Cluster: "big", Host: host, Bus: bus, Clock: clk,
+			Collector: oscollect.NewSimHost(host, int64(i+1), t0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		agents = append(agents, g)
+	}
+	// Warm up so every metric has announced once.
+	for i := 0; i < 30; i++ {
+		now := clk.Advance(time.Second)
+		for _, g := range agents {
+			g.Step(now)
+		}
+	}
+	start := bus.Stats()
+	const window = 300 // seconds
+	for i := 0; i < window; i++ {
+		now := clk.Advance(time.Second)
+		for _, g := range agents {
+			g.Step(now)
+		}
+	}
+	end := bus.Stats()
+	bits := float64(end.Bytes-start.Bytes) * 8
+	kbps := bits / window / 1000
+	t.Logf("128-node cluster steady-state: %.1f kbit/s (%d packets in %ds)",
+		kbps, end.Packets-start.Packets, window)
+	if kbps > 56 {
+		t.Errorf("bandwidth %.1f kbit/s exceeds the paper's 56 kbit/s bound", kbps)
+	}
+	if kbps == 0 {
+		t.Error("no traffic measured")
+	}
+}
+
+func BenchmarkStep128Agents(b *testing.B) {
+	bus := transport.NewInMemBus()
+	clk := clock.NewVirtual(t0)
+	var agents []*Gmond
+	for i := 0; i < 128; i++ {
+		host := fmt.Sprintf("n%d", i)
+		g, err := New(Config{
+			Cluster: "big", Host: host, Bus: bus, Clock: clk,
+			Collector: oscollect.NewSimHost(host, int64(i+1), t0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer g.Close()
+		agents = append(agents, g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := clk.Advance(time.Second)
+		for _, g := range agents {
+			g.Step(now)
+		}
+	}
+}
+
+func BenchmarkReport100Hosts(b *testing.B) {
+	bus := transport.NewInMemBus()
+	clk := clock.NewVirtual(t0)
+	var agents []*Gmond
+	for i := 0; i < 100; i++ {
+		host := fmt.Sprintf("n%d", i)
+		g, err := New(Config{
+			Cluster: "big", Host: host, Bus: bus, Clock: clk,
+			Collector: oscollect.NewSimHost(host, int64(i+1), t0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer g.Close()
+		agents = append(agents, g)
+	}
+	for i := 0; i < 30; i++ {
+		now := clk.Advance(time.Second)
+		for _, g := range agents {
+			g.Step(now)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := agents[0].WriteXML(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package gmond
+
+import (
+	"testing"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/oscollect"
+	"ganglia/internal/transport"
+)
+
+func TestHostDMAXPurgesDepartedHosts(t *testing.T) {
+	bus := transport.NewInMemBus()
+	clk := clock.NewVirtual(t0)
+	mk := func(host string, seed int64) *Gmond {
+		g, err := New(Config{
+			Cluster: "c", Host: host, Bus: bus, Clock: clk,
+			Collector: oscollect.NewSimHost(host, seed, t0),
+			HostDMAX:  300,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(g.Close)
+		return g
+	}
+	a := mk("alpha", 1)
+	b := mk("beta", 2)
+	step := func(agents []*Gmond, seconds int) {
+		for i := 0; i < seconds; i++ {
+			now := clk.Advance(time.Second)
+			for _, g := range agents {
+				g.Step(now)
+			}
+		}
+	}
+	step([]*Gmond{a, b}, 30)
+	if a.KnownHosts() != 2 {
+		t.Fatalf("precondition: %d hosts", a.KnownHosts())
+	}
+
+	// beta departs. For a while it is reported down; after HostDMAX it
+	// vanishes from alpha's view.
+	step([]*Gmond{a}, 120)
+	rep := a.Report(clk.Now())
+	h := findHost(t, rep, "beta")
+	if h.Up() {
+		t.Error("departed host still up at TN=120")
+	}
+	step([]*Gmond{a}, 200) // total silence 320s > 300
+	rep = a.Report(clk.Now())
+	for _, c := range rep.Clusters {
+		for _, hh := range c.Hosts {
+			if hh.Name == "beta" {
+				t.Fatalf("beta still present after HostDMAX (TN=%d)", hh.TN)
+			}
+		}
+	}
+	if a.KnownHosts() != 1 {
+		t.Errorf("KnownHosts = %d after purge", a.KnownHosts())
+	}
+
+	// The agent never purges itself, even silent (mute periods).
+	step([]*Gmond{a}, 400)
+	rep = a.Report(clk.Now())
+	if len(rep.Clusters[0].Hosts) != 1 || rep.Clusters[0].Hosts[0].Name != "alpha" {
+		t.Errorf("self purged: %+v", rep.Clusters[0].Hosts)
+	}
+
+	// A returning host is re-admitted with no registration.
+	b2 := mk("beta", 2)
+	step([]*Gmond{a, b2}, 25)
+	if a.KnownHosts() != 2 {
+		t.Errorf("returning host not re-admitted: %d", a.KnownHosts())
+	}
+}
+
+func TestHostDMAXZeroKeepsForever(t *testing.T) {
+	tc := newTestCluster(t, 2) // HostDMAX 0 in the default test config
+	tc.run(30 * time.Second)
+	tc.agents = tc.agents[:1]
+	tc.run(time.Hour)
+	if got := tc.agents[0].KnownHosts(); got != 2 {
+		t.Errorf("HostDMAX=0 purged a host: %d known", got)
+	}
+}

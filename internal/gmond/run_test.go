@@ -1,0 +1,79 @@
+package gmond
+
+import (
+	"testing"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/oscollect"
+	"ganglia/internal/transport"
+)
+
+func TestRunAnnouncesOnRealTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode (waits >1s of wall time)")
+	}
+	bus := transport.NewInMemBus()
+	mk := func(host string, seed int64) *Gmond {
+		g, err := New(Config{
+			Cluster: "c", Host: host, Bus: bus, Clock: clock.Real{},
+			Collector: oscollect.NewSimHost(host, seed, time.Now()),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(g.Close)
+		return g
+	}
+	a := mk("alpha", 1)
+	b := mk("beta", 2)
+
+	done := make(chan struct{})
+	fa := make(chan struct{})
+	fb := make(chan struct{})
+	go func() { a.Run(done); close(fa) }()
+	go func() { b.Run(done); close(fb) }()
+
+	deadline := time.After(10 * time.Second)
+	for a.KnownHosts() < 2 || b.KnownHosts() < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("agents did not learn each other: %d/%d", a.KnownHosts(), b.KnownHosts())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	close(done)
+	for _, f := range []chan struct{}{fa, fb} {
+		select {
+		case <-f:
+		case <-time.After(3 * time.Second):
+			t.Fatal("Run did not stop")
+		}
+	}
+}
+
+func TestRunStopsOnClose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bus := transport.NewInMemBus()
+	g, err := New(Config{
+		Cluster: "c", Host: "h", Bus: bus, Clock: clock.Real{},
+		Collector: oscollect.NewSimHost("h", 1, time.Now()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := make(chan struct{})
+	go func() {
+		g.Run(make(chan struct{})) // only Close can stop it
+		close(finished)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	g.Close()
+	select {
+	case <-finished:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Run did not stop on Close")
+	}
+}

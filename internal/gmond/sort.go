@@ -1,0 +1,20 @@
+package gmond
+
+import (
+	"sort"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/metric"
+)
+
+// Reports are sorted so that serialization is deterministic: two agents
+// with the same cluster view emit byte-identical XML, which both the
+// tests and gmetad's failover (any node can answer) rely on.
+
+func sortHosts(hs []*gxml.Host) {
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Name < hs[j].Name })
+}
+
+func sortMetrics(ms []metric.Metric) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+}

@@ -1,0 +1,88 @@
+package gxml
+
+// DTD is the document type definition of the Ganglia XML language as
+// implemented here: the classic 2.5 grammar (GANGLIA_XML, GRID,
+// CLUSTER, HOST, METRIC) extended with the N-level summary form
+// (HOSTS, METRICS) of paper §2.2 and the archive history elements
+// (HISTORY, POINT). Real gmond/gmetad embed their DTD in every report;
+// WriteReportWithDTD does the same, and the streaming parser accepts
+// (and skips) the declaration, including its internal subset.
+const DTD = `<!DOCTYPE GANGLIA_XML [
+<!ELEMENT GANGLIA_XML (GRID|CLUSTER|HISTORY)*>
+  <!ATTLIST GANGLIA_XML VERSION CDATA #REQUIRED>
+  <!ATTLIST GANGLIA_XML SOURCE CDATA #REQUIRED>
+<!ELEMENT GRID (CLUSTER | GRID | HOSTS | METRICS)*>
+  <!ATTLIST GRID NAME CDATA #REQUIRED>
+  <!ATTLIST GRID AUTHORITY CDATA #REQUIRED>
+  <!ATTLIST GRID LOCALTIME CDATA #IMPLIED>
+<!ELEMENT CLUSTER (HOST | HOSTS | METRICS)*>
+  <!ATTLIST CLUSTER NAME CDATA #REQUIRED>
+  <!ATTLIST CLUSTER OWNER CDATA #IMPLIED>
+  <!ATTLIST CLUSTER URL CDATA #IMPLIED>
+  <!ATTLIST CLUSTER LOCALTIME CDATA #REQUIRED>
+<!ELEMENT HOST (METRIC)*>
+  <!ATTLIST HOST NAME CDATA #REQUIRED>
+  <!ATTLIST HOST IP CDATA #REQUIRED>
+  <!ATTLIST HOST REPORTED CDATA #REQUIRED>
+  <!ATTLIST HOST TN CDATA #IMPLIED>
+  <!ATTLIST HOST TMAX CDATA #IMPLIED>
+  <!ATTLIST HOST DMAX CDATA #IMPLIED>
+<!ELEMENT METRIC EMPTY>
+  <!ATTLIST METRIC NAME CDATA #REQUIRED>
+  <!ATTLIST METRIC VAL CDATA #REQUIRED>
+  <!ATTLIST METRIC TYPE (string | int8 | uint8 | int16 | uint16 | int32 | uint32 | float | double | timestamp) #REQUIRED>
+  <!ATTLIST METRIC UNITS CDATA #IMPLIED>
+  <!ATTLIST METRIC TN CDATA #IMPLIED>
+  <!ATTLIST METRIC TMAX CDATA #IMPLIED>
+  <!ATTLIST METRIC DMAX CDATA #IMPLIED>
+  <!ATTLIST METRIC SLOPE (zero | positive | negative | both | unspecified) #IMPLIED>
+  <!ATTLIST METRIC SOURCE CDATA #IMPLIED>
+<!ELEMENT HOSTS EMPTY>
+  <!ATTLIST HOSTS UP CDATA #REQUIRED>
+  <!ATTLIST HOSTS DOWN CDATA #REQUIRED>
+<!ELEMENT METRICS EMPTY>
+  <!ATTLIST METRICS NAME CDATA #REQUIRED>
+  <!ATTLIST METRICS SUM CDATA #REQUIRED>
+  <!ATTLIST METRICS SUMSQ CDATA #IMPLIED>
+  <!ATTLIST METRICS NUM CDATA #REQUIRED>
+  <!ATTLIST METRICS TYPE CDATA #IMPLIED>
+  <!ATTLIST METRICS UNITS CDATA #IMPLIED>
+<!ELEMENT HISTORY (POINT)*>
+  <!ATTLIST HISTORY CLUSTER CDATA #REQUIRED>
+  <!ATTLIST HISTORY HOST CDATA #REQUIRED>
+  <!ATTLIST HISTORY METRIC CDATA #REQUIRED>
+  <!ATTLIST HISTORY CF CDATA #REQUIRED>
+  <!ATTLIST HISTORY STEP CDATA #REQUIRED>
+<!ELEMENT POINT EMPTY>
+  <!ATTLIST POINT T CDATA #REQUIRED>
+  <!ATTLIST POINT V CDATA #REQUIRED>
+]>
+`
+
+// WriteReportWithDTD serializes a complete document with the DTD
+// embedded after the XML declaration, matching the real daemons'
+// self-describing output.
+func WriteReportWithDTD(dst interface{ Write([]byte) (int, error) }, r *Report) error {
+	w := NewWriter(dst)
+	version := r.Version
+	if version == "" {
+		version = Version
+	}
+	w.str(`<?xml version="1.0" encoding="ISO-8859-1" standalone="yes"?>` + "\n")
+	w.str(DTD)
+	w.str("<GANGLIA_XML")
+	w.attr("VERSION", version)
+	w.attr("SOURCE", r.Source)
+	w.str(">\n")
+	for _, c := range r.Clusters {
+		w.Cluster(c)
+	}
+	for _, g := range r.Grids {
+		w.Grid(g)
+	}
+	for _, h := range r.Histories {
+		w.HistoryElem(h)
+	}
+	w.str("</GANGLIA_XML>\n")
+	return w.Flush()
+}

@@ -1,0 +1,137 @@
+package gxml
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases for the hand-rolled parser: formatting quirks that other
+// Ganglia implementations (or hand-written configs) can legitimately
+// produce.
+func TestParserFormattingQuirks(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"single-quoted attributes",
+			`<GANGLIA_XML VERSION='1' SOURCE='s'><CLUSTER NAME='c' OWNER='' URL='' LOCALTIME='5'></CLUSTER></GANGLIA_XML>`},
+		{"whitespace around equals",
+			`<GANGLIA_XML VERSION = "1" SOURCE =  "s"><CLUSTER NAME= "c" OWNER="" URL="" LOCALTIME ="5"/></GANGLIA_XML>`},
+		{"crlf line endings",
+			"<GANGLIA_XML VERSION=\"1\" SOURCE=\"s\">\r\n<CLUSTER NAME=\"c\" OWNER=\"\" URL=\"\" LOCALTIME=\"5\">\r\n</CLUSTER>\r\n</GANGLIA_XML>\r\n"},
+		{"tabs between attributes",
+			"<GANGLIA_XML\tVERSION=\"1\"\tSOURCE=\"s\"><CLUSTER\tNAME=\"c\" OWNER=\"\" URL=\"\" LOCALTIME=\"5\"/></GANGLIA_XML>"},
+		{"space before self-close slash... tolerated end tags",
+			`<GANGLIA_XML VERSION="1" SOURCE="s"><CLUSTER NAME="c" OWNER="" URL="" LOCALTIME="5"></CLUSTER ></GANGLIA_XML >`},
+		{"newlines inside tag",
+			"<GANGLIA_XML\nVERSION=\"1\"\nSOURCE=\"s\">\n<CLUSTER NAME=\"c\" OWNER=\"\" URL=\"\"\nLOCALTIME=\"5\"/>\n</GANGLIA_XML>"},
+		{"leading whitespace and trailing junk whitespace",
+			"\n\t  <GANGLIA_XML VERSION=\"1\" SOURCE=\"s\"/>\n\n  "},
+	}
+	for _, tc := range cases {
+		rep, err := Parse(strings.NewReader(tc.doc))
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if rep.Version != "1" || rep.Source != "s" {
+			t.Errorf("%s: attrs %q %q", tc.name, rep.Version, rep.Source)
+		}
+	}
+}
+
+func TestParserNumericAttrLeniency(t *testing.T) {
+	// Malformed numeric attributes degrade to zero rather than killing
+	// the monitor.
+	doc := `<GANGLIA_XML VERSION="1" SOURCE="s">
+<CLUSTER NAME="c" OWNER="" URL="" LOCALTIME="not-a-number">
+<HOST NAME="h" IP="" REPORTED="bogus" TN="-5" TMAX="x" DMAX="">
+<METRIC NAME="m" VAL="1" TYPE="int32" TN="" TMAX="" DMAX="" SLOPE="both" SOURCE=""/>
+</HOST>
+</CLUSTER>
+</GANGLIA_XML>`
+	rep, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c := rep.Clusters[0]
+	if c.LocalTime != 0 {
+		t.Errorf("LocalTime = %d", c.LocalTime)
+	}
+	h := c.Hosts[0]
+	if h.Reported != 0 || h.TMAX != 0 {
+		t.Errorf("host numerics: %+v", h)
+	}
+}
+
+func TestParserMissingAttributes(t *testing.T) {
+	// Tags with attributes entirely absent still parse (zero values).
+	doc := `<GANGLIA_XML><CLUSTER><HOST><METRIC/></HOST></CLUSTER></GANGLIA_XML>`
+	rep, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(rep.Clusters) != 1 || len(rep.Clusters[0].Hosts) != 1 {
+		t.Fatalf("shape: %+v", rep)
+	}
+}
+
+func TestParserDuplicateNames(t *testing.T) {
+	// Two HOST tags with the same name: both parse into the tree (the
+	// gmetad layer deduplicates at its hash level).
+	doc := `<GANGLIA_XML VERSION="1" SOURCE="s">
+<CLUSTER NAME="c" OWNER="" URL="" LOCALTIME="0">
+<HOST NAME="dup" IP="" REPORTED="0"/><HOST NAME="dup" IP="" REPORTED="0"/>
+</CLUSTER>
+</GANGLIA_XML>`
+	rep, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Clusters[0].Hosts) != 2 {
+		t.Errorf("hosts = %d", len(rep.Clusters[0].Hosts))
+	}
+}
+
+func TestParserDeeplyNestedGrids(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`<GANGLIA_XML VERSION="1" SOURCE="s">`)
+	const depth = 50
+	for i := 0; i < depth; i++ {
+		sb.WriteString(`<GRID NAME="g" AUTHORITY="a" LOCALTIME="0">`)
+	}
+	sb.WriteString(`<HOSTS UP="1" DOWN="0"/>`)
+	for i := 0; i < depth; i++ {
+		sb.WriteString(`</GRID>`)
+	}
+	sb.WriteString(`</GANGLIA_XML>`)
+	rep, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Grids[0]
+	n := 1
+	for len(g.Grids) > 0 {
+		g = g.Grids[0]
+		n++
+	}
+	if n != depth {
+		t.Errorf("depth = %d", n)
+	}
+	if g.Summary == nil || g.Summary.HostsUp != 1 {
+		t.Errorf("innermost summary: %+v", g.Summary)
+	}
+}
+
+func TestParserHugeAttributeRejected(t *testing.T) {
+	// A pathological attribute value still terminates (no unbounded
+	// buffering beyond the document itself).
+	doc := `<GANGLIA_XML VERSION="` + strings.Repeat("x", 1<<20) + `" SOURCE="s"/>`
+	rep, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("1MB attribute: %v", err)
+	}
+	if len(rep.Version) != 1<<20 {
+		t.Errorf("version length %d", len(rep.Version))
+	}
+}

@@ -1,0 +1,42 @@
+package gxml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the hand-rolled streaming parser with arbitrary
+// bytes: it must never panic, and any document it accepts must
+// round-trip through the writer and parse again to an equivalent shape.
+func FuzzParse(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteReport(&seed, sampleReport())
+	f.Add(seed.String())
+	f.Add(`<GANGLIA_XML VERSION="1" SOURCE="s"></GANGLIA_XML>`)
+	f.Add(`<GANGLIA_XML VERSION="1" SOURCE="s"><CLUSTER NAME="c" OWNER="" URL="" LOCALTIME="0"><HOST NAME="h" IP="" REPORTED="0"><METRIC NAME="m" VAL="1" TYPE="int32"/></HOST></CLUSTER></GANGLIA_XML>`)
+	f.Add(`<?xml version="1.0"?><!DOCTYPE GANGLIA_XML [<!ELEMENT X (Y)>]><GANGLIA_XML VERSION="1" SOURCE="s"/>`)
+	f.Add(`<GANGLIA_XML VERSION="&amp;&lt;&gt;&#65;" SOURCE="s"/>`)
+	f.Add("<!-- -->")
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		rep, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, rep); err != nil {
+			t.Fatalf("accepted document failed to re-serialize: %v", err)
+		}
+		rep2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("writer output unparseable: %v\ninput: %q", err, doc)
+		}
+		if rep2.Hosts() != rep.Hosts() {
+			t.Fatalf("hosts changed across round trip: %d -> %d", rep.Hosts(), rep2.Hosts())
+		}
+		if len(rep2.Grids) != len(rep.Grids) || len(rep2.Clusters) != len(rep.Clusters) {
+			t.Fatalf("tree shape changed across round trip")
+		}
+	})
+}

@@ -1,0 +1,521 @@
+package gxml
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ganglia/internal/metric"
+	"ganglia/internal/summary"
+)
+
+// sampleReport builds a document shaped like the paper's fig 3: a grid
+// holding one full-resolution cluster and one nested grid in summary
+// form.
+func sampleReport() *Report {
+	attic := summary.New()
+	attic.HostsUp, attic.HostsDown = 10, 1
+	attic.AddReduced(summary.Metric{Name: "cpu_num", Sum: 20, Num: 10, Type: metric.TypeUint16})
+	attic.AddReduced(summary.Metric{Name: "load_one", Sum: 17.56, Num: 10, Type: metric.TypeFloat})
+
+	return &Report{
+		Version: Version,
+		Source:  "gmetad",
+		Grids: []*Grid{{
+			Name:      "SDSC",
+			Authority: "http://sdsc.example/ganglia/",
+			LocalTime: 1_057_000_123,
+			Clusters: []*Cluster{{
+				Name:      "Meteor",
+				Owner:     "SDSC",
+				URL:       "http://meteor.example/",
+				LocalTime: 1_057_000_120,
+				Hosts: []*Host{
+					{
+						Name: "compute-0-0", IP: "10.1.0.1", Reported: 1_057_000_115,
+						TN: 5, TMAX: 20, DMAX: 0,
+						Metrics: []metric.Metric{
+							{Name: "cpu_num", Val: metric.NewUint(2), Units: "CPUs", Slope: metric.SlopeZero, TN: 3, TMAX: 1200, Source: "gmond"},
+							{Name: "load_one", Val: metric.NewFloat(0.89), Slope: metric.SlopeBoth, TN: 7, TMAX: 70, Source: "gmond"},
+							{Name: "os_name", Val: metric.NewString(`Linux <"&'> weird`), Slope: metric.SlopeZero, TMAX: 1200, Source: "gmond"},
+						},
+					},
+					{
+						Name: "compute-0-1", IP: "10.1.0.2", Reported: 1_057_000_110,
+						TN: 10, TMAX: 20, DMAX: 0,
+						Metrics: []metric.Metric{
+							{Name: "cpu_num", Val: metric.NewUint(2), Units: "CPUs", Slope: metric.SlopeZero, TN: 2, TMAX: 1200, Source: "gmond"},
+						},
+					},
+				},
+			}},
+			Grids: []*Grid{{
+				Name:      "ATTIC",
+				Authority: "http://attic.example/ganglia/",
+				LocalTime: 1_057_000_100,
+				Summary:   attic,
+			}},
+		}},
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, sampleReport()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.Version != Version || got.Source != "gmetad" {
+		t.Errorf("root attrs: %q %q", got.Version, got.Source)
+	}
+	if len(got.Grids) != 1 {
+		t.Fatalf("grids = %d", len(got.Grids))
+	}
+	g := got.Grids[0]
+	if g.Name != "SDSC" || g.Authority != "http://sdsc.example/ganglia/" || g.LocalTime != 1_057_000_123 {
+		t.Errorf("grid attrs: %+v", g)
+	}
+	if len(g.Clusters) != 1 || len(g.Grids) != 1 {
+		t.Fatalf("grid children: %d clusters, %d grids", len(g.Clusters), len(g.Grids))
+	}
+	c := g.Clusters[0]
+	if c.Name != "Meteor" || len(c.Hosts) != 2 {
+		t.Fatalf("cluster: %q with %d hosts", c.Name, len(c.Hosts))
+	}
+	h := c.Hosts[0]
+	if h.Name != "compute-0-0" || h.IP != "10.1.0.1" || h.Reported != 1_057_000_115 || h.TN != 5 || h.TMAX != 20 {
+		t.Errorf("host attrs: %+v", h)
+	}
+	if len(h.Metrics) != 3 {
+		t.Fatalf("metrics = %d", len(h.Metrics))
+	}
+	m := h.Metrics[1]
+	if m.Name != "load_one" {
+		t.Errorf("metric name %q", m.Name)
+	}
+	if v, ok := m.Val.Float64(); !ok || v != 0.89 {
+		t.Errorf("load_one val %v %v", v, ok)
+	}
+	if m.Slope != metric.SlopeBoth || m.TN != 7 || m.TMAX != 70 || m.Source != "gmond" {
+		t.Errorf("metric attrs: %+v", m)
+	}
+	if esc := h.Metrics[2].Val.Text(); esc != `Linux <"&'> weird` {
+		t.Errorf("escaped round trip: %q", esc)
+	}
+
+	att := g.Grids[0]
+	if att.Name != "ATTIC" || att.Summary == nil {
+		t.Fatalf("nested grid: %+v", att)
+	}
+	if att.Summary.HostsUp != 10 || att.Summary.HostsDown != 1 {
+		t.Errorf("summary hosts: %d/%d", att.Summary.HostsUp, att.Summary.HostsDown)
+	}
+	sm := att.Summary.Metrics["load_one"]
+	if sm == nil || sm.Sum != 17.56 || sm.Num != 10 {
+		t.Errorf("summary metric: %+v", sm)
+	}
+}
+
+// TestWriterOutputIsWellFormedXML cross-validates the hand-rolled
+// writer against the standard library's XML parser.
+func TestWriterOutputIsWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, sampleReport()); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(&buf)
+	// The document declares ISO-8859-1 (as real gmetad does); our output
+	// is pure ASCII, so a pass-through reader is correct.
+	dec.CharsetReader = func(charset string, input io.Reader) (io.Reader, error) {
+		return input, nil
+	}
+	elements := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stdlib parser rejected writer output: %v", err)
+		}
+		if _, ok := tok.(xml.StartElement); ok {
+			elements++
+		}
+	}
+	// GANGLIA_XML, GRID, CLUSTER, 2×HOST, 4×METRIC, GRID, HOSTS, 2×METRICS
+	if elements != 13 {
+		t.Errorf("element count = %d, want 13", elements)
+	}
+}
+
+func TestParseGmondStyleReport(t *testing.T) {
+	// A gmond report has CLUSTER at top level, no GRID.
+	doc := `<?xml version="1.0" encoding="ISO-8859-1"?>
+<!DOCTYPE GANGLIA_XML [ <!ELEMENT GANGLIA_XML (GRID|CLUSTER|HOST)*> ]>
+<GANGLIA_XML VERSION="2.5.4" SOURCE="gmond">
+<CLUSTER NAME="Meteor" OWNER="SDSC" URL="" LOCALTIME="100">
+<HOST NAME="n0" IP="10.0.0.1" REPORTED="95" TN="5" TMAX="20" DMAX="0">
+<METRIC NAME="load_one" VAL="1.25" TYPE="float" UNITS="" TN="2" TMAX="70" DMAX="0" SLOPE="both" SOURCE="gmond"/>
+</HOST>
+</CLUSTER>
+</GANGLIA_XML>`
+	rep, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(rep.Clusters) != 1 || len(rep.Grids) != 0 {
+		t.Fatalf("clusters=%d grids=%d", len(rep.Clusters), len(rep.Grids))
+	}
+	if rep.Clusters[0].Hosts[0].Metrics[0].Name != "load_one" {
+		t.Error("metric not parsed")
+	}
+	if rep.Hosts() != 1 {
+		t.Errorf("Hosts() = %d", rep.Hosts())
+	}
+}
+
+func TestParseSkipsUnknownElements(t *testing.T) {
+	doc := `<GANGLIA_XML VERSION="2.5.4" SOURCE="gmond">
+<CLUSTER NAME="c" OWNER="" URL="" LOCALTIME="0">
+<EXTRA_DATA><EXTRA_ELEMENT NAME="x" VAL="1"/><NESTED><DEEP/></NESTED></EXTRA_DATA>
+<HOST NAME="n0" IP="" REPORTED="0" TN="0" TMAX="20" DMAX="0">
+<FUTURE_TAG/>
+<METRIC NAME="m" VAL="1" TYPE="int32" UNITS="" TN="0" TMAX="60" DMAX="0" SLOPE="both" SOURCE="gmond"/>
+</HOST>
+</CLUSTER>
+</GANGLIA_XML>`
+	rep, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(rep.Clusters[0].Hosts) != 1 || len(rep.Clusters[0].Hosts[0].Metrics) != 1 {
+		t.Errorf("unknown elements corrupted tree: %+v", rep.Clusters[0])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	doc := `<!-- a comment with > inside -->
+<GANGLIA_XML VERSION="1" SOURCE="s">
+<!-- another --><CLUSTER NAME="c" OWNER="" URL="" LOCALTIME="0"></CLUSTER>
+</GANGLIA_XML>`
+	if _, err := Parse(strings.NewReader(doc)); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+func TestParseRejectsMisnesting(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"metric outside host", `<GANGLIA_XML VERSION="1" SOURCE="s"><CLUSTER NAME="c" OWNER="" URL="" LOCALTIME="0"><METRIC NAME="m" VAL="1" TYPE="int32"/></CLUSTER></GANGLIA_XML>`},
+		{"host outside cluster", `<GANGLIA_XML VERSION="1" SOURCE="s"><HOST NAME="h" IP="" REPORTED="0"></HOST></GANGLIA_XML>`},
+		{"cluster inside host", `<GANGLIA_XML VERSION="1" SOURCE="s"><CLUSTER NAME="c" OWNER="" URL="" LOCALTIME="0"><HOST NAME="h" IP="" REPORTED="0"><CLUSTER NAME="x" OWNER="" URL="" LOCALTIME="0"/></HOST></CLUSTER></GANGLIA_XML>`},
+		{"mismatched end tag", `<GANGLIA_XML VERSION="1" SOURCE="s"><CLUSTER NAME="c" OWNER="" URL="" LOCALTIME="0"></GRID></GANGLIA_XML>`},
+		{"truncated", `<GANGLIA_XML VERSION="1" SOURCE="s"><CLUSTER NAME="c"`},
+		{"empty", ``},
+		{"double root content", `<GANGLIA_XML VERSION="1" SOURCE="s"><GANGLIA_XML VERSION="1" SOURCE="s"/></GANGLIA_XML>`},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	doc := `<GANGLIA_XML VERSION="1" SOURCE="s">
+<CLUSTER NAME="a&amp;b &lt;x&gt; &quot;q&quot; &apos;a&apos; &#65; &#x42;" OWNER="" URL="" LOCALTIME="0"></CLUSTER>
+</GANGLIA_XML>`
+	rep, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := `a&b <x> "q" 'a' A B`
+	if got := rep.Clusters[0].Name; got != want {
+		t.Errorf("entities: %q, want %q", got, want)
+	}
+}
+
+func TestParseBadEntity(t *testing.T) {
+	doc := `<GANGLIA_XML VERSION="1" SOURCE="s"><CLUSTER NAME="&bogus;" OWNER="" URL="" LOCALTIME="0"/></GANGLIA_XML>`
+	if _, err := Parse(strings.NewReader(doc)); err == nil {
+		t.Error("unknown entity accepted")
+	}
+}
+
+func TestHostUp(t *testing.T) {
+	h := &Host{TN: 5, TMAX: 20}
+	if !h.Up() {
+		t.Error("fresh host reported down")
+	}
+	h.TN = 81
+	if h.Up() {
+		t.Error("stale host reported up")
+	}
+	h = &Host{TN: 1 << 30, TMAX: 0}
+	if !h.Up() {
+		t.Error("TMAX=0 host must always be up")
+	}
+}
+
+func TestClusterSummarize(t *testing.T) {
+	c := &Cluster{
+		Name: "c",
+		Hosts: []*Host{
+			{Name: "up1", TN: 1, TMAX: 20, Metrics: []metric.Metric{
+				{Name: "cpu_num", Val: metric.NewUint(2)},
+				{Name: "os_name", Val: metric.NewString("Linux")},
+			}},
+			{Name: "up2", TN: 2, TMAX: 20, Metrics: []metric.Metric{
+				{Name: "cpu_num", Val: metric.NewUint(4)},
+			}},
+			{Name: "down", TN: 500, TMAX: 20, Metrics: []metric.Metric{
+				{Name: "cpu_num", Val: metric.NewUint(8)},
+			}},
+		},
+	}
+	s := c.Summarize()
+	if s.HostsUp != 2 || s.HostsDown != 1 {
+		t.Errorf("hosts %d/%d", s.HostsUp, s.HostsDown)
+	}
+	m := s.Metrics["cpu_num"]
+	if m == nil || m.Sum != 6 || m.Num != 2 {
+		t.Errorf("cpu_num = %+v (down host must not contribute)", m)
+	}
+	if _, ok := s.Metrics["os_name"]; ok {
+		t.Error("string metric summarized")
+	}
+}
+
+func TestGridSummarizeComposes(t *testing.T) {
+	remote := summary.New()
+	remote.HostsUp = 10
+	remote.AddReduced(summary.Metric{Name: "cpu_num", Sum: 20, Num: 10})
+
+	g := &Grid{
+		Name: "root",
+		Clusters: []*Cluster{{
+			Hosts: []*Host{{Name: "h", TN: 0, TMAX: 20, Metrics: []metric.Metric{
+				{Name: "cpu_num", Val: metric.NewUint(2)},
+			}}},
+		}},
+		Grids: []*Grid{{Name: "remote", Summary: remote}},
+	}
+	s := g.Summarize()
+	if s.HostsUp != 11 {
+		t.Errorf("HostsUp = %d", s.HostsUp)
+	}
+	if m := s.Metrics["cpu_num"]; m.Sum != 22 || m.Num != 11 {
+		t.Errorf("cpu_num = %+v", m)
+	}
+	// Summary-form grid returns a clone, not the original.
+	sf := &Grid{Summary: remote}
+	clone := sf.Summarize()
+	clone.AddHost(true)
+	if remote.HostsUp != 10 {
+		t.Error("Summarize returned aliased summary")
+	}
+}
+
+func TestWriteClusterSummaryForm(t *testing.T) {
+	s := summary.New()
+	s.HostsUp = 3
+	s.AddReduced(summary.Metric{Name: "load_one", Sum: 4.5, Num: 3, Type: metric.TypeFloat})
+	r := &Report{Source: "gmetad", Clusters: []*Cluster{{Name: "big", Summary: s}}}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `<HOSTS UP="3" DOWN="0"/>`) {
+		t.Errorf("no HOSTS tag in cluster summary:\n%s", out)
+	}
+	if strings.Contains(out, "<HOST ") {
+		t.Errorf("summary form leaked HOST tags:\n%s", out)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Clusters[0].Summary == nil || got.Clusters[0].Summary.HostsUp != 3 {
+		t.Errorf("cluster summary not parsed: %+v", got.Clusters[0])
+	}
+}
+
+// Property: any report built from arbitrary names/values survives a
+// write→parse round trip with names and values intact.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(cluster, host, mname string, val int32, tn uint16) bool {
+		r := &Report{
+			Source: "gmond",
+			Clusters: []*Cluster{{
+				Name: cluster,
+				Hosts: []*Host{{
+					Name: host, IP: "1.2.3.4", Reported: 99, TN: uint32(tn), TMAX: 20,
+					Metrics: []metric.Metric{{
+						Name: mname, Val: metric.NewInt(int64(val)),
+						Slope: metric.SlopeBoth, TMAX: 60, Source: "gmond",
+					}},
+				}},
+			}},
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, r); err != nil {
+			return false
+		}
+		got, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		c := got.Clusters[0]
+		h := c.Hosts[0]
+		m := h.Metrics[0]
+		v, ok := m.Val.Float64()
+		return c.Name == cluster && h.Name == host && h.TN == uint32(tn) &&
+			m.Name == mname && ok && int32(v) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary bytes.
+func TestQuickParserRobust(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildBigReport constructs a full-resolution cluster of n hosts with
+// the standard ~30 metrics, the document shape the experiments parse.
+func buildBigReport(n int) *Report {
+	c := &Cluster{Name: "Meteor", LocalTime: 100}
+	for i := 0; i < n; i++ {
+		h := &Host{
+			Name: "compute-" + itoa(i), IP: "10.0.0.1", Reported: 99,
+			TN: 5, TMAX: 20,
+		}
+		for _, def := range metric.Standard {
+			h.Metrics = append(h.Metrics, metric.Metric{
+				Name: def.Name, Val: metric.NewFloat(1.5), Units: def.Units,
+				Slope: def.Slope, TN: 3, TMAX: def.TMAX, Source: "gmond",
+			})
+		}
+		c.Hosts = append(c.Hosts, h)
+	}
+	return &Report{Source: "gmond", Clusters: []*Cluster{c}}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func TestBigReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, buildBigReport(100)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hosts() != 100 {
+		t.Errorf("hosts = %d", rep.Hosts())
+	}
+	if got := len(rep.Clusters[0].Hosts[50].Metrics); got != len(metric.Standard) {
+		t.Errorf("metrics on host 50 = %d", got)
+	}
+}
+
+func BenchmarkWrite100HostCluster(b *testing.B) {
+	r := buildBigReport(100)
+	var buf bytes.Buffer
+	WriteReport(&buf, r)
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteReport(&buf, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse100HostCluster(b *testing.B) {
+	var buf bytes.Buffer
+	WriteReport(&buf, buildBigReport(100))
+	doc := buf.Bytes()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(bytes.NewReader(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseStreamNoTree(b *testing.B) {
+	var buf bytes.Buffer
+	WriteReport(&buf, buildBigReport(100))
+	doc := buf.Bytes()
+	h := &Handler{Metric: func(m metric.Metric) {}}
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ParseStream(bytes.NewReader(doc), h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSummaryStddevRoundTripsOverWire(t *testing.T) {
+	s := summary.New()
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.AddMetric(metric.Metric{Name: "load_one", Val: metric.NewDouble(v)})
+		s.AddHost(true)
+	}
+	want := s.Metrics["load_one"].Stddev()
+	if want == 0 {
+		t.Fatal("precondition: zero stddev")
+	}
+	r := &Report{Source: "gmetad", Grids: []*Grid{{Name: "g", Summary: s}}}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SUMSQ=") {
+		t.Fatalf("SUMSQ not serialized:\n%s", buf.String())
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := got.Grids[0].Summary.Metrics["load_one"]
+	if diff := gm.Stddev() - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("stddev across the wire: %v, want %v", gm.Stddev(), want)
+	}
+}

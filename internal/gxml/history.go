@@ -1,0 +1,67 @@
+package gxml
+
+import (
+	"math"
+	"strconv"
+)
+
+// History is a HISTORY element: one archived metric series, served in
+// response to a history query. The paper's archives "support a wide
+// range of time scale queries" (§2.1); this element is how a series
+// travels to a viewer.
+type History struct {
+	Cluster string
+	Host    string // SummaryHost for cluster/grid summary series
+	Metric  string
+	// CF names the consolidation function (AVERAGE, MAX, ...).
+	CF string
+	// Step is the consolidation period in seconds.
+	Step int64
+
+	Points []HistoryPoint
+}
+
+// HistoryPoint is one POINT element: a timestamped consolidated value.
+// NaN marks an unknown slot (the source was silent past its heartbeat).
+type HistoryPoint struct {
+	Time  int64 // Unix seconds
+	Value float64
+}
+
+// Unknown reports whether the point holds no value.
+func (p HistoryPoint) Unknown() bool { return math.IsNaN(p.Value) }
+
+// HistoryElem emits a HISTORY element with its points.
+func (w *Writer) HistoryElem(h *History) {
+	w.str("<HISTORY")
+	w.attr("CLUSTER", h.Cluster)
+	w.attr("HOST", h.Host)
+	w.attr("METRIC", h.Metric)
+	w.attr("CF", h.CF)
+	w.attrInt("STEP", h.Step)
+	w.str(">\n")
+	for _, p := range h.Points {
+		w.str("<POINT")
+		w.attrInt("T", p.Time)
+		if p.Unknown() {
+			w.attr("V", "NaN")
+		} else {
+			w.attrFloat("V", p.Value)
+		}
+		w.str("/>\n")
+	}
+	w.str("</HISTORY>\n")
+}
+
+// parseHistoryValue decodes a POINT's V attribute; unparseable text
+// degrades to NaN (unknown) rather than an error.
+func parseHistoryValue(s string) float64 {
+	if s == "NaN" {
+		return math.NaN()
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}

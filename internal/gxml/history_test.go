@@ -1,0 +1,83 @@
+package gxml
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistoryRoundTrip(t *testing.T) {
+	r := &Report{
+		Source: "gmetad",
+		Histories: []*History{{
+			Cluster: "meteor",
+			Host:    "compute-0-0",
+			Metric:  "load_one",
+			CF:      "AVERAGE",
+			Step:    15,
+			Points: []HistoryPoint{
+				{Time: 1_057_000_015, Value: 0.5},
+				{Time: 1_057_000_030, Value: math.NaN()},
+				{Time: 1_057_000_045, Value: 2.25},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `V="NaN"`) {
+		t.Errorf("unknown point not serialized as NaN:\n%s", buf.String())
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Histories) != 1 {
+		t.Fatalf("histories = %d", len(got.Histories))
+	}
+	h := got.Histories[0]
+	if h.Cluster != "meteor" || h.Host != "compute-0-0" || h.Metric != "load_one" ||
+		h.CF != "AVERAGE" || h.Step != 15 {
+		t.Errorf("attrs: %+v", h)
+	}
+	if len(h.Points) != 3 {
+		t.Fatalf("points = %d", len(h.Points))
+	}
+	if h.Points[0].Value != 0.5 || h.Points[2].Value != 2.25 {
+		t.Errorf("values: %+v", h.Points)
+	}
+	if !h.Points[1].Unknown() {
+		t.Error("NaN point not unknown after round trip")
+	}
+}
+
+func TestHistoryNestingRules(t *testing.T) {
+	bad := []string{
+		// POINT outside HISTORY.
+		`<GANGLIA_XML VERSION="1" SOURCE="s"><POINT T="1" V="2"/></GANGLIA_XML>`,
+		// HISTORY inside CLUSTER.
+		`<GANGLIA_XML VERSION="1" SOURCE="s"><CLUSTER NAME="c" OWNER="" URL="" LOCALTIME="0"><HISTORY CLUSTER="c" HOST="h" METRIC="m" CF="AVERAGE" STEP="15"></HISTORY></CLUSTER></GANGLIA_XML>`,
+	}
+	for i, doc := range bad {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d parsed", i)
+		}
+	}
+}
+
+func TestHistoryBadValueDegradesToUnknown(t *testing.T) {
+	doc := `<GANGLIA_XML VERSION="1" SOURCE="s">
+<HISTORY CLUSTER="c" HOST="h" METRIC="m" CF="AVERAGE" STEP="15">
+<POINT T="10" V="not-a-number"/>
+</HISTORY>
+</GANGLIA_XML>`
+	rep, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Histories[0].Points[0].Unknown() {
+		t.Error("garbage value did not degrade to unknown")
+	}
+}

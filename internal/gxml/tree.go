@@ -1,0 +1,149 @@
+// Package gxml implements the Ganglia XML language (paper fig 3): the
+// recursive GRID / CLUSTER / HOST / METRIC report format exchanged over
+// TCP between gmond, gmetad and viewers, including the GRID tag and
+// summary form (HOSTS / METRICS tags) introduced by the N-level design.
+//
+// The package provides a document tree, a writer that serializes a tree
+// (or any subtree — the query engine depends on that), and a streaming
+// SAX-like parser. The parser is hand-rolled for the Ganglia dialect:
+// elements carry only attributes, never text content, so it avoids the
+// generality (and cost) of a full XML library — the same reasoning that
+// led the paper's authors to reject XPath engines as "too heavyweight
+// and inefficient" (§2.3).
+package gxml
+
+import (
+	"ganglia/internal/metric"
+	"ganglia/internal/summary"
+)
+
+// Version is the protocol version stamped on reports; 2.5.4 is the
+// paper's "N-level code ... currently in beta testing phase".
+const Version = "2.5.4"
+
+// Host is a HOST element: one cluster node at full resolution.
+type Host struct {
+	Name string
+	IP   string
+	// Reported is the Unix time of the host's last heartbeat.
+	Reported int64
+	// TN is the seconds elapsed since Reported, from the perspective
+	// of the serializing daemon.
+	TN uint32
+	// TMAX and DMAX carry the heartbeat's soft-state lifetimes.
+	TMAX uint32
+	DMAX uint32
+
+	Metrics []metric.Metric
+}
+
+// Up reports whether the host's heartbeat is fresh enough to consider
+// the node alive (the same 4×TMAX rule as metric staleness).
+func (h *Host) Up() bool {
+	return h.TMAX == 0 || h.TN <= 4*h.TMAX
+}
+
+// Cluster is a CLUSTER element. In full-resolution form Hosts is
+// populated; in summary form (the local cluster-summary query filter,
+// §2.3.2) Summary is set instead.
+type Cluster struct {
+	Name      string
+	Owner     string
+	URL       string
+	LocalTime int64
+
+	Hosts   []*Host
+	Summary *summary.Summary
+}
+
+// Summarize computes the additive reduction over the cluster's hosts.
+// Metrics of down hosts do not contribute to the sums. A cluster
+// already in summary form returns a clone of its summary.
+func (c *Cluster) Summarize() *summary.Summary {
+	if len(c.Hosts) == 0 && c.Summary != nil {
+		return c.Summary.Clone()
+	}
+	s := summary.New()
+	for _, h := range c.Hosts {
+		up := h.Up()
+		s.AddHost(up)
+		if !up {
+			continue
+		}
+		for _, m := range h.Metrics {
+			s.AddMetric(m)
+		}
+	}
+	return s
+}
+
+// Grid is a GRID element: a named collection of clusters and other
+// grids (paper §2.2). Authority is the URL of the gmetad that owns the
+// grid's full-resolution data; upstream nodes keep the pointer so a
+// coarse summary can always be chased to its source.
+//
+// A grid appears in two forms. The authoritative gmetad reports its own
+// grid with Clusters/Grids populated; its parents re-report it in
+// summary form with only Summary set.
+type Grid struct {
+	Name      string
+	Authority string
+	LocalTime int64
+
+	Clusters []*Cluster
+	Grids    []*Grid
+	Summary  *summary.Summary
+}
+
+// Summarize computes the grid's reduction: the merge of its cluster
+// summaries and child grid summaries. A grid already in summary form
+// returns a clone of that summary.
+func (g *Grid) Summarize() *summary.Summary {
+	if g.Summary != nil {
+		return g.Summary.Clone()
+	}
+	s := summary.New()
+	for _, c := range g.Clusters {
+		s.Merge(c.Summarize())
+	}
+	for _, child := range g.Grids {
+		s.Merge(child.Summarize())
+	}
+	return s
+}
+
+// Report is a GANGLIA_XML document. A gmond report carries Clusters
+// (exactly one, in practice); a gmetad report carries Grids (one root
+// grid describing the daemon's subtree).
+type Report struct {
+	Version string
+	Source  string
+
+	Clusters []*Cluster
+	Grids    []*Grid
+
+	// Histories carries archived series in response to history
+	// queries; empty for ordinary state reports.
+	Histories []*History
+}
+
+// Hosts counts the full-resolution hosts present in the report.
+func (r *Report) Hosts() int {
+	n := 0
+	for _, c := range r.Clusters {
+		n += len(c.Hosts)
+	}
+	var walk func(g *Grid)
+	walk = func(g *Grid) {
+		for _, c := range g.Clusters {
+			n += len(c.Hosts)
+		}
+		for _, child := range g.Grids {
+			walk(child)
+		}
+	}
+	for _, g := range r.Grids {
+		walk(g)
+	}
+	return n
+}

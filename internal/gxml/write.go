@@ -1,0 +1,224 @@
+package gxml
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"ganglia/internal/metric"
+	"ganglia/internal/summary"
+)
+
+// Writer serializes report trees and subtrees. It wraps the destination
+// in a buffered writer and latches the first error, so callers emit a
+// whole document and check once.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 32*1024)}
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+func (w *Writer) str(s string) {
+	if w.err == nil {
+		_, w.err = w.bw.WriteString(s)
+	}
+}
+
+func (w *Writer) attr(name, value string) {
+	w.str(" ")
+	w.str(name)
+	w.str(`="`)
+	w.escaped(value)
+	w.str(`"`)
+}
+
+func (w *Writer) attrInt(name string, v int64) {
+	w.str(" ")
+	w.str(name)
+	w.str(`="`)
+	if w.err == nil {
+		var buf [20]byte
+		_, w.err = w.bw.Write(strconv.AppendInt(buf[:0], v, 10))
+	}
+	w.str(`"`)
+}
+
+func (w *Writer) attrFloat(name string, v float64) {
+	w.str(" ")
+	w.str(name)
+	w.str(`="`)
+	if w.err == nil {
+		var buf [32]byte
+		_, w.err = w.bw.Write(strconv.AppendFloat(buf[:0], v, 'f', -1, 64))
+	}
+	w.str(`"`)
+}
+
+// escaped writes s with the five XML attribute metacharacters escaped.
+func (w *Writer) escaped(s string) {
+	if w.err != nil {
+		return
+	}
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '"':
+			esc = "&quot;"
+		case '\'':
+			esc = "&apos;"
+		default:
+			continue
+		}
+		w.str(s[last:i])
+		w.str(esc)
+		last = i + 1
+	}
+	w.str(s[last:])
+}
+
+// WriteReport serializes a complete GANGLIA_XML document.
+func WriteReport(dst io.Writer, r *Report) error {
+	w := NewWriter(dst)
+	w.Report(r)
+	return w.Flush()
+}
+
+// Report emits a complete document.
+func (w *Writer) Report(r *Report) {
+	version := r.Version
+	if version == "" {
+		version = Version
+	}
+	w.str(`<?xml version="1.0" encoding="ISO-8859-1" standalone="yes"?>` + "\n")
+	w.str("<GANGLIA_XML")
+	w.attr("VERSION", version)
+	w.attr("SOURCE", r.Source)
+	w.str(">\n")
+	for _, c := range r.Clusters {
+		w.Cluster(c)
+	}
+	for _, g := range r.Grids {
+		w.Grid(g)
+	}
+	for _, h := range r.Histories {
+		w.HistoryElem(h)
+	}
+	w.str("</GANGLIA_XML>\n")
+}
+
+// Grid emits a GRID element. A grid with a non-nil Summary and no
+// children is written in summary form; otherwise its clusters and
+// nested grids are written recursively.
+func (w *Writer) Grid(g *Grid) {
+	w.str("<GRID")
+	w.attr("NAME", g.Name)
+	w.attr("AUTHORITY", g.Authority)
+	w.attrInt("LOCALTIME", g.LocalTime)
+	w.str(">\n")
+	if g.Summary != nil && len(g.Clusters) == 0 && len(g.Grids) == 0 {
+		w.SummaryBody(g.Summary)
+	} else {
+		for _, c := range g.Clusters {
+			w.Cluster(c)
+		}
+		for _, child := range g.Grids {
+			w.Grid(child)
+		}
+	}
+	w.str("</GRID>\n")
+}
+
+// Cluster emits a CLUSTER element, in full-resolution form when Hosts
+// is populated and summary form when only Summary is set.
+func (w *Writer) Cluster(c *Cluster) {
+	w.str("<CLUSTER")
+	w.attr("NAME", c.Name)
+	w.attr("OWNER", c.Owner)
+	w.attr("URL", c.URL)
+	w.attrInt("LOCALTIME", c.LocalTime)
+	w.str(">\n")
+	if len(c.Hosts) == 0 && c.Summary != nil {
+		w.SummaryBody(c.Summary)
+	} else {
+		for _, h := range c.Hosts {
+			w.Host(h)
+		}
+	}
+	w.str("</CLUSTER>\n")
+}
+
+// Host emits a HOST element with its metrics.
+func (w *Writer) Host(h *Host) {
+	w.str("<HOST")
+	w.attr("NAME", h.Name)
+	w.attr("IP", h.IP)
+	w.attrInt("REPORTED", h.Reported)
+	w.attrInt("TN", int64(h.TN))
+	w.attrInt("TMAX", int64(h.TMAX))
+	w.attrInt("DMAX", int64(h.DMAX))
+	w.str(">\n")
+	for i := range h.Metrics {
+		w.Metric(&h.Metrics[i])
+	}
+	w.str("</HOST>\n")
+}
+
+// Metric emits a METRIC element.
+func (w *Writer) Metric(m *metric.Metric) {
+	w.str("<METRIC")
+	w.attr("NAME", m.Name)
+	w.attr("VAL", m.Val.Text())
+	w.attr("TYPE", m.Val.Type().String())
+	w.attr("UNITS", m.Units)
+	w.attrInt("TN", int64(m.TN))
+	w.attrInt("TMAX", int64(m.TMAX))
+	w.attrInt("DMAX", int64(m.DMAX))
+	w.attr("SLOPE", m.Slope.String())
+	w.attr("SOURCE", m.Source)
+	w.str("/>\n")
+}
+
+// SummaryBody emits the summary form shared by grids and clusters: one
+// HOSTS tag followed by one METRICS tag per reduced metric, exactly the
+// shape of the paper's fig 3 nested "ATTIC" grid.
+func (w *Writer) SummaryBody(s *summary.Summary) {
+	w.str("<HOSTS")
+	w.attrInt("UP", int64(s.HostsUp))
+	w.attrInt("DOWN", int64(s.HostsDown))
+	w.str("/>\n")
+	for _, name := range s.Names() {
+		m := s.Metrics[name]
+		w.str("<METRICS")
+		w.attr("NAME", m.Name)
+		w.attrFloat("SUM", m.Sum)
+		w.attrInt("NUM", int64(m.Num))
+		w.attr("TYPE", m.Type.String())
+		w.attr("UNITS", m.Units)
+		if m.SumSq != 0 {
+			// Extension: the sum of squares restores the standard
+			// deviation the paper's SUM/NUM reductions cannot express.
+			// Peers that do not know the attribute ignore it.
+			w.attrFloat("SUMSQ", m.SumSq)
+		}
+		w.str("/>\n")
+	}
+}

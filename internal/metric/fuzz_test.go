@@ -1,0 +1,48 @@
+package metric
+
+import (
+	"testing"
+)
+
+// FuzzDecodeAnnouncement throws arbitrary packets at the wire decoder:
+// no panic, and anything it accepts must re-encode and decode to the
+// same announcement.
+func FuzzDecodeAnnouncement(f *testing.F) {
+	good := Announcement{
+		Host: "compute-0-0", IP: "10.0.0.1",
+		Metric: Metric{Name: "load_one", Val: NewFloat(0.89), Units: "", Slope: SlopeBoth, TMAX: 70},
+	}
+	f.Add(good.Encode())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	pkt := good.Encode()
+	f.Add(pkt[:len(pkt)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeAnnouncement(data)
+		if err != nil {
+			return
+		}
+		// One re-encode may canonicalize the value's text form (float
+		// formatting); after that the representation must be a fixed
+		// point.
+		b, err := DecodeAnnouncement(a.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded announcement undecodable: %v", err)
+		}
+		if b.Host != a.Host || b.IP != a.IP || b.Metric.Name != a.Metric.Name ||
+			b.Metric.TMAX != a.Metric.TMAX || b.Metric.DMAX != a.Metric.DMAX {
+			t.Fatalf("announcement identity changed:\n%+v\n%+v", a, b)
+		}
+		c, err := DecodeAnnouncement(b.Encode())
+		if err != nil {
+			t.Fatalf("canonical announcement undecodable: %v", err)
+		}
+		if c.Metric.Val.Text() != b.Metric.Val.Text() ||
+			c.Metric.Val.Type() != b.Metric.Val.Type() {
+			t.Fatalf("canonical form not a fixed point: %q/%v -> %q/%v",
+				b.Metric.Val.Text(), b.Metric.Val.Type(),
+				c.Metric.Val.Text(), c.Metric.Val.Type())
+		}
+	})
+}

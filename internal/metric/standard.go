@@ -1,0 +1,84 @@
+package metric
+
+// Definition describes one of the standard metrics a gmond collects:
+// its static schema plus the default collection and lifetime intervals.
+// The paper notes each node reports "about 30 monitoring metrics, which
+// can also be user-defined" (fig 3); this table is that standard set,
+// mirroring the classic gmond 2.5 metric schedule.
+type Definition struct {
+	Name string
+	Type Type
+	// Units is the human-readable unit string carried in the XML.
+	Units string
+	Slope Slope
+	// CollectEvery is the default collection interval in seconds.
+	CollectEvery uint32
+	// TMAX is the maximum expected announce interval in seconds.
+	TMAX uint32
+	// DMAX is the delete-after interval in seconds (0 = never).
+	DMAX uint32
+	// ValueThreshold is the minimum relative change that forces an
+	// announce before TMAX elapses. Zero means announce on schedule
+	// only.
+	ValueThreshold float64
+}
+
+// Standard is the built-in metric table. The order is stable so that
+// reports and tests are deterministic.
+var Standard = []Definition{
+	{Name: "boottime", Type: TypeUint32, Units: "s", Slope: SlopeZero, CollectEvery: 1200, TMAX: 1200, DMAX: 0},
+	{Name: "bytes_in", Type: TypeFloat, Units: "bytes/sec", Slope: SlopeBoth, CollectEvery: 40, TMAX: 300, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "bytes_out", Type: TypeFloat, Units: "bytes/sec", Slope: SlopeBoth, CollectEvery: 40, TMAX: 300, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "cpu_aidle", Type: TypeFloat, Units: "%", Slope: SlopeBoth, CollectEvery: 950, TMAX: 3800, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "cpu_idle", Type: TypeFloat, Units: "%", Slope: SlopeBoth, CollectEvery: 20, TMAX: 90, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "cpu_nice", Type: TypeFloat, Units: "%", Slope: SlopeBoth, CollectEvery: 20, TMAX: 90, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "cpu_num", Type: TypeUint16, Units: "CPUs", Slope: SlopeZero, CollectEvery: 1200, TMAX: 1200, DMAX: 0},
+	{Name: "cpu_speed", Type: TypeUint32, Units: "MHz", Slope: SlopeZero, CollectEvery: 1200, TMAX: 1200, DMAX: 0},
+	{Name: "cpu_system", Type: TypeFloat, Units: "%", Slope: SlopeBoth, CollectEvery: 20, TMAX: 90, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "cpu_user", Type: TypeFloat, Units: "%", Slope: SlopeBoth, CollectEvery: 20, TMAX: 90, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "cpu_wio", Type: TypeFloat, Units: "%", Slope: SlopeBoth, CollectEvery: 20, TMAX: 90, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "disk_free", Type: TypeDouble, Units: "GB", Slope: SlopeBoth, CollectEvery: 40, TMAX: 180, DMAX: 0, ValueThreshold: 0.02},
+	{Name: "disk_total", Type: TypeDouble, Units: "GB", Slope: SlopeZero, CollectEvery: 1200, TMAX: 1200, DMAX: 0},
+	{Name: "load_fifteen", Type: TypeFloat, Units: "", Slope: SlopeBoth, CollectEvery: 80, TMAX: 950, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "load_five", Type: TypeFloat, Units: "", Slope: SlopeBoth, CollectEvery: 40, TMAX: 325, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "load_one", Type: TypeFloat, Units: "", Slope: SlopeBoth, CollectEvery: 20, TMAX: 70, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "machine_type", Type: TypeString, Units: "", Slope: SlopeZero, CollectEvery: 1200, TMAX: 1200, DMAX: 0},
+	{Name: "mem_buffers", Type: TypeUint32, Units: "KB", Slope: SlopeBoth, CollectEvery: 40, TMAX: 180, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "mem_cached", Type: TypeUint32, Units: "KB", Slope: SlopeBoth, CollectEvery: 40, TMAX: 180, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "mem_free", Type: TypeUint32, Units: "KB", Slope: SlopeBoth, CollectEvery: 40, TMAX: 180, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "mem_shared", Type: TypeUint32, Units: "KB", Slope: SlopeBoth, CollectEvery: 40, TMAX: 180, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "mem_total", Type: TypeUint32, Units: "KB", Slope: SlopeZero, CollectEvery: 1200, TMAX: 1200, DMAX: 0},
+	{Name: "mtu", Type: TypeUint32, Units: "", Slope: SlopeBoth, CollectEvery: 1200, TMAX: 1200, DMAX: 0},
+	{Name: "os_name", Type: TypeString, Units: "", Slope: SlopeZero, CollectEvery: 1200, TMAX: 1200, DMAX: 0},
+	{Name: "os_release", Type: TypeString, Units: "", Slope: SlopeZero, CollectEvery: 1200, TMAX: 1200, DMAX: 0},
+	{Name: "part_max_used", Type: TypeFloat, Units: "%", Slope: SlopeBoth, CollectEvery: 180, TMAX: 950, DMAX: 0, ValueThreshold: 0.02},
+	{Name: "pkts_in", Type: TypeFloat, Units: "packets/sec", Slope: SlopeBoth, CollectEvery: 40, TMAX: 300, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "pkts_out", Type: TypeFloat, Units: "packets/sec", Slope: SlopeBoth, CollectEvery: 40, TMAX: 300, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "proc_run", Type: TypeUint32, Units: "", Slope: SlopeBoth, CollectEvery: 80, TMAX: 950, DMAX: 0},
+	{Name: "proc_total", Type: TypeUint32, Units: "", Slope: SlopeBoth, CollectEvery: 80, TMAX: 950, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "swap_free", Type: TypeUint32, Units: "KB", Slope: SlopeBoth, CollectEvery: 40, TMAX: 180, DMAX: 0, ValueThreshold: 0.05},
+	{Name: "swap_total", Type: TypeUint32, Units: "KB", Slope: SlopeZero, CollectEvery: 1200, TMAX: 1200, DMAX: 0},
+}
+
+// Lookup returns the Definition for a standard metric name, or nil if
+// the name is not in the standard table (a user-defined metric).
+func Lookup(name string) *Definition {
+	for i := range Standard {
+		if Standard[i].Name == name {
+			return &Standard[i]
+		}
+	}
+	return nil
+}
+
+// NumericStandard returns the names of all standard metrics whose type
+// participates in additive summaries, in table order.
+func NumericStandard() []string {
+	var names []string
+	for i := range Standard {
+		if Standard[i].Type.Numeric() {
+			names = append(names, Standard[i].Name)
+		}
+	}
+	return names
+}

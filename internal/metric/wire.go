@@ -1,0 +1,121 @@
+package metric
+
+import (
+	"errors"
+	"fmt"
+
+	"ganglia/internal/xdr"
+)
+
+// Wire protocol for gmond announcements.
+//
+// Every gmond periodically multicasts one Announcement per metric it
+// owns. Each announcement is a single self-contained XDR message so a
+// newly started listener can reconstruct full cluster state with no
+// registration step — the soft-state, leaderless design of paper §1.
+
+// announceMagic guards against cross-protocol packets on the channel.
+const announceMagic uint32 = 0x67616e67 // "gang"
+
+// wireVersion is bumped whenever the announcement layout changes.
+const wireVersion uint32 = 1
+
+// ErrBadPacket is returned by DecodeAnnouncement for packets that are
+// not gmond announcements.
+var ErrBadPacket = errors.New("metric: not a gmond announcement")
+
+// Announcement is one metric from one host as it travels over the
+// multicast channel.
+type Announcement struct {
+	// Host is the originating node's name.
+	Host string
+	// IP is the originating node's address in text form (may be empty
+	// on in-memory transports).
+	IP string
+	// Metric carries the measurement itself. TN is not transmitted:
+	// receivers compute freshness from their own arrival clock, which
+	// keeps the protocol robust to clock skew between nodes.
+	Metric Metric
+}
+
+// AppendEncode encodes a into buf (which may be nil) and returns the
+// extended slice. The encoding is a fixed field sequence, not
+// self-describing, matching gmond's compact packets.
+func (a *Announcement) AppendEncode(buf []byte) []byte {
+	e := xdr.NewEncoder(buf)
+	e.Uint32(announceMagic)
+	e.Uint32(wireVersion)
+	e.String(a.Host)
+	e.String(a.IP)
+	e.String(a.Metric.Name)
+	e.Uint32(uint32(a.Metric.Val.Type()))
+	e.String(a.Metric.Val.Text())
+	e.String(a.Metric.Units)
+	e.Uint32(uint32(a.Metric.Slope))
+	e.Uint32(a.Metric.TMAX)
+	e.Uint32(a.Metric.DMAX)
+	e.String(a.Metric.Source)
+	return e.Bytes()
+}
+
+// Encode returns a freshly allocated encoding of a.
+func (a *Announcement) Encode() []byte { return a.AppendEncode(nil) }
+
+// DecodeAnnouncement parses a packet from the multicast channel.
+func DecodeAnnouncement(pkt []byte) (Announcement, error) {
+	var a Announcement
+	d := xdr.NewDecoder(pkt)
+	magic, err := d.Uint32()
+	if err != nil {
+		return a, fmt.Errorf("%w: %v", ErrBadPacket, err)
+	}
+	if magic != announceMagic {
+		return a, fmt.Errorf("%w: bad magic %#x", ErrBadPacket, magic)
+	}
+	ver, err := d.Uint32()
+	if err != nil {
+		return a, err
+	}
+	if ver != wireVersion {
+		return a, fmt.Errorf("%w: unsupported version %d", ErrBadPacket, ver)
+	}
+	if a.Host, err = d.String(); err != nil {
+		return a, err
+	}
+	if a.IP, err = d.String(); err != nil {
+		return a, err
+	}
+	if a.Metric.Name, err = d.String(); err != nil {
+		return a, err
+	}
+	typ, err := d.Uint32()
+	if err != nil {
+		return a, err
+	}
+	val, err := d.String()
+	if err != nil {
+		return a, err
+	}
+	a.Metric.Val = NewTyped(Type(typ), val)
+	if a.Metric.Units, err = d.String(); err != nil {
+		return a, err
+	}
+	slope, err := d.Uint32()
+	if err != nil {
+		return a, err
+	}
+	a.Metric.Slope = Slope(slope)
+	if a.Metric.TMAX, err = d.Uint32(); err != nil {
+		return a, err
+	}
+	if a.Metric.DMAX, err = d.Uint32(); err != nil {
+		return a, err
+	}
+	if a.Metric.Source, err = d.String(); err != nil {
+		return a, err
+	}
+	if a.Metric.Source == "" {
+		a.Metric.Source = "gmond"
+	}
+	return a, nil
+}

@@ -1,0 +1,230 @@
+// Package oscollect produces host metric values for gmond.
+//
+// On a real cluster node the local monitor reads hardware and operating
+// system parameters from /proc. This repository substitutes a
+// deterministic simulator: each SimHost owns a seeded random process
+// that evolves load, CPU, memory and network state with realistic
+// dynamics (mean-reverting load, bursty network counters, slowly
+// drifting disk usage). The substitution is sound for reproducing the
+// paper because the wide-area system under study treats metric values
+// as opaque — it cares only about a metric's type and context (paper
+// §1) — and the paper's own evaluation drives gmetad with pseudo-gmond
+// agents "whose metric values are chosen randomly" (§3).
+package oscollect
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"ganglia/internal/metric"
+)
+
+// Collector supplies the current value for one metric of one host.
+type Collector interface {
+	Collect(def metric.Definition, now time.Time) metric.Value
+}
+
+// SimHost is a simulated cluster node. It is not safe for concurrent
+// use; each gmond owns its collector.
+type SimHost struct {
+	host string
+	rng  *rand.Rand
+
+	// static attributes, fixed at creation
+	boot     time.Time
+	cpuNum   int
+	cpuSpeed int
+	memTotal uint64 // KB
+	swapTot  uint64 // KB
+	diskTot  float64
+
+	// dynamic state
+	last       time.Time
+	load       float64 // instantaneous 1-min load
+	loadTarget float64
+	load5      float64
+	load15     float64
+	memUsed    float64 // fraction of memTotal
+	swapUsed   float64
+	netInRate  float64 // bytes/sec
+	netOutRate float64
+	partUsed   float64 // percent
+	procTotal  float64
+}
+
+// NewSimHost returns a simulated node. Hosts created with different
+// seeds have different hardware and different workloads; the same seed
+// reproduces the same trajectory.
+func NewSimHost(host string, seed int64, boot time.Time) *SimHost {
+	rng := rand.New(rand.NewSource(seed))
+	cpuChoices := []int{1, 2, 2, 4} // dual-CPU common, like the paper's Alpha cluster
+	speedChoices := []int{1400, 1800, 2200, 2800}
+	s := &SimHost{
+		host:       host,
+		rng:        rng,
+		boot:       boot,
+		cpuNum:     cpuChoices[rng.Intn(len(cpuChoices))],
+		cpuSpeed:   speedChoices[rng.Intn(len(speedChoices))],
+		memTotal:   1024 * 1024, // 1 GB, per the paper's testbed
+		swapTot:    2 * 1024 * 1024,
+		diskTot:    36.0 + 4*rng.Float64(),
+		last:       boot,
+		load:       0.2 + rng.Float64(),
+		loadTarget: 0.5 + rng.Float64(),
+		memUsed:    0.2 + 0.3*rng.Float64(),
+		swapUsed:   0.01 + 0.05*rng.Float64(),
+		netInRate:  1e4 + 1e4*rng.Float64(),
+		netOutRate: 1e4 + 1e4*rng.Float64(),
+		partUsed:   30 + 30*rng.Float64(),
+		procTotal:  80 + 40*rng.Float64(),
+	}
+	s.load5 = s.load
+	s.load15 = s.load
+	return s
+}
+
+// Host returns the simulated node's name.
+func (s *SimHost) Host() string { return s.host }
+
+// advance evolves the dynamic state up to now. Time runs in one-second
+// simulation steps capped at a bounded horizon so a long-idle host does
+// not spin.
+func (s *SimHost) advance(now time.Time) {
+	dt := now.Sub(s.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	if dt > 3600 {
+		dt = 3600
+	}
+	s.last = now
+
+	// Workload arrivals: occasionally re-draw the load target,
+	// simulating parallel jobs starting and finishing.
+	if s.rng.Float64() < 1-math.Exp(-dt/120) {
+		s.loadTarget = float64(s.cpuNum) * s.rng.Float64() * 1.5
+	}
+	// Mean-reverting load with Gaussian noise (an Ornstein-Uhlenbeck
+	// step); load averages smooth it like the kernel's EMAs.
+	theta := 1 - math.Exp(-dt/60)
+	s.load += theta*(s.loadTarget-s.load) + 0.08*math.Sqrt(math.Min(dt, 60))*s.rng.NormFloat64()
+	if s.load < 0 {
+		s.load = 0
+	}
+	a5 := 1 - math.Exp(-dt/300)
+	a15 := 1 - math.Exp(-dt/900)
+	s.load5 += a5 * (s.load - s.load5)
+	s.load15 += a15 * (s.load - s.load15)
+
+	// Memory drifts with workload, clamped to a plausible band.
+	s.memUsed += 0.02 * math.Sqrt(math.Min(dt, 60)) * s.rng.NormFloat64()
+	s.memUsed = clamp(s.memUsed, 0.08, 0.92)
+	s.swapUsed = clamp(s.swapUsed+0.005*s.rng.NormFloat64(), 0, 0.5)
+
+	// Network rates are bursty: multiplicative noise around a base.
+	s.netInRate = clamp(s.netInRate*math.Exp(0.2*s.rng.NormFloat64()), 1e3, 1e8)
+	s.netOutRate = clamp(s.netOutRate*math.Exp(0.2*s.rng.NormFloat64()), 1e3, 1e8)
+
+	// Disk fills slowly.
+	s.partUsed = clamp(s.partUsed+0.01*dt*s.rng.Float64(), 5, 98)
+
+	s.procTotal = clamp(s.procTotal+3*s.rng.NormFloat64(), 40, 400)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// cpu splits 100% among user/system/wio/nice/idle according to load.
+func (s *SimHost) cpu() (user, system, wio, nice, idle float64) {
+	busy := clamp(s.load/float64(s.cpuNum), 0, 1) * 100
+	user = busy * 0.80
+	system = busy * 0.12
+	wio = busy * 0.05
+	nice = busy * 0.03
+	idle = 100 - user - system - wio - nice
+	return
+}
+
+// Collect implements Collector. Unknown metric names yield a
+// zero-valued metric of the definition's type so a user-defined metric
+// schedule still produces well-formed announcements.
+func (s *SimHost) Collect(def metric.Definition, now time.Time) metric.Value {
+	s.advance(now)
+	user, system, wio, nice, idle := s.cpu()
+	switch def.Name {
+	case "boottime":
+		return metric.NewUint(uint64(s.boot.Unix()))
+	case "bytes_in":
+		return metric.NewFloat(s.netInRate)
+	case "bytes_out":
+		return metric.NewFloat(s.netOutRate)
+	case "pkts_in":
+		return metric.NewFloat(s.netInRate / 800)
+	case "pkts_out":
+		return metric.NewFloat(s.netOutRate / 800)
+	case "cpu_aidle":
+		return metric.NewFloat(idle * 0.9)
+	case "cpu_idle":
+		return metric.NewFloat(idle)
+	case "cpu_nice":
+		return metric.NewFloat(nice)
+	case "cpu_system":
+		return metric.NewFloat(system)
+	case "cpu_user":
+		return metric.NewFloat(user)
+	case "cpu_wio":
+		return metric.NewFloat(wio)
+	case "cpu_num":
+		return metric.NewUint(uint64(s.cpuNum))
+	case "cpu_speed":
+		return metric.NewUint(uint64(s.cpuSpeed))
+	case "disk_free":
+		return metric.NewDouble(s.diskTot * (1 - s.partUsed/100))
+	case "disk_total":
+		return metric.NewDouble(s.diskTot)
+	case "load_one":
+		return metric.NewFloat(s.load)
+	case "load_five":
+		return metric.NewFloat(s.load5)
+	case "load_fifteen":
+		return metric.NewFloat(s.load15)
+	case "machine_type":
+		return metric.NewString("x86")
+	case "mem_total":
+		return metric.NewUint(s.memTotal)
+	case "mem_free":
+		return metric.NewUint(uint64(float64(s.memTotal) * (1 - s.memUsed)))
+	case "mem_buffers":
+		return metric.NewUint(uint64(float64(s.memTotal) * s.memUsed * 0.15))
+	case "mem_cached":
+		return metric.NewUint(uint64(float64(s.memTotal) * s.memUsed * 0.40))
+	case "mem_shared":
+		return metric.NewUint(uint64(float64(s.memTotal) * s.memUsed * 0.05))
+	case "swap_total":
+		return metric.NewUint(s.swapTot)
+	case "swap_free":
+		return metric.NewUint(uint64(float64(s.swapTot) * (1 - s.swapUsed)))
+	case "mtu":
+		return metric.NewUint(1500)
+	case "os_name":
+		return metric.NewString("Linux")
+	case "os_release":
+		return metric.NewString("2.4.18-27.7.xsmp")
+	case "part_max_used":
+		return metric.NewFloat(s.partUsed)
+	case "proc_run":
+		return metric.NewUint(uint64(clamp(s.load, 0, 64)))
+	case "proc_total":
+		return metric.NewUint(uint64(s.procTotal))
+	default:
+		return metric.NewTyped(def.Type, "0")
+	}
+}

@@ -1,0 +1,119 @@
+package oscollect
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"ganglia/internal/metric"
+)
+
+// Replay is a Collector that plays back a recorded metric trace,
+// letting experiments drive gmond with real workload data instead of
+// the synthetic simulator. The trace format is CSV with a header:
+//
+//	offset_seconds,metric,value
+//	0,load_one,0.52
+//	15,load_one,0.61
+//	15,mem_free,401234
+//
+// Offsets are relative to the replay's start time. Collect returns the
+// most recent recorded value at or before the queried time (step
+// interpolation); metrics absent from the trace fall back to an
+// optional underlying collector, or a zero value.
+type Replay struct {
+	start    time.Time
+	series   map[string][]tracePoint
+	fallback Collector
+}
+
+type tracePoint struct {
+	offset time.Duration
+	value  string
+}
+
+// NewReplay parses a trace and anchors it at start. fallback may be nil.
+func NewReplay(r io.Reader, start time.Time, fallback Collector) (*Replay, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("oscollect: parse trace: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("oscollect: empty trace")
+	}
+	rp := &Replay{
+		start:    start,
+		series:   make(map[string][]tracePoint),
+		fallback: fallback,
+	}
+	rows := records
+	if records[0][0] == "offset_seconds" {
+		rows = records[1:]
+	}
+	for i, rec := range rows {
+		secs, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("oscollect: trace row %d: bad offset %q", i+1, rec[0])
+		}
+		if secs < 0 {
+			return nil, fmt.Errorf("oscollect: trace row %d: negative offset", i+1)
+		}
+		name := rec[1]
+		if name == "" {
+			return nil, fmt.Errorf("oscollect: trace row %d: empty metric name", i+1)
+		}
+		rp.series[name] = append(rp.series[name], tracePoint{
+			offset: time.Duration(secs * float64(time.Second)),
+			value:  rec[2],
+		})
+	}
+	for _, pts := range rp.series {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].offset < pts[j].offset })
+	}
+	return rp, nil
+}
+
+// Metrics returns the metric names present in the trace, sorted.
+func (rp *Replay) Metrics() []string {
+	names := make([]string, 0, len(rp.series))
+	for n := range rp.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Duration returns the trace length (the largest offset).
+func (rp *Replay) Duration() time.Duration {
+	var max time.Duration
+	for _, pts := range rp.series {
+		if last := pts[len(pts)-1].offset; last > max {
+			max = last
+		}
+	}
+	return max
+}
+
+// Collect implements Collector.
+func (rp *Replay) Collect(def metric.Definition, now time.Time) metric.Value {
+	pts, ok := rp.series[def.Name]
+	if !ok {
+		if rp.fallback != nil {
+			return rp.fallback.Collect(def, now)
+		}
+		return metric.NewTyped(def.Type, "0")
+	}
+	elapsed := now.Sub(rp.start)
+	// Most recent point at or before elapsed; before the first point,
+	// the first value applies.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].offset > elapsed })
+	if i > 0 {
+		i--
+	}
+	return metric.NewTyped(def.Type, pts[i].value)
+}

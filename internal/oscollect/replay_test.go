@@ -1,0 +1,132 @@
+package oscollect
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ganglia/internal/metric"
+)
+
+const sampleTrace = `offset_seconds,metric,value
+0,load_one,0.50
+15,load_one,0.75
+30,load_one,2.00
+0,proc_total,80
+60,proc_total,95
+`
+
+func loadDef(t *testing.T, name string) metric.Definition {
+	t.Helper()
+	d := metric.Lookup(name)
+	if d == nil {
+		t.Fatalf("unknown metric %s", name)
+	}
+	return *d
+}
+
+func TestReplayStepInterpolation(t *testing.T) {
+	rp, err := NewReplay(strings.NewReader(sampleTrace), t0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := loadDef(t, "load_one")
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 0.50},
+		{10 * time.Second, 0.50},
+		{15 * time.Second, 0.75},
+		{29 * time.Second, 0.75},
+		{30 * time.Second, 2.00},
+		{10 * time.Minute, 2.00}, // past the end: last value holds
+	}
+	for _, tc := range cases {
+		v, ok := rp.Collect(load, t0.Add(tc.at)).Float64()
+		if !ok || v != tc.want {
+			t.Errorf("at %v: %v (ok=%v), want %v", tc.at, v, ok, tc.want)
+		}
+	}
+	// Before the start (clock skew): first value, no panic.
+	if v, _ := rp.Collect(load, t0.Add(-time.Minute)).Float64(); v != 0.50 {
+		t.Errorf("before start: %v", v)
+	}
+}
+
+func TestReplayMetadata(t *testing.T) {
+	rp, err := NewReplay(strings.NewReader(sampleTrace), t0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := rp.Metrics()
+	if len(names) != 2 || names[0] != "load_one" || names[1] != "proc_total" {
+		t.Errorf("Metrics = %v", names)
+	}
+	if rp.Duration() != 60*time.Second {
+		t.Errorf("Duration = %v", rp.Duration())
+	}
+}
+
+func TestReplayFallback(t *testing.T) {
+	sim := NewSimHost("n0", 1, t0)
+	rp, err := NewReplay(strings.NewReader(sampleTrace), t0, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cpu_num is not in the trace: comes from the simulator.
+	v := rp.Collect(loadDef(t, "cpu_num"), t0)
+	if f, ok := v.Float64(); !ok || f < 1 {
+		t.Errorf("fallback cpu_num = %v %v", f, ok)
+	}
+	// Without fallback: zero value of the right type.
+	rp2, _ := NewReplay(strings.NewReader(sampleTrace), t0, nil)
+	v = rp2.Collect(loadDef(t, "cpu_num"), t0)
+	if f, ok := v.Float64(); !ok || f != 0 {
+		t.Errorf("no-fallback cpu_num = %v %v", f, ok)
+	}
+}
+
+func TestReplayParseErrors(t *testing.T) {
+	cases := []string{
+		"",                // empty
+		"bad\n",           // wrong column count
+		"x,load_one,1\n",  // bad offset
+		"-5,load_one,1\n", // negative offset
+		"0,,1\n",          // empty metric
+		"0,load_one\n",    // short row
+	}
+	for i, trace := range cases {
+		if _, err := NewReplay(strings.NewReader(trace), t0, nil); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Header optional.
+	if _, err := NewReplay(strings.NewReader("0,load_one,1\n"), t0, nil); err != nil {
+		t.Errorf("headerless trace rejected: %v", err)
+	}
+}
+
+func TestReplayUnsortedTrace(t *testing.T) {
+	trace := "30,load_one,3\n0,load_one,1\n15,load_one,2\n"
+	rp, err := NewReplay(strings.NewReader(trace), t0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rp.Collect(loadDef(t, "load_one"), t0.Add(20*time.Second)).Float64(); v != 2 {
+		t.Errorf("unsorted trace at +20s: %v", v)
+	}
+}
+
+func TestReplayDrivesGmondStack(t *testing.T) {
+	// The replay collector plugs straight into the metric pipeline.
+	rp, err := NewReplay(strings.NewReader(sampleTrace), t0, NewSimHost("n0", 1, t0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Collector = rp // interface satisfaction
+	v := c.Collect(loadDef(t, "load_one"), t0.Add(16*time.Second))
+	if f, _ := v.Float64(); f != 0.75 {
+		t.Errorf("through interface: %v", f)
+	}
+}

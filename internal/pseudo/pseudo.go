@@ -1,0 +1,245 @@
+// Package pseudo implements pseudo-gmond, the cluster emulator the
+// paper's experiments are built on (§3): an agent that "behaves
+// identically to a cluster's gmon daemons, except their metric values
+// are chosen randomly. Their XML output conforms to the Ganglia DTD,
+// and therefore requires the same processing effort by the gmeta system
+// under study."
+//
+// A pseudo-gmond serves a full-resolution cluster report of a
+// configurable host count over the same TCP contract as a real gmond.
+// Values are drawn from a seeded generator, so experiments are
+// reproducible, and reports are streamed straight to the connection —
+// the emulator's own cost stays flat and predictable, mirroring the
+// paper's care "to ensure the gmon cluster simulators had similar query
+// latencies for all sizes".
+package pseudo
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gxml"
+	"ganglia/internal/metric"
+)
+
+// Gmond is one emulated cluster.
+type Gmond struct {
+	cluster string
+	owner   string
+	url     string
+	seed    int64
+	clk     clock.Clock
+
+	mu        sync.Mutex
+	hosts     int
+	downHosts int
+	reports   uint64
+	bytesOut  uint64
+
+	listeners []net.Listener
+	closed    bool
+	serveWG   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New returns an emulator for a cluster of the given host count.
+func New(cluster string, hosts int, seed int64, clk clock.Clock) *Gmond {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Gmond{
+		cluster: cluster,
+		owner:   "pseudo",
+		url:     "http://" + cluster + ".example/",
+		seed:    seed,
+		clk:     clk,
+		hosts:   hosts,
+	}
+}
+
+// Cluster returns the emulated cluster's name.
+func (p *Gmond) Cluster() string { return p.cluster }
+
+// SetHosts changes the cluster size; the Fig 6 sweep uses this to grow
+// the monitored clusters without rebuilding the tree.
+func (p *Gmond) SetHosts(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hosts = n
+}
+
+// Hosts returns the current cluster size.
+func (p *Gmond) Hosts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hosts
+}
+
+// SetDownHosts marks the last n hosts of the cluster as failed: their
+// heartbeats age beyond the liveness bound in every subsequent report.
+func (p *Gmond) SetDownHosts(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.downHosts = n
+}
+
+// Stats returns how many reports have been served and the total bytes
+// written.
+func (p *Gmond) Stats() (reports, bytes uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reports, p.bytesOut
+}
+
+// countingWriter tracks bytes for Stats.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(b []byte) (int, error) {
+	n, err := cw.w.Write(b)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteXML writes one cluster report to w. Metric values are random but
+// the document structure — host count, the standard ~30 metrics per
+// host, attribute layout — is exactly what a real gmond of this cluster
+// size would serve. Repeated reports within the same second are
+// identical; successive seconds differ (one deterministic stream per
+// emulator and timestamp).
+func (p *Gmond) WriteXML(w io.Writer) error {
+	cw := &countingWriter{w: w}
+	err := gxml.WriteReport(cw, p.Report(p.clk.Now()))
+	p.mu.Lock()
+	p.reports++
+	p.bytesOut += uint64(cw.n)
+	p.mu.Unlock()
+	return err
+}
+
+// Report builds the report as a tree; tests and small tools use this,
+// while Serve streams.
+func (p *Gmond) Report(now time.Time) *gxml.Report {
+	p.mu.Lock()
+	hosts := p.hosts
+	down := p.downHosts
+	seed := p.seed
+	p.mu.Unlock()
+
+	rng := rand.New(rand.NewSource(seed ^ now.Unix()))
+	c := &gxml.Cluster{
+		Name:      p.cluster,
+		Owner:     p.owner,
+		URL:       p.url,
+		LocalTime: now.Unix(),
+	}
+	for i := 0; i < hosts; i++ {
+		isDown := i >= hosts-down
+		h := &gxml.Host{
+			Name: fmt.Sprintf("compute-%s-%d", p.cluster, i),
+			IP:   fmt.Sprintf("10.%d.%d.%d", (i/65536)%256, (i/256)%256, i%256),
+			TMAX: 20,
+			DMAX: 0,
+		}
+		if isDown {
+			h.TN = 600 // heartbeat long overdue
+			h.Reported = now.Unix() - 600
+		} else {
+			h.TN = uint32(rng.Intn(15))
+			h.Reported = now.Unix() - int64(h.TN)
+		}
+		h.Metrics = make([]metric.Metric, 0, len(metric.Standard))
+		for _, def := range metric.Standard {
+			h.Metrics = append(h.Metrics, metric.Metric{
+				Name:   def.Name,
+				Val:    randomValue(def, rng),
+				Units:  def.Units,
+				Slope:  def.Slope,
+				TN:     uint32(rng.Intn(int(def.CollectEvery) + 1)),
+				TMAX:   def.TMAX,
+				DMAX:   def.DMAX,
+				Source: "gmond",
+			})
+		}
+		c.Hosts = append(c.Hosts, h)
+	}
+	return &gxml.Report{Version: gxml.Version, Source: "gmond", Clusters: []*gxml.Cluster{c}}
+}
+
+// randomValue draws a plausible random value for a metric definition —
+// "metric values are chosen randomly" (paper §3).
+func randomValue(def metric.Definition, rng *rand.Rand) metric.Value {
+	switch def.Type {
+	case metric.TypeString:
+		switch def.Name {
+		case "os_name":
+			return metric.NewString("Linux")
+		case "os_release":
+			return metric.NewString("2.4.18-27.7.xsmp")
+		case "machine_type":
+			return metric.NewString("x86")
+		default:
+			return metric.NewString("pseudo")
+		}
+	case metric.TypeFloat:
+		return metric.NewFloat(rng.Float64() * 100)
+	case metric.TypeDouble:
+		return metric.NewDouble(rng.Float64() * 100)
+	case metric.TypeUint16:
+		// cpu_num-style small counts.
+		return metric.NewTyped(def.Type, itoa(1+rng.Intn(8)))
+	default:
+		return metric.NewTyped(def.Type, itoa(rng.Intn(1<<20)))
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// Serve accepts connections on l and writes one report per connection,
+// the gmond TCP contract.
+func (p *Gmond) Serve(l net.Listener) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		l.Close()
+		return
+	}
+	p.listeners = append(p.listeners, l)
+	p.mu.Unlock()
+	p.serveWG.Add(1)
+	defer p.serveWG.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		p.serveWG.Add(1)
+		go func(c net.Conn) {
+			defer p.serveWG.Done()
+			defer c.Close()
+			_ = p.WriteXML(c)
+		}(conn)
+	}
+}
+
+// Close stops all Serve loops.
+func (p *Gmond) Close() {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		ls := p.listeners
+		p.listeners = nil
+		p.mu.Unlock()
+		for _, l := range ls {
+			l.Close()
+		}
+	})
+	p.serveWG.Wait()
+}

@@ -1,0 +1,185 @@
+package pseudo
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gxml"
+	"ganglia/internal/metric"
+	"ganglia/internal/transport"
+)
+
+var t0 = time.Unix(1_057_000_000, 0)
+
+func TestReportShape(t *testing.T) {
+	p := New("meteor", 100, 42, clock.NewVirtual(t0))
+	rep := p.Report(t0)
+	if len(rep.Clusters) != 1 {
+		t.Fatalf("clusters = %d", len(rep.Clusters))
+	}
+	c := rep.Clusters[0]
+	if c.Name != "meteor" || len(c.Hosts) != 100 {
+		t.Fatalf("cluster %q hosts %d", c.Name, len(c.Hosts))
+	}
+	for _, h := range c.Hosts {
+		if len(h.Metrics) != len(metric.Standard) {
+			t.Fatalf("host %s has %d metrics, want %d", h.Name, len(h.Metrics), len(metric.Standard))
+		}
+		if !h.Up() {
+			t.Errorf("host %s down without SetDownHosts", h.Name)
+		}
+	}
+}
+
+func TestDTDConformance(t *testing.T) {
+	// The emitted XML must be parseable by the same parser that
+	// handles real gmond output — the paper's "same processing effort"
+	// requirement.
+	p := New("meteor", 25, 42, clock.NewVirtual(t0))
+	var buf bytes.Buffer
+	if err := p.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := gxml.Parse(&buf)
+	if err != nil {
+		t.Fatalf("pseudo-gmond output unparseable: %v", err)
+	}
+	if rep.Hosts() != 25 {
+		t.Errorf("parsed %d hosts", rep.Hosts())
+	}
+}
+
+func TestDeterministicPerSecond(t *testing.T) {
+	clk := clock.NewVirtual(t0)
+	p := New("meteor", 10, 42, clk)
+	var a, b bytes.Buffer
+	if err := p.WriteXML(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteXML(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two reports in the same second differ")
+	}
+	clk.Advance(15 * time.Second)
+	var c bytes.Buffer
+	if err := p.WriteXML(&c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("reports 15s apart are identical (values not random over time)")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New("x", 5, 1, clock.NewVirtual(t0)).Report(t0)
+	b := New("x", 5, 2, clock.NewVirtual(t0)).Report(t0)
+	va, _ := a.Clusters[0].Hosts[0].Metrics[1].Val.Float64()
+	vb, _ := b.Clusters[0].Hosts[0].Metrics[1].Val.Float64()
+	if va == vb {
+		t.Error("different seeds produced identical values (suspicious)")
+	}
+}
+
+func TestSetHosts(t *testing.T) {
+	p := New("meteor", 10, 42, clock.NewVirtual(t0))
+	p.SetHosts(500)
+	if p.Hosts() != 500 {
+		t.Fatalf("Hosts = %d", p.Hosts())
+	}
+	if got := len(p.Report(t0).Clusters[0].Hosts); got != 500 {
+		t.Errorf("report has %d hosts", got)
+	}
+}
+
+func TestSetDownHosts(t *testing.T) {
+	p := New("meteor", 10, 42, clock.NewVirtual(t0))
+	p.SetDownHosts(3)
+	up, down := 0, 0
+	for _, h := range p.Report(t0).Clusters[0].Hosts {
+		if h.Up() {
+			up++
+		} else {
+			down++
+		}
+	}
+	if up != 7 || down != 3 {
+		t.Errorf("up/down = %d/%d, want 7/3", up, down)
+	}
+}
+
+func TestServeContract(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	clk := clock.NewVirtual(t0)
+	p := New("meteor", 30, 42, clk)
+	l, err := net.Listen("meteor-head:8649")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(l)
+	defer p.Close()
+
+	for i := 0; i < 3; i++ {
+		conn, err := net.Dial("meteor-head:8649")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(conn)
+		conn.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := gxml.Parse(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("poll %d: %v", i, err)
+		}
+		if rep.Hosts() != 30 {
+			t.Errorf("poll %d: %d hosts", i, rep.Hosts())
+		}
+	}
+	reports, bytesOut := p.Stats()
+	if reports != 3 || bytesOut == 0 {
+		t.Errorf("stats = %d reports, %d bytes", reports, bytesOut)
+	}
+}
+
+func TestCloseStopsServe(t *testing.T) {
+	net := transport.NewInMemNetwork()
+	p := New("meteor", 5, 42, clock.NewVirtual(t0))
+	l, _ := net.Listen("x:1")
+	done := make(chan struct{})
+	go func() {
+		p.Serve(l)
+		close(done)
+	}()
+	p.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not stop on Close")
+	}
+}
+
+func BenchmarkReport100(b *testing.B) {
+	p := New("meteor", 100, 42, clock.NewVirtual(t0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.WriteXML(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReport500(b *testing.B) {
+	p := New("meteor", 500, 42, clock.NewVirtual(t0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.WriteXML(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

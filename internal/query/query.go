@@ -1,0 +1,209 @@
+// Package query implements gmetad's query language (paper §2.3):
+// "a small path-like query that specifies a single local subtree to
+// report" instead of dumping the entire monitoring tree.
+//
+// The grammar is deliberately tiny — the paper's authors found XPath
+// engines "too heavyweight and inefficient" and observed that "a
+// simpler query facility could achieve the efficiency gains we sought":
+//
+//	query   := path [ "?" "filter=" name ]
+//	path    := "/" | "/" segment [ "/" segment [ "/" segment ] ]
+//	segment := literal | "~" regex
+//
+// Segments address, in order, a data source (cluster or grid), a host,
+// and a metric — the three hash-table levels of the gmetad DOM. The
+// "~regex" segment form is the richer regular-expression matching that
+// the paper's §4 plans as future work.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Filter selects an alternative report form.
+type Filter uint8
+
+const (
+	// FilterNone reports the addressed subtree at full resolution.
+	FilterNone Filter = iota
+	// FilterSummary reports the addressed cluster or source in
+	// summary form — the paper's "cluster-summary query for large
+	// clusters" (§2.3.2).
+	FilterSummary
+	// FilterHistory reports the archived time series of the addressed
+	// metric (depth-3 queries only) — the "basic queries against"
+	// metric histories of §2.1. Use the pseudo-host "__summary__" to
+	// address a cluster-summary series.
+	FilterHistory
+)
+
+// String returns the filter's query spelling.
+func (f Filter) String() string {
+	switch f {
+	case FilterNone:
+		return ""
+	case FilterSummary:
+		return "summary"
+	case FilterHistory:
+		return "history"
+	}
+	return fmt.Sprintf("filter(%d)", uint8(f))
+}
+
+// Matcher matches one path segment against names at one DOM level.
+type Matcher struct {
+	literal string
+	re      *regexp.Regexp
+}
+
+// Literal returns a Matcher for an exact name.
+func Literal(name string) Matcher { return Matcher{literal: name} }
+
+// Match reports whether name is selected by the matcher.
+func (m Matcher) Match(name string) bool {
+	if m.re != nil {
+		return m.re.MatchString(name)
+	}
+	return m.literal == name
+}
+
+// IsRegex reports whether the matcher is a regular expression. Literal
+// matchers resolve through a single hash lookup; regex matchers force a
+// scan of the level.
+func (m Matcher) IsRegex() bool { return m.re != nil }
+
+// Name returns the literal name, or the regex source for regex
+// matchers.
+func (m Matcher) Name() string {
+	if m.re != nil {
+		return "~" + m.re.String()
+	}
+	return m.literal
+}
+
+// Query is one parsed query.
+type Query struct {
+	// Segments holds up to three path matchers: source, host, metric.
+	Segments []Matcher
+	// Filter is the optional report-form filter.
+	Filter Filter
+
+	raw string
+}
+
+// MaxDepth is the deepest addressable level: source/host/metric.
+const MaxDepth = 3
+
+// Parse errors.
+var (
+	ErrEmpty     = errors.New("query: empty query")
+	ErrNoSlash   = errors.New("query: path must begin with '/'")
+	ErrTooDeep   = errors.New("query: more than 3 path segments")
+	ErrBadFilter = errors.New("query: unknown filter")
+	ErrBadRegex  = errors.New("query: bad regular expression segment")
+	ErrEmptySeg  = errors.New("query: empty path segment")
+)
+
+// Parse parses a query line as received on gmetad's interactive port.
+// Whitespace (including the trailing newline of the wire protocol) is
+// trimmed.
+func Parse(s string) (*Query, error) {
+	raw := s
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, ErrEmpty
+	}
+	q := &Query{raw: raw}
+
+	if i := strings.IndexByte(s, '?'); i >= 0 {
+		f, err := parseFilter(s[i+1:])
+		if err != nil {
+			return nil, err
+		}
+		q.Filter = f
+		s = s[:i]
+	}
+	if s == "" || s[0] != '/' {
+		return nil, ErrNoSlash
+	}
+	s = strings.Trim(s, "/")
+	if s == "" {
+		return q, nil // root query
+	}
+	for _, seg := range strings.Split(s, "/") {
+		if seg == "" {
+			return nil, ErrEmptySeg
+		}
+		if len(q.Segments) == MaxDepth {
+			return nil, ErrTooDeep
+		}
+		m, err := parseSegment(seg)
+		if err != nil {
+			return nil, err
+		}
+		q.Segments = append(q.Segments, m)
+	}
+	return q, nil
+}
+
+func parseSegment(seg string) (Matcher, error) {
+	if strings.HasPrefix(seg, "~") {
+		re, err := regexp.Compile(seg[1:])
+		if err != nil {
+			return Matcher{}, fmt.Errorf("%w: %v", ErrBadRegex, err)
+		}
+		return Matcher{re: re}, nil
+	}
+	return Matcher{literal: seg}, nil
+}
+
+func parseFilter(s string) (Filter, error) {
+	s = strings.TrimSpace(s)
+	val, ok := strings.CutPrefix(s, "filter=")
+	if !ok {
+		return FilterNone, fmt.Errorf("%w: %q", ErrBadFilter, s)
+	}
+	switch val {
+	case "summary":
+		return FilterSummary, nil
+	case "history":
+		return FilterHistory, nil
+	default:
+		return FilterNone, fmt.Errorf("%w: %q", ErrBadFilter, val)
+	}
+}
+
+// MustParse is Parse for constant queries in tests and examples.
+func MustParse(s string) *Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Root reports whether the query addresses the whole tree.
+func (q *Query) Root() bool { return len(q.Segments) == 0 }
+
+// Depth returns the number of path segments.
+func (q *Query) Depth() int { return len(q.Segments) }
+
+// String reconstructs the canonical query text.
+func (q *Query) String() string {
+	var sb strings.Builder
+	if len(q.Segments) == 0 {
+		sb.WriteByte('/')
+	}
+	for _, m := range q.Segments {
+		sb.WriteByte('/')
+		sb.WriteString(m.Name())
+	}
+	if q.Filter != FilterNone {
+		sb.WriteString("?filter=")
+		sb.WriteString(q.Filter.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,176 @@
+package query
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoot(t *testing.T) {
+	for _, s := range []string{"/", "/\n", "  /  ", "//"} {
+		q, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		if !q.Root() || q.Depth() != 0 || q.Filter != FilterNone {
+			t.Errorf("Parse(%q) = %+v", s, q)
+		}
+	}
+}
+
+func TestParsePaths(t *testing.T) {
+	q := MustParse("/meteor")
+	if q.Depth() != 1 || !q.Segments[0].Match("meteor") || q.Segments[0].Match("nashi") {
+		t.Errorf("one segment: %+v", q)
+	}
+	q = MustParse("/meteor/compute-0-0/")
+	if q.Depth() != 2 || !q.Segments[1].Match("compute-0-0") {
+		t.Errorf("two segments: %+v", q)
+	}
+	q = MustParse("/meteor/compute-0-0/load_one")
+	if q.Depth() != 3 || !q.Segments[2].Match("load_one") {
+		t.Errorf("three segments: %+v", q)
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	q := MustParse("/meteor?filter=summary")
+	if q.Filter != FilterSummary || q.Depth() != 1 {
+		t.Errorf("%+v", q)
+	}
+	q = MustParse("/?filter=summary")
+	if q.Filter != FilterSummary || !q.Root() {
+		t.Errorf("%+v", q)
+	}
+	if _, err := Parse("/meteor?filter=bogus"); !errors.Is(err, ErrBadFilter) {
+		t.Errorf("bad filter: %v", err)
+	}
+	if _, err := Parse("/meteor?summary"); !errors.Is(err, ErrBadFilter) {
+		t.Errorf("missing filter=: %v", err)
+	}
+}
+
+func TestParseRegexSegments(t *testing.T) {
+	q := MustParse("/meteor/~compute-0-[0-4]$")
+	m := q.Segments[1]
+	if !m.IsRegex() {
+		t.Fatal("not parsed as regex")
+	}
+	for _, host := range []string{"compute-0-0", "compute-0-4"} {
+		if !m.Match(host) {
+			t.Errorf("regex should match %s", host)
+		}
+	}
+	for _, host := range []string{"compute-0-5", "other"} {
+		if m.Match(host) {
+			t.Errorf("regex should not match %s", host)
+		}
+	}
+	if _, err := Parse("/meteor/~compute-0-["); !errors.Is(err, ErrBadRegex) {
+		t.Errorf("bad regex: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]error{
+		"":                ErrEmpty,
+		"   ":             ErrEmpty,
+		"meteor":          ErrNoSlash,
+		"/a/b/c/d":        ErrTooDeep,
+		"/a//b":           ErrEmptySeg,
+		"?filter=summary": ErrNoSlash,
+	}
+	for s, want := range cases {
+		if _, err := Parse(s); !errors.Is(err, want) {
+			t.Errorf("Parse(%q) = %v, want %v", s, err, want)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"/", "/meteor", "/meteor/compute-0-0", "/meteor/compute-0-0/load_one", "/meteor?filter=summary", "/a/~b.*"} {
+		q := MustParse(s)
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("reparse %q: %v", q.String(), err)
+			continue
+		}
+		if q2.String() != q.String() {
+			t.Errorf("unstable: %q -> %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("no-slash")
+}
+
+func TestLiteralMatcher(t *testing.T) {
+	m := Literal("load_one")
+	if !m.Match("load_one") || m.Match("load_five") || m.IsRegex() {
+		t.Errorf("Literal matcher misbehaves: %+v", m)
+	}
+	if m.Name() != "load_one" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+// Property: parsing never panics and either errors or yields ≤3
+// segments.
+func TestQuickParseRobust(t *testing.T) {
+	f := func(s string) bool {
+		q, err := Parse(s)
+		if err != nil {
+			return q == nil
+		}
+		return q.Depth() <= MaxDepth
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any literal path round-trips through String.
+func TestQuickLiteralRoundTrip(t *testing.T) {
+	ok := func(seg string) bool {
+		if seg == "" {
+			return false
+		}
+		for _, r := range seg {
+			switch r {
+			case '/', '?', '~', '\n', '\r', ' ', '\t':
+				return false
+			}
+		}
+		return true
+	}
+	f := func(a, b string) bool {
+		if !ok(a) || !ok(b) {
+			return true
+		}
+		s := "/" + a + "/" + b
+		q, err := Parse(s)
+		if err != nil {
+			return false
+		}
+		return q.Depth() == 2 && q.Segments[0].Match(a) && q.Segments[1].Match(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParseTypical(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("/meteor/compute-0-0/"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package rrd
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Persistence: the paper's gmetad keeps its archives in files so
+// history survives daemon restarts (it places them on tmpfs only for
+// the experiments). SaveTo/LoadPool serialize a whole pool; a database
+// restored from a snapshot continues exactly where it stopped, and the
+// next Update after a long gap produces the usual unknown slots.
+
+// persistVersion is bumped when the on-disk layout changes.
+const persistVersion = 1
+
+type dbSnapshot struct {
+	Spec Spec
+
+	Started    bool
+	LastUpdate time.Time
+	LastRaw    float64
+	PDPStart   time.Time
+	PDPSum     float64
+	PDPKnown   time.Duration
+	Updates    uint64
+
+	Archives []archSnapshot
+}
+
+type archSnapshot struct {
+	Ring    []float64
+	End     time.Time
+	Next    int
+	Wrapped bool
+	Accum   float64
+	AccumN  int
+	Unknown int
+}
+
+type poolSnapshot struct {
+	Version int
+	Spec    Spec
+	DBs     map[string]dbSnapshot
+	Updates uint64
+	Errors  uint64
+}
+
+// snapshot captures the database state.
+func (d *Database) snapshot() dbSnapshot {
+	s := dbSnapshot{
+		Spec:       d.spec,
+		Started:    d.started,
+		LastUpdate: d.lastUpdate,
+		LastRaw:    d.lastRaw,
+		PDPStart:   d.pdpStart,
+		PDPSum:     d.pdpSum,
+		PDPKnown:   d.pdpKnown,
+		Updates:    d.updates,
+	}
+	for _, a := range d.archives {
+		s.Archives = append(s.Archives, archSnapshot{
+			Ring:    append([]float64(nil), a.ring...),
+			End:     a.end,
+			Next:    a.next,
+			Wrapped: a.wrapped,
+			Accum:   a.accum,
+			AccumN:  a.accumN,
+			Unknown: a.unknown,
+		})
+	}
+	return s
+}
+
+// restore rebuilds a database from a snapshot.
+func restore(s dbSnapshot) (*Database, error) {
+	d, err := New(s.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Archives) != len(d.archives) {
+		return nil, fmt.Errorf("rrd: snapshot has %d archives, spec declares %d",
+			len(s.Archives), len(d.archives))
+	}
+	d.started = s.Started
+	d.lastUpdate = s.LastUpdate
+	d.lastRaw = s.LastRaw
+	d.pdpStart = s.PDPStart
+	d.pdpSum = s.PDPSum
+	d.pdpKnown = s.PDPKnown
+	d.updates = s.Updates
+	for i, as := range s.Archives {
+		a := d.archives[i]
+		if len(as.Ring) != len(a.ring) {
+			return nil, fmt.Errorf("rrd: archive %d ring %d, spec declares %d",
+				i, len(as.Ring), len(a.ring))
+		}
+		copy(a.ring, as.Ring)
+		a.end = as.End
+		a.next = as.Next
+		a.wrapped = as.Wrapped
+		a.accum = as.Accum
+		a.accumN = as.AccumN
+		a.unknown = as.Unknown
+	}
+	return d, nil
+}
+
+// SaveTo serializes the pool. Concurrent updates are blocked for the
+// duration.
+func (p *Pool) SaveTo(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := poolSnapshot{
+		Version: persistVersion,
+		Spec:    p.spec,
+		DBs:     make(map[string]dbSnapshot, len(p.dbs)),
+		Updates: p.updates,
+		Errors:  p.errors,
+	}
+	for k, db := range p.dbs {
+		snap.DBs[k] = db.snapshot()
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadPool reconstructs a pool saved with SaveTo.
+func LoadPool(r io.Reader) (*Pool, error) {
+	var snap poolSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("rrd: decode pool: %w", err)
+	}
+	if snap.Version != persistVersion {
+		return nil, fmt.Errorf("rrd: snapshot version %d, want %d", snap.Version, persistVersion)
+	}
+	p := NewPool(snap.Spec)
+	p.updates = snap.Updates
+	p.errors = snap.Errors
+	for k, ds := range snap.DBs {
+		db, err := restore(ds)
+		if err != nil {
+			return nil, fmt.Errorf("rrd: restore %q: %w", k, err)
+		}
+		p.dbs[k] = db
+	}
+	return p, nil
+}

@@ -1,0 +1,133 @@
+package rrd
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPoolSaveLoadRoundTrip(t *testing.T) {
+	p := NewPool(smallSpec())
+	now := t0
+	for i := 0; i < 30; i++ {
+		now = now.Add(15 * time.Second)
+		if err := p.Update("c/n0/load_one", now, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Update("c/n1/cpu_idle", now, 100-float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadPool(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != p.Len() {
+		t.Fatalf("restored %d series, want %d", q.Len(), p.Len())
+	}
+	for _, key := range p.Keys() {
+		pv, _ := p.Last(key)
+		qv, ok := q.Last(key)
+		if !ok {
+			t.Fatalf("restored pool missing %s", key)
+		}
+		if pv != qv && !(math.IsNaN(pv) && math.IsNaN(qv)) {
+			t.Errorf("%s: %v vs %v", key, pv, qv)
+		}
+		// Full fetch must agree point for point.
+		pp := p.Fetch(key, Average, t0, now)
+		qp := q.Fetch(key, Average, t0, now)
+		if len(pp) != len(qp) {
+			t.Fatalf("%s: %d vs %d points", key, len(pp), len(qp))
+		}
+		for i := range pp {
+			if !pp[i].Time.Equal(qp[i].Time) {
+				t.Errorf("%s[%d]: time %v vs %v", key, i, pp[i].Time, qp[i].Time)
+			}
+			if pp[i].Value != qp[i].Value && !(math.IsNaN(pp[i].Value) && math.IsNaN(qp[i].Value)) {
+				t.Errorf("%s[%d]: %v vs %v", key, i, pp[i].Value, qp[i].Value)
+			}
+		}
+	}
+	pu, pe := p.Stats()
+	qu, qe := q.Stats()
+	if pu != qu || pe != qe {
+		t.Errorf("stats: %d/%d vs %d/%d", pu, pe, qu, qe)
+	}
+}
+
+func TestRestoredPoolContinuesUpdating(t *testing.T) {
+	p := NewPool(smallSpec())
+	now := t0
+	for i := 0; i < 8; i++ {
+		now = now.Add(15 * time.Second)
+		if err := p.Update("k", now, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadPool(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Updates at or before the saved time are rejected (monotonic).
+	if err := q.Update("k", now, 2); err == nil {
+		t.Error("restored pool accepted non-monotonic update")
+	}
+	// Fresh updates continue the series.
+	now = now.Add(15 * time.Second)
+	if err := q.Update("k", now, 3); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := q.Last("k"); !ok || v != 3 {
+		t.Errorf("Last = %v %v", v, ok)
+	}
+	// A long gap after restart still produces unknowns, like a live
+	// database.
+	now = now.Add(20 * time.Minute)
+	if err := q.Update("k", now, 5); err != nil {
+		t.Fatal(err)
+	}
+	unknown := false
+	for _, pt := range q.Fetch("k", Average, t0, now) {
+		if math.IsNaN(pt.Value) {
+			unknown = true
+		}
+	}
+	if !unknown {
+		t.Error("gap across restart produced no unknown slots")
+	}
+}
+
+func TestLoadPoolRejectsGarbage(t *testing.T) {
+	if _, err := LoadPool(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadPool(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestSaveLoadEmptyPool(t *testing.T) {
+	p := NewPool(smallSpec())
+	var buf bytes.Buffer
+	if err := p.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadPool(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 0 {
+		t.Errorf("restored empty pool has %d series", q.Len())
+	}
+}

@@ -1,0 +1,292 @@
+package summary
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ganglia/internal/metric"
+)
+
+func TestAddMetricAccumulates(t *testing.T) {
+	s := New()
+	s.AddMetric(metric.Metric{Name: "load_one", Val: metric.NewFloat(0.5)})
+	s.AddMetric(metric.Metric{Name: "load_one", Val: metric.NewFloat(1.5)})
+	s.AddMetric(metric.Metric{Name: "cpu_num", Val: metric.NewUint(2), Units: "CPUs"})
+
+	m := s.Metrics["load_one"]
+	if m == nil || m.Sum != 2.0 || m.Num != 2 {
+		t.Fatalf("load_one = %+v", m)
+	}
+	if got := m.Mean(); got != 1.0 {
+		t.Errorf("mean = %v", got)
+	}
+	c := s.Metrics["cpu_num"]
+	if c == nil || c.Sum != 2 || c.Num != 1 || c.Units != "CPUs" {
+		t.Errorf("cpu_num = %+v", c)
+	}
+}
+
+func TestNonNumericIgnored(t *testing.T) {
+	s := New()
+	s.AddMetric(metric.Metric{Name: "os_name", Val: metric.NewString("Linux")})
+	if len(s.Metrics) != 0 {
+		t.Errorf("string metric was summarized: %+v", s.Metrics)
+	}
+}
+
+func TestAddHostCounts(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.AddHost(true)
+	}
+	s.AddHost(false)
+	if s.HostsUp != 10 || s.HostsDown != 1 || s.Hosts() != 11 {
+		t.Errorf("up/down = %d/%d", s.HostsUp, s.HostsDown)
+	}
+}
+
+func TestMergeComposes(t *testing.T) {
+	// The paper's fig 3 nested grid: <HOSTS UP="10" DOWN="1"/>
+	// <METRICS NAME="cpu_num" SUM="20" NUM="10"/>. Merging two such
+	// summaries must behave exactly like summarizing the union.
+	a := New()
+	a.AddHost(true)
+	a.AddMetric(metric.Metric{Name: "cpu_num", Val: metric.NewUint(2)})
+	a.AddMetric(metric.Metric{Name: "load_one", Val: metric.NewFloat(0.25)})
+
+	b := New()
+	b.AddHost(true)
+	b.AddHost(false)
+	b.AddMetric(metric.Metric{Name: "cpu_num", Val: metric.NewUint(4)})
+
+	merged := a.Clone()
+	merged.Merge(b)
+	if merged.HostsUp != 2 || merged.HostsDown != 1 {
+		t.Errorf("hosts = %d/%d", merged.HostsUp, merged.HostsDown)
+	}
+	if m := merged.Metrics["cpu_num"]; m.Sum != 6 || m.Num != 2 {
+		t.Errorf("cpu_num = %+v", m)
+	}
+	if m := merged.Metrics["load_one"]; m.Sum != 0.25 || m.Num != 1 {
+		t.Errorf("load_one = %+v", m)
+	}
+	// Originals untouched.
+	if a.Metrics["cpu_num"].Sum != 2 || b.Metrics["cpu_num"].Sum != 4 {
+		t.Error("merge mutated an input")
+	}
+}
+
+func TestMergeNil(t *testing.T) {
+	s := New()
+	s.Merge(nil) // must not panic
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := New()
+	s.AddMetric(metric.Metric{Name: "x", Val: metric.NewInt(1)})
+	c := s.Clone()
+	c.AddMetric(metric.Metric{Name: "x", Val: metric.NewInt(1)})
+	if s.Metrics["x"].Num != 1 {
+		t.Error("clone shares metric storage with original")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	s := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		s.AddMetric(metric.Metric{Name: n, Val: metric.NewInt(1)})
+	}
+	names := s.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v", names)
+		}
+	}
+}
+
+func TestMeanAndSumLookups(t *testing.T) {
+	s := New()
+	s.AddMetric(metric.Metric{Name: "load_one", Val: metric.NewFloat(3)})
+	s.AddMetric(metric.Metric{Name: "load_one", Val: metric.NewFloat(5)})
+	if sum, ok := s.Sum("load_one"); !ok || sum != 8 {
+		t.Errorf("Sum = %v %v", sum, ok)
+	}
+	if mean, ok := s.Mean("load_one"); !ok || mean != 4 {
+		t.Errorf("Mean = %v %v", mean, ok)
+	}
+	if _, ok := s.Mean("absent"); ok {
+		t.Error("Mean of absent metric reported ok")
+	}
+	var empty Metric
+	if empty.Mean() != 0 {
+		t.Error("empty reduction mean not 0")
+	}
+}
+
+// Property: merging summaries is equivalent to summarizing the
+// concatenated host sets (associativity of the additive reduction).
+func TestQuickMergeEquivalence(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		all := New()
+		a := New()
+		// Bound magnitudes so the sums stay finite and addition-order
+		// effects stay within tolerance; real metric values are modest.
+		bound := func(v float64) float64 { return math.Remainder(v, 1e6) }
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			v = bound(v)
+			m := metric.Metric{Name: "m", Val: metric.NewDouble(v)}
+			a.AddMetric(m)
+			all.AddMetric(m)
+			a.AddHost(true)
+			all.AddHost(true)
+		}
+		b := New()
+		for _, v := range ys {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			v = bound(v)
+			m := metric.Metric{Name: "m", Val: metric.NewDouble(v)}
+			b.AddMetric(m)
+			all.AddMetric(m)
+			b.AddHost(true)
+			all.AddHost(true)
+		}
+		a.Merge(b)
+		if a.Hosts() != all.Hosts() {
+			return false
+		}
+		am, aok := a.Metrics["m"]
+		wm, wok := all.Metrics["m"]
+		if aok != wok {
+			return false
+		}
+		if !aok {
+			return true
+		}
+		return am.Num == wm.Num && math.Abs(am.Sum-wm.Sum) < 1e-9*math.Max(1, math.Abs(wm.Sum))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a summary's size is bounded by the metric-name set, not the
+// host count — the O(m) guarantee of the N-level design.
+func TestQuickSummarySizeBounded(t *testing.T) {
+	f := func(hostCount uint8) bool {
+		s := New()
+		for h := 0; h < int(hostCount); h++ {
+			s.AddHost(true)
+			for _, name := range []string{"load_one", "cpu_num", "mem_free"} {
+				s.AddMetric(metric.Metric{Name: name, Val: metric.NewFloat(1)})
+			}
+		}
+		return len(s.Metrics) <= 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSummarize100Hosts(b *testing.B) {
+	names := metric.NumericStandard()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for h := 0; h < 100; h++ {
+			s.AddHost(true)
+			for _, n := range names {
+				s.AddMetric(metric.Metric{Name: n, Val: metric.NewFloat(1.0)})
+			}
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	names := metric.NumericStandard()
+	mk := func() *Summary {
+		s := New()
+		for h := 0; h < 100; h++ {
+			s.AddHost(true)
+			for _, n := range names {
+				s.AddMetric(metric.Metric{Name: n, Val: metric.NewFloat(1.0)})
+			}
+		}
+		return s
+	}
+	x, y := mk(), mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		c.Merge(y)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	s := New()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} { // classic example: σ = 2
+		s.AddMetric(metric.Metric{Name: "x", Val: metric.NewDouble(v)})
+	}
+	m := s.Metrics["x"]
+	if got := m.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("stddev = %v, want 2", got)
+	}
+	// Constant values: zero deviation, no NaN from rounding.
+	c := New()
+	for i := 0; i < 5; i++ {
+		c.AddMetric(metric.Metric{Name: "k", Val: metric.NewDouble(3.3)})
+	}
+	if got := c.Metrics["k"].Stddev(); got != 0 && math.Abs(got) > 1e-6 {
+		t.Errorf("constant stddev = %v", got)
+	}
+	// Single value and missing SUMSQ (legacy peer): zero.
+	one := Metric{Sum: 5, Num: 1, SumSq: 25}
+	if one.Stddev() != 0 {
+		t.Error("n=1 stddev nonzero")
+	}
+	legacy := Metric{Sum: 10, Num: 4}
+	if legacy.Stddev() != 0 {
+		t.Error("legacy reduction without SUMSQ produced a stddev")
+	}
+}
+
+// Property: merged stddev equals the stddev of the concatenated set —
+// the extension composes across tree levels exactly like SUM/NUM.
+func TestQuickStddevComposes(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		if len(xs) == 0 && len(ys) == 0 {
+			return true
+		}
+		a, b, all := New(), New(), New()
+		for _, v := range xs {
+			m := metric.Metric{Name: "m", Val: metric.NewDouble(float64(v))}
+			a.AddMetric(m)
+			all.AddMetric(m)
+		}
+		for _, v := range ys {
+			m := metric.Metric{Name: "m", Val: metric.NewDouble(float64(v))}
+			b.AddMetric(m)
+			all.AddMetric(m)
+		}
+		a.Merge(b)
+		am, ok1 := a.Metrics["m"]
+		wm, ok2 := all.Metrics["m"]
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return math.Abs(am.Stddev()-wm.Stddev()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

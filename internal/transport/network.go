@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network is the reliable stream fabric used for XML reports: gmetad
+// dials its data sources, gmond and gmetad listen for pollers and
+// viewers. Both implementations hand out real net.Conn values so the
+// daemons are transport-agnostic.
+type Network interface {
+	// Listen binds a stream listener to addr.
+	Listen(addr string) (net.Listener, error)
+	// Dial opens a stream to addr. Implementations apply a connect
+	// timeout so a dead remote peer stalls the poller for a bounded
+	// time (the paper handles remote failures "identically to link
+	// failures ... detected with TCP timeouts").
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCPNetwork is the production Network backed by the operating system's
+// TCP stack.
+type TCPNetwork struct {
+	// DialTimeout bounds connection establishment; zero means 5s.
+	DialTimeout time.Duration
+}
+
+// Listen implements Network.
+func (t *TCPNetwork) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Dial implements Network.
+func (t *TCPNetwork) Dial(addr string) (net.Conn, error) {
+	d := t.DialTimeout
+	if d == 0 {
+		d = 5 * time.Second
+	}
+	return net.DialTimeout("tcp", addr, d)
+}
+
+// InMemNetwork is an in-process Network built on net.Pipe. Addresses
+// are arbitrary strings. It supports failure injection: a failed
+// address refuses dials exactly like a crashed machine, which is how
+// the failover tests kill cluster nodes.
+type InMemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	failed    map[string]bool
+	// dialDelay simulates network latency on connection setup.
+	dialDelay time.Duration
+}
+
+// NewInMemNetwork returns an empty in-memory network.
+func NewInMemNetwork() *InMemNetwork {
+	return &InMemNetwork{
+		listeners: make(map[string]*memListener),
+		failed:    make(map[string]bool),
+	}
+}
+
+// SetDialDelay makes every future Dial sleep for d first, simulating
+// WAN connection latency.
+func (n *InMemNetwork) SetDialDelay(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dialDelay = d
+}
+
+// Fail marks addr as crashed: dials to it are refused until Recover.
+// The listener, if any, keeps running — like a machine behind a cut
+// cable — so recovery restores service with no re-listen.
+func (n *InMemNetwork) Fail(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed[addr] = true
+}
+
+// Recover clears a failure injected with Fail.
+func (n *InMemNetwork) Recover(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.failed, addr)
+}
+
+// Listen implements Network.
+func (n *InMemNetwork) Listen(addr string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: address %s already in use", addr)
+	}
+	l := &memListener{
+		addr:    addr,
+		conns:   make(chan net.Conn),
+		closed:  make(chan struct{}),
+		network: n,
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *InMemNetwork) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	delay := n.dialDelay
+	failed := n.failed[addr]
+	l := n.listeners[addr]
+	n.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if failed || l == nil {
+		return nil, &net.OpError{
+			Op:   "dial",
+			Net:  "inmem",
+			Addr: memAddr(addr),
+			Err:  fmt.Errorf("connection refused"),
+		}
+	}
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		server.Close()
+		return nil, &net.OpError{
+			Op:   "dial",
+			Net:  "inmem",
+			Addr: memAddr(addr),
+			Err:  fmt.Errorf("connection refused"),
+		}
+	}
+}
+
+type memAddr string
+
+func (a memAddr) Network() string { return "inmem" }
+func (a memAddr) String() string  { return string(a) }
+
+type memListener struct {
+	addr      string
+	conns     chan net.Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+	network   *InMemNetwork
+}
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, &net.OpError{Op: "accept", Net: "inmem", Addr: memAddr(l.addr), Err: ErrClosed}
+	}
+}
+
+// Close implements net.Listener.
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.network.mu.Lock()
+		delete(l.network.listeners, l.addr)
+		l.network.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }

@@ -1,0 +1,326 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInMemBusDeliversToAllSubscribers(t *testing.T) {
+	b := NewInMemBus()
+	var got1, got2 [][]byte
+	c1, err := b.Subscribe(func(p []byte) { got1 = append(got1, append([]byte(nil), p...)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1()
+	c2, err := b.Subscribe(func(p []byte) { got2 = append(got2, append([]byte(nil), p...)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2()
+
+	if err := b.Send([]byte("metric-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send([]byte("metric-b")); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range [][][]byte{got1, got2} {
+		if len(got) != 2 || string(got[0]) != "metric-a" || string(got[1]) != "metric-b" {
+			t.Errorf("subscriber %d got %q", i+1, got)
+		}
+	}
+}
+
+func TestInMemBusCancelStopsDelivery(t *testing.T) {
+	b := NewInMemBus()
+	n := 0
+	cancel, _ := b.Subscribe(func(p []byte) { n++ })
+	b.Send([]byte("x"))
+	cancel()
+	b.Send([]byte("y"))
+	if n != 1 {
+		t.Errorf("received %d packets after cancel, want 1", n)
+	}
+}
+
+func TestInMemBusStats(t *testing.T) {
+	b := NewInMemBus()
+	b.Send(make([]byte, 10))
+	b.Send(make([]byte, 30))
+	s := b.Stats()
+	if s.Packets != 2 || s.Bytes != 40 {
+		t.Errorf("stats = %+v, want 2 packets / 40 bytes", s)
+	}
+}
+
+func TestInMemBusClosed(t *testing.T) {
+	b := NewInMemBus()
+	b.Close()
+	if err := b.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after Close: %v", err)
+	}
+	if _, err := b.Subscribe(func([]byte) {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Subscribe after Close: %v", err)
+	}
+}
+
+func TestInMemBusLoss(t *testing.T) {
+	b := NewInMemBus()
+	b.SetLossRate(1.0, 42) // drop everything
+	n := 0
+	b.Subscribe(func([]byte) { n++ })
+	for i := 0; i < 100; i++ {
+		if err := b.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n != 0 {
+		t.Errorf("loss rate 1.0 delivered %d packets", n)
+	}
+	if b.Stats().Packets != 100 {
+		t.Errorf("dropped packets should still count as sent: %d", b.Stats().Packets)
+	}
+
+	b.SetLossRate(0.5, 42)
+	n = 0
+	for i := 0; i < 1000; i++ {
+		b.Send([]byte("x"))
+	}
+	if n < 300 || n > 700 {
+		t.Errorf("loss rate 0.5 delivered %d of 1000", n)
+	}
+}
+
+func TestInMemBusSubscribeDuringDelivery(t *testing.T) {
+	// A callback that subscribes must not deadlock.
+	b := NewInMemBus()
+	done := make(chan struct{})
+	var once sync.Once
+	b.Subscribe(func([]byte) {
+		once.Do(func() {
+			if _, err := b.Subscribe(func([]byte) {}); err != nil {
+				t.Errorf("nested subscribe: %v", err)
+			}
+			close(done)
+		})
+	})
+	b.Send([]byte("x"))
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadlock: nested Subscribe blocked")
+	}
+}
+
+func TestInMemNetworkDialListen(t *testing.T) {
+	n := NewInMemNetwork()
+	l, err := n.Listen("gmond-0:8649")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	serverDone := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			serverDone <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Write([]byte("<GANGLIA_XML/>"))
+		serverDone <- err
+	}()
+
+	c, err := n.Dial("gmond-0:8649")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("<GANGLIA_XML/>")) {
+		t.Errorf("read %q", got)
+	}
+	if err := <-serverDone; err != nil {
+		t.Errorf("server: %v", err)
+	}
+}
+
+func TestInMemNetworkDialUnknownAddr(t *testing.T) {
+	n := NewInMemNetwork()
+	if _, err := n.Dial("nowhere:1"); err == nil {
+		t.Error("dial to unknown address succeeded")
+	}
+}
+
+func TestInMemNetworkFailRecover(t *testing.T) {
+	n := NewInMemNetwork()
+	l, _ := n.Listen("node:1")
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	if _, err := n.Dial("node:1"); err != nil {
+		t.Fatalf("dial before Fail: %v", err)
+	}
+	n.Fail("node:1")
+	if _, err := n.Dial("node:1"); err == nil {
+		t.Error("dial to failed node succeeded")
+	}
+	n.Recover("node:1")
+	if _, err := n.Dial("node:1"); err != nil {
+		t.Errorf("dial after Recover: %v", err)
+	}
+}
+
+func TestInMemNetworkAddrInUse(t *testing.T) {
+	n := NewInMemNetwork()
+	l, _ := n.Listen("a:1")
+	defer l.Close()
+	if _, err := n.Listen("a:1"); err == nil {
+		t.Error("double Listen succeeded")
+	}
+}
+
+func TestInMemNetworkListenerClose(t *testing.T) {
+	n := NewInMemNetwork()
+	l, _ := n.Listen("a:1")
+	l.Close()
+	if _, err := n.Dial("a:1"); err == nil {
+		t.Error("dial after listener close succeeded")
+	}
+	// Address is reusable after close.
+	if _, err := n.Listen("a:1"); err != nil {
+		t.Errorf("re-listen: %v", err)
+	}
+	// Accept on closed listener returns an error.
+	if _, err := l.Accept(); err == nil {
+		t.Error("Accept on closed listener succeeded")
+	}
+	// Double close is fine.
+	if err := l.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestInMemNetworkConcurrentDials(t *testing.T) {
+	n := NewInMemNetwork()
+	l, _ := n.Listen("busy:1")
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				c.Write([]byte("ok"))
+				c.Close()
+			}(c)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := n.Dial("busy:1")
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			b, _ := io.ReadAll(c)
+			if string(b) != "ok" {
+				t.Errorf("read %q", b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTCPNetworkLoopback(t *testing.T) {
+	tn := &TCPNetwork{DialTimeout: 2 * time.Second}
+	l, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c.Write([]byte("tcp-ok"))
+		c.Close()
+	}()
+	c, err := tn.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	b, _ := io.ReadAll(c)
+	if string(b) != "tcp-ok" {
+		t.Errorf("read %q", b)
+	}
+}
+
+func TestUDPBusLoopback(t *testing.T) {
+	b, err := NewUDPBus("239.2.11.71:18649", nil)
+	if err != nil {
+		t.Skipf("multicast unavailable in this environment: %v", err)
+	}
+	defer b.Close()
+
+	got := make(chan []byte, 1)
+	cancel, err := b.Subscribe(func(p []byte) {
+		select {
+		case got <- append([]byte(nil), p...):
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	msg := []byte("udp-announce")
+	deadline := time.After(3 * time.Second)
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if err := b.Send(msg); err != nil {
+			t.Skipf("multicast send failed: %v", err)
+		}
+		select {
+		case p := <-got:
+			if !bytes.Equal(p, msg) {
+				t.Errorf("received %q", p)
+			}
+			if b.Stats().Packets == 0 {
+				t.Error("stats not counted")
+			}
+			return
+		case <-deadline:
+			t.Skip("multicast loopback not delivered in this environment")
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMulticastGroup is the channel gmond historically announces on.
+const DefaultMulticastGroup = "239.2.11.71:8649"
+
+// maxDatagram bounds received packets. Gmond announcements are tiny
+// (tens of bytes); 64 KiB covers any future message comfortably.
+const maxDatagram = 64 * 1024
+
+// UDPBus is a Bus backed by a real UDP multicast group. Every gmond on
+// the LAN that joins the same group hears every announcement, exactly
+// as in the paper's local-area design.
+type UDPBus struct {
+	group *net.UDPAddr
+	send  *net.UDPConn
+	recv  *net.UDPConn
+
+	mu     sync.Mutex
+	subs   map[int]func(pkt []byte)
+	nextID int
+	closed bool
+
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// NewUDPBus joins the multicast group at groupAddr (host:port) on ifi
+// (nil selects the system default interface) and returns a Bus. The
+// caller must Close the bus to leave the group.
+func NewUDPBus(groupAddr string, ifi *net.Interface) (*UDPBus, error) {
+	gaddr, err := net.ResolveUDPAddr("udp", groupAddr)
+	if err != nil {
+		return nil, err
+	}
+	recv, err := net.ListenMulticastUDP("udp", ifi, gaddr)
+	if err != nil {
+		return nil, err
+	}
+	if err := recv.SetReadBuffer(1 << 20); err != nil {
+		// Non-fatal: some kernels clamp the buffer. Announcements are
+		// small and periodic, so the default buffer still works.
+		_ = err
+	}
+	send, err := net.DialUDP("udp", nil, gaddr)
+	if err != nil {
+		recv.Close()
+		return nil, err
+	}
+	b := &UDPBus{
+		group: gaddr,
+		send:  send,
+		recv:  recv,
+		subs:  make(map[int]func(pkt []byte)),
+	}
+	go b.readLoop()
+	return b, nil
+}
+
+func (b *UDPBus) readLoop() {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := b.recv.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		b.mu.Lock()
+		fns := make([]func(pkt []byte), 0, len(b.subs))
+		for _, fn := range b.subs {
+			fns = append(fns, fn)
+		}
+		b.mu.Unlock()
+		for _, fn := range fns {
+			fn(pkt)
+		}
+	}
+}
+
+// Send implements Bus.
+func (b *UDPBus) Send(pkt []byte) error {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	b.packets.Add(1)
+	b.bytes.Add(uint64(len(pkt)))
+	_, err := b.send.Write(pkt)
+	return err
+}
+
+// Subscribe implements Bus.
+func (b *UDPBus) Subscribe(fn func(pkt []byte)) (func(), error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = fn
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.subs, id)
+	}, nil
+}
+
+// Close implements Bus.
+func (b *UDPBus) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.subs = map[int]func(pkt []byte){}
+	b.mu.Unlock()
+	b.send.Close()
+	return b.recv.Close()
+}
+
+// Stats returns cumulative send-side traffic counters.
+func (b *UDPBus) Stats() BusStats {
+	return BusStats{Packets: b.packets.Load(), Bytes: b.bytes.Load()}
+}

@@ -1,0 +1,212 @@
+package tree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gmetad"
+	"ganglia/internal/transport"
+)
+
+// Autojoin implements the self-organizing tree construction the paper
+// leaves as future work (§4): "We would like to incorporate a wide-area
+// trust model similar to MDS, where parents have no explicit knowledge
+// of their children. Children in an MDS tree periodically send join
+// messages to their parents, who verify trust via a cryptographic
+// certificate sent with the message. Nodes are automatically pruned
+// from the tree if their join messages cease."
+//
+// The join message is a single line over a stream connection:
+//
+//	JOIN v1 <secret> <name> <kind> <addr>[,<addr>...]
+//
+// The parent verifies the shared secret (standing in for the
+// certificate — stdlib-only, and the trust semantics are what matters),
+// adds the child as a data source, and refreshes its lease. Children
+// whose joins cease are pruned after the lease lifetime, the same
+// soft-state discipline gmond applies inside a cluster.
+
+// DefaultJoinLifetime is the lease granted per join message.
+const DefaultJoinLifetime = 90 * time.Second
+
+// JoinListener accepts join messages on behalf of a parent gmetad.
+type JoinListener struct {
+	g        *gmetad.Gmetad
+	secret   string
+	lifetime time.Duration
+	clk      clock.Clock
+
+	mu        sync.Mutex
+	leases    map[string]time.Time
+	listeners []net.Listener
+	closed    bool
+	wg        sync.WaitGroup
+
+	accepted uint64
+	denied   uint64
+}
+
+// NewJoinListener wraps a parent gmetad. Children presenting secret are
+// admitted for lifetime (0 = DefaultJoinLifetime).
+func NewJoinListener(g *gmetad.Gmetad, secret string, lifetime time.Duration, clk clock.Clock) *JoinListener {
+	if lifetime <= 0 {
+		lifetime = DefaultJoinLifetime
+	}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &JoinListener{
+		g:        g,
+		secret:   secret,
+		lifetime: lifetime,
+		clk:      clk,
+		leases:   make(map[string]time.Time),
+	}
+}
+
+// Serve accepts join messages until the listener closes.
+func (j *JoinListener) Serve(l net.Listener) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		l.Close()
+		return
+	}
+	j.listeners = append(j.listeners, l)
+	j.wg.Add(1)
+	j.mu.Unlock()
+	defer j.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		j.wg.Add(1)
+		go func(c net.Conn) {
+			defer j.wg.Done()
+			defer c.Close()
+			j.handle(c)
+		}(conn)
+	}
+}
+
+func (j *JoinListener) handle(c net.Conn) {
+	line, err := bufio.NewReaderSize(c, 1024).ReadString('\n')
+	if err != nil && line == "" {
+		return
+	}
+	name, src, err := j.parseJoin(line)
+	if err != nil {
+		j.mu.Lock()
+		j.denied++
+		j.mu.Unlock()
+		fmt.Fprintf(c, "DENY %s\n", err)
+		return
+	}
+	now := j.clk.Now()
+	j.mu.Lock()
+	_, known := j.leases[name]
+	j.leases[name] = now
+	j.accepted++
+	j.mu.Unlock()
+	if !known {
+		// AddSource fails benignly if the child is also statically
+		// configured; the lease still protects it from pruning.
+		_ = j.g.AddSource(src)
+	}
+	fmt.Fprintf(c, "OK lease=%ds\n", int(j.lifetime/time.Second))
+}
+
+func (j *JoinListener) parseJoin(line string) (string, gmetad.DataSource, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 6 || fields[0] != "JOIN" || fields[1] != "v1" {
+		return "", gmetad.DataSource{}, fmt.Errorf("malformed join")
+	}
+	if fields[2] != j.secret {
+		return "", gmetad.DataSource{}, fmt.Errorf("bad credential")
+	}
+	name := fields[3]
+	var kind gmetad.SourceKind
+	switch fields[4] {
+	case "gmond":
+		kind = gmetad.SourceGmond
+	case "gmetad":
+		kind = gmetad.SourceGmetad
+	default:
+		return "", gmetad.DataSource{}, fmt.Errorf("unknown kind %q", fields[4])
+	}
+	addrs := strings.Split(fields[5], ",")
+	return name, gmetad.DataSource{Name: name, Kind: kind, Addrs: addrs}, nil
+}
+
+// Prune removes children whose leases expired as of now and returns
+// their names. Call it once per polling round.
+func (j *JoinListener) Prune(now time.Time) []string {
+	j.mu.Lock()
+	var expired []string
+	for name, last := range j.leases {
+		if now.Sub(last) > j.lifetime {
+			expired = append(expired, name)
+			delete(j.leases, name)
+		}
+	}
+	j.mu.Unlock()
+	sort.Strings(expired)
+	for _, name := range expired {
+		j.g.RemoveSource(name)
+	}
+	return expired
+}
+
+// Stats reports accepted and denied join messages.
+func (j *JoinListener) Stats() (accepted, denied uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.accepted, j.denied
+}
+
+// Close stops serving.
+func (j *JoinListener) Close() {
+	j.mu.Lock()
+	j.closed = true
+	ls := j.listeners
+	j.listeners = nil
+	j.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	j.wg.Wait()
+}
+
+// SendJoin announces a child to its parent's join port and returns the
+// parent's verdict.
+func SendJoin(network transport.Network, parentAddr, secret, name string, kind gmetad.SourceKind, addrs []string) error {
+	conn, err := network.Dial(parentAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	k := "gmond"
+	if kind == gmetad.SourceGmetad {
+		k = "gmetad"
+	}
+	if _, err := fmt.Fprintf(conn, "JOIN v1 %s %s %s %s\n",
+		secret, name, k, strings.Join(addrs, ",")); err != nil {
+		return err
+	}
+	resp, err := io.ReadAll(conn)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(string(resp), "OK") {
+		return fmt.Errorf("tree: join rejected: %s", strings.TrimSpace(string(resp)))
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Topology JSON configuration: the declarative deployment format read
+// by cmd/ganglia-sim (and usable by any tool that builds trees).
+//
+//	{
+//	  "root": "root",
+//	  "nodes": [
+//	    {"name": "root", "children": ["sdsc"],
+//	     "clusters": [{"name": "meteor", "hosts": 100}]},
+//	    {"name": "sdsc",
+//	     "clusters": [{"name": "nashi", "hosts": 50}]}
+//	  ]
+//	}
+
+type topologyJSON struct {
+	Root  string     `json:"root"`
+	Nodes []nodeJSON `json:"nodes"`
+}
+
+type nodeJSON struct {
+	Name     string        `json:"name"`
+	Children []string      `json:"children,omitempty"`
+	Clusters []clusterJSON `json:"clusters,omitempty"`
+}
+
+type clusterJSON struct {
+	Name  string `json:"name"`
+	Hosts int    `json:"hosts"`
+}
+
+// LoadTopology parses and validates a JSON topology.
+func LoadTopology(r io.Reader) (*Topology, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var tj topologyJSON
+	if err := dec.Decode(&tj); err != nil {
+		return nil, fmt.Errorf("tree: parse topology: %w", err)
+	}
+	topo := &Topology{Root: tj.Root}
+	for _, n := range tj.Nodes {
+		node := Node{Name: n.Name, Children: n.Children}
+		for _, c := range n.Clusters {
+			node.Clusters = append(node.Clusters, ClusterSpec{Name: c.Name, Hosts: c.Hosts})
+		}
+		topo.Nodes = append(topo.Nodes, node)
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return topo, nil
+}
+
+// SaveTopology writes a topology as canonical JSON.
+func SaveTopology(w io.Writer, topo *Topology) error {
+	tj := topologyJSON{Root: topo.Root}
+	for i := range topo.Nodes {
+		n := &topo.Nodes[i]
+		nj := nodeJSON{Name: n.Name, Children: n.Children}
+		for _, c := range n.Clusters {
+			nj.Clusters = append(nj.Clusters, clusterJSON{Name: c.Name, Hosts: c.Hosts})
+		}
+		tj.Nodes = append(tj.Nodes, nj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tj)
+}

@@ -1,0 +1,211 @@
+package tree
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gmetad"
+	"ganglia/internal/pseudo"
+	"ganglia/internal/transport"
+)
+
+// DeployConfig controls Deploy.
+type DeployConfig struct {
+	// Mode selects the gmetad design.
+	Mode gmetad.Mode
+	// Archive enables metric histories.
+	Archive bool
+	// PollInterval is the real-time polling cadence (default 15 s).
+	PollInterval time.Duration
+	// Host is the interface to bind (default 127.0.0.1). Ports are
+	// ephemeral; read the assigned addresses from the Deployment.
+	Host string
+	// SeedBase perturbs the emulated metric streams.
+	SeedBase int64
+}
+
+// Deployment is a monitoring tree running on real TCP sockets — the
+// same wiring as separate gmond/gmetad processes, but in-process and
+// with emulated clusters, so external tools (gstat, gweb, curl) can
+// browse a realistic federation.
+type Deployment struct {
+	Topo *Topology
+	// QueryAddrs maps gmetad node name to its query-port address.
+	QueryAddrs map[string]string
+	// ClusterAddrs maps cluster name to its emulated gmond address.
+	ClusterAddrs map[string]string
+
+	gmetads   map[string]*gmetad.Gmetad
+	pseudos   map[string]*pseudo.Gmond
+	pollOrder []string
+	interval  time.Duration
+
+	stopOnce    sync.Once
+	loopStarted bool
+	done        chan struct{}
+	finished    chan struct{}
+}
+
+// Deploy instantiates the topology on loopback TCP and starts polling
+// on real time. Stop shuts everything down.
+func Deploy(topo *Topology, cfg DeployConfig) (*Deployment, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Host == "" {
+		cfg.Host = "127.0.0.1"
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = gmetad.DefaultPollInterval
+	}
+	tcp := &transport.TCPNetwork{DialTimeout: 5 * time.Second}
+	d := &Deployment{
+		Topo:         topo,
+		QueryAddrs:   make(map[string]string),
+		ClusterAddrs: make(map[string]string),
+		gmetads:      make(map[string]*gmetad.Gmetad),
+		pseudos:      make(map[string]*pseudo.Gmond),
+		pollOrder:    topo.LeafFirst(),
+		interval:     cfg.PollInterval,
+		done:         make(chan struct{}),
+		finished:     make(chan struct{}),
+	}
+	fail := func(err error) (*Deployment, error) {
+		d.Stop()
+		return nil, err
+	}
+
+	// Listeners first: every gmetad's query port and every cluster's
+	// gmond port get their addresses before any source list is built.
+	queryListeners := make(map[string]net.Listener)
+	seed := cfg.SeedBase
+	for i := range topo.Nodes {
+		node := &topo.Nodes[i]
+		l, err := tcp.Listen(cfg.Host + ":0")
+		if err != nil {
+			return fail(fmt.Errorf("tree: listen for %s: %w", node.Name, err))
+		}
+		queryListeners[node.Name] = l
+		d.QueryAddrs[node.Name] = l.Addr().String()
+		for _, cs := range node.Clusters {
+			cl, err := tcp.Listen(cfg.Host + ":0")
+			if err != nil {
+				l.Close()
+				return fail(fmt.Errorf("tree: listen for cluster %s: %w", cs.Name, err))
+			}
+			seed++
+			p := pseudo.New(cs.Name, cs.Hosts, seed, clock.Real{})
+			go p.Serve(cl)
+			d.pseudos[cs.Name] = p
+			d.ClusterAddrs[cs.Name] = cl.Addr().String()
+		}
+	}
+
+	for i := range topo.Nodes {
+		node := &topo.Nodes[i]
+		var sources []gmetad.DataSource
+		for _, cs := range node.Clusters {
+			sources = append(sources, gmetad.DataSource{
+				Name: cs.Name, Kind: gmetad.SourceGmond,
+				Addrs: []string{d.ClusterAddrs[cs.Name]},
+			})
+		}
+		for _, child := range node.Children {
+			sources = append(sources, gmetad.DataSource{
+				Name: child, Kind: gmetad.SourceGmetad,
+				Addrs: []string{d.QueryAddrs[child]},
+			})
+		}
+		g, err := gmetad.New(gmetad.Config{
+			GridName: node.Name,
+			// The authority IS the query address, so any client can
+			// follow pointers with a trivial resolver.
+			Authority:    "gq://" + d.QueryAddrs[node.Name],
+			Network:      tcp,
+			Sources:      sources,
+			Mode:         cfg.Mode,
+			PollInterval: cfg.PollInterval,
+			Archive:      cfg.Archive,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("tree: gmetad %s: %w", node.Name, err))
+		}
+		go g.ServeQuery(queryListeners[node.Name])
+		d.gmetads[node.Name] = g
+	}
+
+	d.loopStarted = true
+	go d.pollLoop()
+	return d, nil
+}
+
+// pollLoop drives leaf-first rounds on real time.
+func (d *Deployment) pollLoop() {
+	defer close(d.finished)
+	round := func() {
+		now := time.Now()
+		for _, name := range d.pollOrder {
+			d.gmetads[name].PollOnce(now)
+		}
+	}
+	round()
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-t.C:
+			round()
+		}
+	}
+}
+
+// Gmetad returns a node's daemon (nil for unknown names).
+func (d *Deployment) Gmetad(name string) *gmetad.Gmetad { return d.gmetads[name] }
+
+// RootAddr returns the root's query address.
+func (d *Deployment) RootAddr() string { return d.QueryAddrs[d.Topo.Root] }
+
+// AddrTable renders the deployment's address plan for the operator.
+func (d *Deployment) AddrTable() string {
+	var names []string
+	for n := range d.QueryAddrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := "gmetad query ports:\n"
+	for _, n := range names {
+		out += fmt.Sprintf("  %-12s %s\n", n, d.QueryAddrs[n])
+	}
+	names = names[:0]
+	for n := range d.ClusterAddrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out += "emulated gmond ports:\n"
+	for _, n := range names {
+		out += fmt.Sprintf("  %-12s %s\n", n, d.ClusterAddrs[n])
+	}
+	return out
+}
+
+// Stop shuts the deployment down and waits for the poll loop to exit.
+func (d *Deployment) Stop() {
+	d.stopOnce.Do(func() {
+		close(d.done)
+		if d.loopStarted {
+			<-d.finished
+		}
+		for _, g := range d.gmetads {
+			g.Close()
+		}
+		for _, p := range d.pseudos {
+			p.Close()
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package tree
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ganglia/internal/gmetad"
+	"ganglia/internal/gxml"
+)
+
+func TestLoadSaveTopology(t *testing.T) {
+	topo := FigureTwo(7)
+	var buf bytes.Buffer
+	if err := SaveTopology(&buf, topo); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Root != topo.Root || len(loaded.Nodes) != len(topo.Nodes) {
+		t.Fatalf("shape: %+v", loaded)
+	}
+	if loaded.HostCount() != topo.HostCount() || loaded.ClusterCount() != topo.ClusterCount() {
+		t.Errorf("counts: %d/%d vs %d/%d",
+			loaded.HostCount(), loaded.ClusterCount(), topo.HostCount(), topo.ClusterCount())
+	}
+}
+
+func TestLoadTopologyRejectsBadInput(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"root":"x","nodes":[{"name":"a"}]}`, // root not a node
+		`{"root":"a","nodes":[{"name":"a","bogus_field":1}]}`,      // unknown field
+		`{"root":"a","nodes":[{"name":"a","children":["ghost"]}]}`, // unknown child
+	}
+	for i, doc := range cases {
+		if _, err := LoadTopology(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDeployOnRealSockets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	topo := &Topology{
+		Root: "root",
+		Nodes: []Node{
+			{Name: "root", Children: []string{"leaf"},
+				Clusters: []ClusterSpec{{Name: "local", Hosts: 4}}},
+			{Name: "leaf", Clusters: []ClusterSpec{{Name: "remote", Hosts: 3}}},
+		},
+	}
+	dep, err := Deploy(topo, DeployConfig{
+		Mode:         gmetad.NLevel,
+		Archive:      true,
+		PollInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Skipf("loopback deploy unavailable: %v", err)
+	}
+	defer dep.Stop()
+
+	if dep.RootAddr() == "" || len(dep.QueryAddrs) != 2 || len(dep.ClusterAddrs) != 2 {
+		t.Fatalf("address plan: %+v %+v", dep.QueryAddrs, dep.ClusterAddrs)
+	}
+	table := dep.AddrTable()
+	for _, want := range []string{"root", "leaf", "local", "remote"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("address table missing %q:\n%s", want, table)
+		}
+	}
+
+	// Query the root's real TCP port like an external tool.
+	ask := func(q string) *gxml.Report {
+		t.Helper()
+		conn, err := net.Dial("tcp", dep.RootAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		io.WriteString(conn, q+"\n")
+		rep, err := gxml.Parse(conn)
+		if err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		return rep
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rep := ask("/?filter=summary")
+		if len(rep.Grids) == 1 && rep.Grids[0].Summary != nil &&
+			rep.Grids[0].Summary.Hosts() == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federation never converged to 7 hosts")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	// The remote grid carries the gq:// authority for trivial pointer
+	// resolution.
+	rep := ask("/")
+	if len(rep.Grids[0].Grids) != 1 {
+		t.Fatalf("root shape: %+v", rep.Grids[0])
+	}
+	auth := rep.Grids[0].Grids[0].Authority
+	if !strings.HasPrefix(auth, "gq://") || !strings.Contains(auth, dep.QueryAddrs["leaf"]) {
+		t.Errorf("authority = %q, want gq://%s", auth, dep.QueryAddrs["leaf"])
+	}
+	if dep.Gmetad("root") == nil || dep.Gmetad("ghost") != nil {
+		t.Error("Gmetad accessor broken")
+	}
+
+	// Double Stop is safe.
+	dep.Stop()
+	dep.Stop()
+}

@@ -1,0 +1,207 @@
+// Package tree builds monitoring trees: the explicit trust-edge
+// topology of paper §2 ("edges are trusts that allow TCP connections
+// carrying XML monitoring data to occur ... a child must explicitly
+// trust its parent"), including the six-gmetad, twelve-cluster tree of
+// fig 2 that the experimental section measures.
+//
+// A Topology is a declarative description; Build instantiates it
+// in-process on an in-memory network with pseudo-gmond leaf clusters,
+// exactly as the paper's experiments simulate their clusters.
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ClusterSpec declares one leaf cluster attached to a gmetad node.
+type ClusterSpec struct {
+	// Name is the cluster name; it must be unique in the topology.
+	Name string
+	// Hosts is the emulated cluster size.
+	Hosts int
+}
+
+// Node declares one gmetad in the tree.
+type Node struct {
+	// Name is the gmetad's grid name; unique in the topology.
+	Name string
+	// Children names the child gmetads this node polls.
+	Children []string
+	// Clusters are the local leaf clusters this node is authoritative
+	// for.
+	Clusters []ClusterSpec
+}
+
+// Topology is a declarative monitoring tree.
+type Topology struct {
+	// Root names the tree root.
+	Root string
+	// Nodes lists every gmetad.
+	Nodes []Node
+}
+
+// Validate checks structural soundness: unique names, existing
+// children, a single root, no cycles, and every node reachable from the
+// root.
+func (t *Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("tree: no nodes")
+	}
+	byName := make(map[string]*Node, len(t.Nodes))
+	clusters := map[string]bool{}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Name == "" {
+			return fmt.Errorf("tree: node with empty name")
+		}
+		if _, dup := byName[n.Name]; dup {
+			return fmt.Errorf("tree: duplicate node %q", n.Name)
+		}
+		byName[n.Name] = n
+		for _, c := range n.Clusters {
+			if c.Name == "" {
+				return fmt.Errorf("tree: node %q has a cluster with empty name", n.Name)
+			}
+			if clusters[c.Name] {
+				return fmt.Errorf("tree: duplicate cluster %q", c.Name)
+			}
+			if c.Hosts <= 0 {
+				return fmt.Errorf("tree: cluster %q has %d hosts", c.Name, c.Hosts)
+			}
+			clusters[c.Name] = true
+		}
+	}
+	if _, ok := byName[t.Root]; !ok {
+		return fmt.Errorf("tree: root %q is not a node", t.Root)
+	}
+	// Every child must exist and have exactly one parent.
+	parent := map[string]string{}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		for _, c := range n.Children {
+			if _, ok := byName[c]; !ok {
+				return fmt.Errorf("tree: node %q lists unknown child %q", n.Name, c)
+			}
+			if p, claimed := parent[c]; claimed {
+				return fmt.Errorf("tree: node %q has two parents (%q, %q)", c, p, n.Name)
+			}
+			parent[c] = n.Name
+		}
+	}
+	if _, hasParent := parent[t.Root]; hasParent {
+		return fmt.Errorf("tree: root %q has a parent", t.Root)
+	}
+	// Reachability from the root covers everything (this also rules
+	// out cycles, since each node has at most one parent).
+	seen := map[string]bool{}
+	var walk func(name string) error
+	walk = func(name string) error {
+		if seen[name] {
+			return fmt.Errorf("tree: cycle through %q", name)
+		}
+		seen[name] = true
+		for _, c := range byName[name].Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root); err != nil {
+		return err
+	}
+	if len(seen) != len(t.Nodes) {
+		var orphans []string
+		for name := range byName {
+			if !seen[name] {
+				orphans = append(orphans, name)
+			}
+		}
+		sort.Strings(orphans)
+		return fmt.Errorf("tree: nodes unreachable from root: %v", orphans)
+	}
+	return nil
+}
+
+// node returns the named node.
+func (t *Topology) node(name string) *Node {
+	for i := range t.Nodes {
+		if t.Nodes[i].Name == name {
+			return &t.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// LeafFirst returns node names ordered children-before-parents, the
+// polling order that propagates fresh data from the leaves to the root
+// in a single round.
+func (t *Topology) LeafFirst() []string {
+	var order []string
+	var walk func(name string)
+	walk = func(name string) {
+		n := t.node(name)
+		for _, c := range n.Children {
+			walk(c)
+		}
+		order = append(order, name)
+	}
+	walk(t.Root)
+	return order
+}
+
+// ClusterCount totals the leaf clusters.
+func (t *Topology) ClusterCount() int {
+	n := 0
+	for i := range t.Nodes {
+		n += len(t.Nodes[i].Clusters)
+	}
+	return n
+}
+
+// HostCount totals the emulated hosts.
+func (t *Topology) HostCount() int {
+	n := 0
+	for i := range t.Nodes {
+		for _, c := range t.Nodes[i].Clusters {
+			n += c.Hosts
+		}
+	}
+	return n
+}
+
+// FigureTwo returns the paper's experimental topology (fig 2): six
+// gmetad monitors — root over {ucsd, sdsc}, ucsd over {physics, math},
+// sdsc over {attic} — with twelve clusters of hostsPerCluster hosts
+// distributed two per node. "This configuration is used in the
+// experimental section as well."
+func FigureTwo(hostsPerCluster int) *Topology {
+	mk := func(prefix string) []ClusterSpec {
+		return []ClusterSpec{
+			{Name: prefix + "-a", Hosts: hostsPerCluster},
+			{Name: prefix + "-b", Hosts: hostsPerCluster},
+		}
+	}
+	return &Topology{
+		Root: "root",
+		Nodes: []Node{
+			{Name: "root", Children: []string{"ucsd", "sdsc"}, Clusters: mk("meteor")},
+			{Name: "ucsd", Children: []string{"physics", "math"}, Clusters: mk("beowulf")},
+			{Name: "physics", Clusters: mk("quark")},
+			{Name: "math", Clusters: mk("euler")},
+			{Name: "sdsc", Children: []string{"attic"}, Clusters: mk("nashi")},
+			{Name: "attic", Clusters: mk("dust")},
+		},
+	}
+}
+
+// GmetadNames returns the node names in declaration order — the x-axis
+// of the paper's figure 5.
+func (t *Topology) GmetadNames() []string {
+	names := make([]string, len(t.Nodes))
+	for i := range t.Nodes {
+		names[i] = t.Nodes[i].Name
+	}
+	return names
+}

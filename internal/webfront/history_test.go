@@ -1,0 +1,118 @@
+package webfront
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gmetad"
+	"ganglia/internal/gxml"
+	"ganglia/internal/rrd"
+	"ganglia/internal/tree"
+)
+
+// buildArchivingTree is buildTree with archives enabled on every node.
+func buildArchivingTree(t testing.TB, rounds int) (*tree.Instance, *Viewer) {
+	t.Helper()
+	clk := clock.NewVirtual(t0)
+	inst, err := tree.Build(tree.FigureTwo(4), tree.BuildConfig{
+		Mode:    gmetad.NLevel,
+		Archive: true,
+		ArchiveSpec: rrd.Spec{
+			Step:      15 * time.Second,
+			Heartbeat: 60 * time.Second,
+			Archives:  []rrd.ArchiveSpec{{Step: 15 * time.Second, Rows: 32, CF: rrd.Average}},
+		},
+		Clock: clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	for i := 0; i < rounds; i++ {
+		clk.Advance(15 * time.Second)
+		inst.PollRound(clk.Now())
+	}
+	return inst, &Viewer{
+		Network:      inst.Net,
+		Addr:         tree.QueryAddr("sdsc"),
+		QuerySupport: true,
+	}
+}
+
+func TestViewerHistory(t *testing.T) {
+	_, v := buildArchivingTree(t, 8)
+	h, err := v.History("nashi-a", "compute-nashi-a-0", "load_one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Points) < 4 {
+		t.Fatalf("points = %d", len(h.Points))
+	}
+	if h.Metric != "load_one" || h.CF != "AVERAGE" {
+		t.Errorf("history identity: %+v", h)
+	}
+}
+
+func TestViewerHistoryRequiresQuerySupport(t *testing.T) {
+	_, v := buildArchivingTree(t, 2)
+	v.QuerySupport = false
+	if _, err := v.History("nashi-a", "compute-nashi-a-0", "load_one"); err == nil {
+		t.Error("history without query support succeeded")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	h := &gxml.History{Points: []gxml.HistoryPoint{
+		{Time: 1, Value: 0}, {Time: 2, Value: 5}, {Time: 3, Value: 10},
+	}}
+	s := sparkline(h)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Errorf("scaling wrong: %q", s)
+	}
+	// Unknown points render as spaces.
+	h.Points[1].Value = nan()
+	if runes := []rune(sparkline(h)); runes[1] != ' ' {
+		t.Errorf("unknown point: %q", string(runes))
+	}
+	// Constant series does not divide by zero.
+	h2 := &gxml.History{Points: []gxml.HistoryPoint{{Time: 1, Value: 7}, {Time: 2, Value: 7}}}
+	if s := sparkline(h2); len([]rune(s)) != 2 {
+		t.Errorf("constant series: %q", s)
+	}
+	// All-unknown and empty series give nothing.
+	h3 := &gxml.History{Points: []gxml.HistoryPoint{{Time: 1, Value: nan()}}}
+	if sparkline(h3) != "" {
+		t.Error("all-unknown series rendered")
+	}
+	if sparkline(&gxml.History{}) != "" {
+		t.Error("empty series rendered")
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+func TestHostPageShowsHistory(t *testing.T) {
+	_, v := buildArchivingTree(t, 8)
+	srv := httptest.NewServer(NewServer(v))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/host/nashi-a/compute-nashi-a-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "load_one:") {
+		t.Errorf("host page missing history decoration:\n%.300s", body)
+	}
+}

@@ -1,0 +1,105 @@
+package webfront
+
+import (
+	"fmt"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/transport"
+)
+
+// Navigator walks the distributed monitoring tree by following
+// authority pointers — "this pointer-based distributed tree forms the
+// heart of our design" (paper §2.2). A coarse summary anywhere in the
+// tree names the URL of the gmetad that owns the detail; the navigator
+// resolves those URLs to query addresses and descends until it reaches
+// the node that holds a cluster at full resolution.
+type Navigator struct {
+	// Network carries the queries.
+	Network transport.Network
+	// RootAddr is the query port of the tree root (or any entry
+	// point).
+	RootAddr string
+	// Resolve maps an authority URL to a query-port address. In a real
+	// deployment this is DNS plus a port convention; tests and the
+	// in-process trees supply a table lookup.
+	Resolve func(authority string) (addr string, ok bool)
+
+	// MaxDepth bounds the descent; zero means 16.
+	MaxDepth int
+}
+
+// Location describes where in the distributed tree a cluster was found.
+type Location struct {
+	// Addr is the query port of the owning gmetad.
+	Addr string
+	// Authority is the owning gmetad's URL ("" at the entry point).
+	Authority string
+	// Hops is the number of authority pointers followed.
+	Hops int
+	// Cluster is the full-resolution cluster data.
+	Cluster *gxml.Cluster
+}
+
+// FindCluster locates the named cluster's full-resolution data,
+// descending through grid summaries. The search is depth-first over the
+// children advertised at each node, so the cost is one O(m) summary
+// fetch per visited gmetad plus one full cluster fetch at the end —
+// never a full-tree download.
+func (n *Navigator) FindCluster(name string) (*Location, error) {
+	maxDepth := n.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 16
+	}
+	visited := make(map[string]bool)
+	loc, err := n.find(n.RootAddr, "", name, 0, maxDepth, visited)
+	if err != nil {
+		return nil, err
+	}
+	if loc == nil {
+		return nil, fmt.Errorf("webfront: cluster %q not found in the monitoring tree", name)
+	}
+	return loc, nil
+}
+
+func (n *Navigator) find(addr, authority, name string, hops, maxDepth int, visited map[string]bool) (*Location, error) {
+	if hops > maxDepth {
+		return nil, fmt.Errorf("webfront: authority chain deeper than %d", maxDepth)
+	}
+	if visited[addr] {
+		return nil, nil // authority loop; already searched
+	}
+	visited[addr] = true
+
+	v := &Viewer{Network: n.Network, Addr: addr, QuerySupport: true}
+
+	// Does this node hold the cluster at full resolution? A direct
+	// cluster query answers from its hash DOM in O(1) lookups.
+	if res, err := v.fetch(ClusterView, "/"+name); err == nil {
+		if c := findCluster(res.Report, name); c != nil && len(c.Hosts) > 0 {
+			return &Location{Addr: addr, Authority: authority, Hops: hops, Cluster: c}, nil
+		}
+	}
+
+	// Otherwise enumerate this node's children from its root report
+	// and follow each authority pointer.
+	res, err := v.fetch(MetaView, "/")
+	if err != nil {
+		return nil, fmt.Errorf("webfront: query %s: %w", addr, err)
+	}
+	for _, g := range res.Report.Grids {
+		for _, child := range g.Grids {
+			childAddr, ok := n.Resolve(child.Authority)
+			if !ok {
+				continue // unreachable authority; keep searching siblings
+			}
+			loc, err := n.find(childAddr, child.Authority, name, hops+1, maxDepth, visited)
+			if err != nil {
+				return nil, err
+			}
+			if loc != nil {
+				return loc, nil
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,153 @@
+package webfront
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gmetad"
+	"ganglia/internal/tree"
+)
+
+// buildNavigator stands up the fig-2 tree and a Navigator entering at
+// the root, with an authority resolver built from the topology.
+func buildNavigator(t *testing.T, hosts int) (*tree.Instance, *Navigator) {
+	t.Helper()
+	clk := clock.NewVirtual(t0)
+	topo := tree.FigureTwo(hosts)
+	inst, err := tree.Build(topo, tree.BuildConfig{Mode: gmetad.NLevel, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	inst.PollRound(clk.Now())
+
+	byAuthority := map[string]string{}
+	for _, name := range topo.GmetadNames() {
+		byAuthority[tree.Authority(name)] = tree.QueryAddr(name)
+	}
+	nav := &Navigator{
+		Network:  inst.Net,
+		RootAddr: tree.QueryAddr("root"),
+		Resolve: func(authority string) (string, bool) {
+			addr, ok := byAuthority[authority]
+			return addr, ok
+		},
+	}
+	return inst, nav
+}
+
+func TestNavigatorFindsLocalCluster(t *testing.T) {
+	_, nav := buildNavigator(t, 6)
+	loc, err := nav.FindCluster("meteor-a") // root's own cluster
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Hops != 0 || loc.Addr != tree.QueryAddr("root") {
+		t.Errorf("location: %+v", loc)
+	}
+	if len(loc.Cluster.Hosts) != 6 {
+		t.Errorf("hosts = %d", len(loc.Cluster.Hosts))
+	}
+}
+
+func TestNavigatorChasesAuthorityPointers(t *testing.T) {
+	_, nav := buildNavigator(t, 6)
+	// quark-a lives under physics: root → ucsd → physics, two hops.
+	loc, err := nav.FindCluster("quark-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Hops != 2 {
+		t.Errorf("hops = %d, want 2", loc.Hops)
+	}
+	if loc.Addr != tree.QueryAddr("physics") {
+		t.Errorf("addr = %s", loc.Addr)
+	}
+	if !strings.Contains(loc.Authority, "physics") {
+		t.Errorf("authority = %q", loc.Authority)
+	}
+	if len(loc.Cluster.Hosts) != 6 {
+		t.Errorf("full resolution not reached: %d hosts", len(loc.Cluster.Hosts))
+	}
+	// One hop for sdsc's cluster.
+	loc, err = nav.FindCluster("nashi-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Hops != 1 || loc.Addr != tree.QueryAddr("sdsc") {
+		t.Errorf("nashi-b location: %+v", loc)
+	}
+}
+
+func TestNavigatorUnknownCluster(t *testing.T) {
+	_, nav := buildNavigator(t, 3)
+	if _, err := nav.FindCluster("no-such-cluster"); err == nil {
+		t.Error("unknown cluster found")
+	}
+}
+
+func TestNavigatorUnresolvableAuthority(t *testing.T) {
+	_, nav := buildNavigator(t, 3)
+	// A resolver that knows nobody: local clusters still resolve, and
+	// remote ones fail cleanly instead of erroring mid-walk.
+	nav.Resolve = func(string) (string, bool) { return "", false }
+	if _, err := nav.FindCluster("meteor-a"); err != nil {
+		t.Errorf("local cluster should not need the resolver: %v", err)
+	}
+	if _, err := nav.FindCluster("quark-a"); err == nil {
+		t.Error("remote cluster found without a resolver")
+	}
+}
+
+func TestNavigatorDeadEntryPoint(t *testing.T) {
+	inst, nav := buildNavigator(t, 3)
+	nav.RootAddr = "nowhere:1"
+	_ = inst
+	if _, err := nav.FindCluster("meteor-a"); err == nil {
+		t.Error("dead entry point did not error")
+	}
+}
+
+func TestFindPage(t *testing.T) {
+	inst, nav := buildNavigator(t, 4)
+	v := &Viewer{Network: inst.Net, Addr: tree.QueryAddr("root"), QuerySupport: true}
+	srv := NewServer(v)
+	srv.SetNavigator(nav)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/find/quark-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %.200s", resp.StatusCode, body)
+	}
+	out := string(body)
+	if !strings.Contains(out, "2 authority pointer") {
+		t.Errorf("hops missing: %.300s", out)
+	}
+	if !strings.Contains(out, "compute-quark-a-0") {
+		t.Errorf("hosts missing: %.300s", out)
+	}
+
+	resp, _ = ts.Client().Get(ts.URL + "/find/ghost")
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("ghost cluster status %d", resp.StatusCode)
+	}
+
+	// Without a navigator the route reports 501.
+	plain := httptest.NewServer(NewServer(v))
+	defer plain.Close()
+	resp, _ = plain.Client().Get(plain.URL + "/find/quark-a")
+	resp.Body.Close()
+	if resp.StatusCode != 501 {
+		t.Errorf("unconfigured /find status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,264 @@
+// Package webfront implements the presentation layer: the viewer client
+// whose download-and-parse cost Table 1 measures, and an HTTP server
+// rendering the monitoring tree as web pages.
+//
+// The viewer "requests raw XML from a gmeta agent and parses it for
+// display. The processing required to view the tree is therefore
+// proportional to the size of the XML returned by the monitor" (§2.3).
+// The paper's central presentation-layer result is that query support
+// shrinks that XML: a viewer with QuerySupport fetches exactly the
+// subtree a page needs, while the legacy viewer must fetch the full
+// tree and "parse and discard much of the data it receives".
+package webfront
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/summary"
+	"ganglia/internal/transport"
+)
+
+// View names the three central web views of the paper's Table 1.
+type View int
+
+const (
+	// MetaView summarizes all monitored clusters.
+	MetaView View = iota
+	// ClusterView describes one cluster at full resolution.
+	ClusterView
+	// HostView shows all information known about a single host.
+	HostView
+)
+
+// String names the view as Table 1 does.
+func (v View) String() string {
+	switch v {
+	case MetaView:
+		return "Meta"
+	case ClusterView:
+		return "Cluster"
+	case HostView:
+		return "Host"
+	}
+	return fmt.Sprintf("view(%d)", int(v))
+}
+
+// Viewer fetches and parses gmetad XML on behalf of a page render.
+type Viewer struct {
+	// Network and Addr locate the gmetad's query port.
+	Network transport.Network
+	Addr    string
+	// QuerySupport selects the N-level behaviour: request the specific
+	// subtree each view needs. Without it the viewer emulates the
+	// 1-level frontend: fetch the entire tree every time and filter or
+	// summarize client-side.
+	QuerySupport bool
+}
+
+// Result is one fetch: the parsed report plus the timings Table 1 rows
+// are made of.
+type Result struct {
+	View View
+	// Elapsed spans socket connect through XML parse completion —
+	// exactly where the paper inserted its gettimeofday calls (§3.1).
+	Elapsed time.Duration
+	// PostProcess is client-side work after the parse (extracting the
+	// wanted subtree, or recomputing summaries in the 1-level viewer).
+	PostProcess time.Duration
+	// Bytes is the XML volume downloaded.
+	Bytes int64
+
+	Report  *gxml.Report
+	Summary *summary.Summary // populated for MetaView
+	Cluster *gxml.Cluster    // populated for ClusterView and HostView
+	Host    *gxml.Host       // populated for HostView
+}
+
+// fetch performs one query round-trip and parse.
+func (v *Viewer) fetch(view View, q string) (*Result, error) {
+	start := time.Now()
+	conn, err := v.Network.Dial(v.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("webfront: dial %s: %w", v.Addr, err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, q+"\n"); err != nil {
+		return nil, fmt.Errorf("webfront: send query: %w", err)
+	}
+	cr := &countingReader{r: bufio.NewReaderSize(conn, 64*1024)}
+	rep, err := gxml.Parse(cr)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("webfront: parse response to %q: %w", q, err)
+	}
+	return &Result{View: view, Elapsed: elapsed, Bytes: cr.n, Report: rep}, nil
+}
+
+// Meta renders the data for the meta view: one summary over every
+// monitored cluster. The N-level viewer "obtains its summaries directly
+// from the gmeta daemon"; the 1-level viewer "generates its own
+// summaries" from the full tree (§3.3).
+func (v *Viewer) Meta() (*Result, error) {
+	if v.QuerySupport {
+		res, err := v.fetch(MetaView, "/?filter=summary")
+		if err != nil {
+			return nil, err
+		}
+		post := time.Now()
+		total := summary.New()
+		for _, g := range res.Report.Grids {
+			total.Merge(g.Summarize())
+		}
+		res.Summary = total
+		res.PostProcess = time.Since(post)
+		return res, nil
+	}
+	res, err := v.fetch(MetaView, "/")
+	if err != nil {
+		return nil, err
+	}
+	post := time.Now()
+	total := summary.New()
+	for _, c := range res.Report.Clusters {
+		total.Merge(c.Summarize())
+	}
+	for _, g := range res.Report.Grids {
+		total.Merge(g.Summarize())
+	}
+	res.Summary = total
+	res.PostProcess = time.Since(post)
+	return res, nil
+}
+
+// Cluster renders one cluster at full resolution.
+func (v *Viewer) Cluster(name string) (*Result, error) {
+	q := "/"
+	if v.QuerySupport {
+		q = "/" + name
+	}
+	res, err := v.fetch(ClusterView, q)
+	if err != nil {
+		return nil, err
+	}
+	post := time.Now()
+	c := findCluster(res.Report, name)
+	if c == nil {
+		return nil, fmt.Errorf("webfront: cluster %q not in report", name)
+	}
+	res.Cluster = c
+	res.PostProcess = time.Since(post)
+	return res, nil
+}
+
+// ClusterSummary renders the low-resolution overview of one cluster —
+// the filter the paper found "useful when examining very large
+// clusters" (§2.3.2). Without query support it degrades to a full fetch
+// plus client-side reduction.
+func (v *Viewer) ClusterSummary(name string) (*Result, error) {
+	q := "/"
+	if v.QuerySupport {
+		q = "/" + name + "?filter=summary"
+	}
+	res, err := v.fetch(ClusterView, q)
+	if err != nil {
+		return nil, err
+	}
+	post := time.Now()
+	c := findCluster(res.Report, name)
+	if c == nil {
+		return nil, fmt.Errorf("webfront: cluster %q not in report", name)
+	}
+	res.Cluster = c
+	res.Summary = c.Summarize()
+	res.PostProcess = time.Since(post)
+	return res, nil
+}
+
+// Host renders everything known about one host. This view gains the
+// most from query support: the 1-level viewer "must parse and discard
+// data about all other hosts in the cluster" (§3.3).
+func (v *Viewer) Host(cluster, host string) (*Result, error) {
+	q := "/"
+	if v.QuerySupport {
+		q = "/" + cluster + "/" + host + "/"
+	}
+	res, err := v.fetch(HostView, q)
+	if err != nil {
+		return nil, err
+	}
+	post := time.Now()
+	c := findCluster(res.Report, cluster)
+	if c == nil {
+		return nil, fmt.Errorf("webfront: cluster %q not in report", cluster)
+	}
+	for _, h := range c.Hosts {
+		if h.Name == host {
+			res.Cluster = c
+			res.Host = h
+			res.PostProcess = time.Since(post)
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("webfront: host %q not in cluster %q", host, cluster)
+}
+
+// History fetches a metric's archived series (?filter=history). It
+// requires query support: the legacy 1-level daemon exposes no archive
+// queries.
+func (v *Viewer) History(cluster, host, metricName string) (*gxml.History, error) {
+	if !v.QuerySupport {
+		return nil, fmt.Errorf("webfront: history requires the N-level query engine")
+	}
+	res, err := v.fetch(HostView, "/"+cluster+"/"+host+"/"+metricName+"?filter=history")
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Report.Histories) == 0 {
+		return nil, fmt.Errorf("webfront: no history for %s/%s/%s", cluster, host, metricName)
+	}
+	return res.Report.Histories[0], nil
+}
+
+// findCluster locates a cluster anywhere in a report tree.
+func findCluster(rep *gxml.Report, name string) *gxml.Cluster {
+	for _, c := range rep.Clusters {
+		if c.Name == name {
+			return c
+		}
+	}
+	var walk func(g *gxml.Grid) *gxml.Cluster
+	walk = func(g *gxml.Grid) *gxml.Cluster {
+		for _, c := range g.Clusters {
+			if c.Name == name {
+				return c
+			}
+		}
+		for _, child := range g.Grids {
+			if c := walk(child); c != nil {
+				return c
+			}
+		}
+		return nil
+	}
+	for _, g := range rep.Grids {
+		if c := walk(g); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}

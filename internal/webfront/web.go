@@ -1,0 +1,329 @@
+package webfront
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strings"
+
+	"ganglia/internal/gxml"
+)
+
+// Server renders the monitoring tree as HTML — the "high-level
+// web-based summaries of the monitor network" of the paper's abstract.
+// Every page performs one Ganglia query in its critical path, exactly
+// like the PHP frontend, which is why the paper demands a low-latency
+// query engine behind it.
+type Server struct {
+	viewer *Viewer
+	nav    *Navigator
+	mux    *http.ServeMux
+}
+
+// NewServer wraps a viewer in an HTTP handler:
+//
+//	/                        meta view (grid-wide summary)
+//	/grids                   tree navigation: local clusters + child grids
+//	/cluster/{name}          full-resolution cluster view
+//	/cluster/{name}/summary  low-resolution cluster overview
+//	/host/{cluster}/{host}   host view (with load history sparkline)
+//	/find/{cluster}          authority-pointer navigation (SetNavigator)
+func NewServer(v *Viewer) *Server {
+	s := &Server{viewer: v, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.meta)
+	s.mux.HandleFunc("/grids", s.grids)
+	s.mux.HandleFunc("/cluster/", s.cluster)
+	s.mux.HandleFunc("/host/", s.host)
+	s.mux.HandleFunc("/find/", s.find)
+	return s
+}
+
+// SetNavigator enables the /find/{cluster} route: the server chases
+// authority pointers through the whole monitoring tree to locate a
+// cluster this gmetad only knows as a summary.
+func (s *Server) SetNavigator(nav *Navigator) { s.nav = nav }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}} - Ganglia</title></head>
+<body>
+<h1>{{.Title}}</h1>
+<p>{{.Note}}</p>
+{{if .Rows}}<table border="1" cellpadding="4">
+<tr>{{range .Header}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>{{end}}
+</table>{{end}}
+<p><small>fetched {{.Bytes}} bytes in {{.Elapsed}}</small></p>
+</body></html>
+`))
+
+type page struct {
+	Title   string
+	Note    string
+	Header  []string
+	Rows    [][]string
+	Bytes   int64
+	Elapsed string
+}
+
+func (s *Server) render(w http.ResponseWriter, p page) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := pageTmpl.Execute(w, p); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadGateway)
+}
+
+// meta serves the grid-wide summary page.
+func (s *Server) meta(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	res, err := s.viewer.Meta()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	p := page{
+		Title:  "Grid Summary",
+		Note:   fmt.Sprintf("%d hosts up, %d hosts down", res.Summary.HostsUp, res.Summary.HostsDown),
+		Header: []string{"Metric", "Sum", "Mean", "Stddev", "Hosts"},
+		Bytes:  res.Bytes, Elapsed: res.Elapsed.String(),
+	}
+	for _, name := range res.Summary.Names() {
+		m := res.Summary.Metrics[name]
+		p.Rows = append(p.Rows, []string{
+			name,
+			fmt.Sprintf("%.2f %s", m.Sum, m.Units),
+			fmt.Sprintf("%.2f", m.Mean()),
+			fmt.Sprintf("%.2f", m.Stddev()),
+			fmt.Sprintf("%d", m.Num),
+		})
+	}
+	s.render(w, p)
+}
+
+// cluster serves /cluster/{name} and /cluster/{name}/summary.
+func (s *Server) cluster(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/cluster/")
+	name, mode, _ := strings.Cut(rest, "/")
+	if name == "" {
+		http.NotFound(w, r)
+		return
+	}
+	if mode == "summary" {
+		res, err := s.viewer.ClusterSummary(name)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		p := page{
+			Title:  "Cluster " + name + " (summary)",
+			Note:   fmt.Sprintf("%d up / %d down", res.Summary.HostsUp, res.Summary.HostsDown),
+			Header: []string{"Metric", "Sum", "Mean"},
+			Bytes:  res.Bytes, Elapsed: res.Elapsed.String(),
+		}
+		for _, mn := range res.Summary.Names() {
+			m := res.Summary.Metrics[mn]
+			p.Rows = append(p.Rows, []string{mn, fmt.Sprintf("%.2f", m.Sum), fmt.Sprintf("%.2f", m.Mean())})
+		}
+		s.render(w, p)
+		return
+	}
+	res, err := s.viewer.Cluster(name)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	p := page{
+		Title:  "Cluster " + name,
+		Note:   fmt.Sprintf("%d hosts", len(res.Cluster.Hosts)),
+		Header: []string{"Host", "State", "load_one", "cpu_num"},
+		Bytes:  res.Bytes, Elapsed: res.Elapsed.String(),
+	}
+	hosts := append([]*gxml.Host(nil), res.Cluster.Hosts...)
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].Name < hosts[j].Name })
+	for _, h := range hosts {
+		state := "up"
+		if !h.Up() {
+			state = "DOWN"
+		}
+		p.Rows = append(p.Rows, []string{h.Name, state, metricText(h, "load_one"), metricText(h, "cpu_num")})
+	}
+	s.render(w, p)
+}
+
+// host serves /host/{cluster}/{host}.
+func (s *Server) host(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/host/")
+	cluster, host, ok := strings.Cut(rest, "/")
+	host = strings.TrimSuffix(host, "/")
+	if !ok || cluster == "" || host == "" {
+		http.NotFound(w, r)
+		return
+	}
+	res, err := s.viewer.Host(cluster, host)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	note := fmt.Sprintf("cluster %s, last heartbeat %ds ago", cluster, res.Host.TN)
+	// With query support, decorate the page with the recent load
+	// history from the round-robin archives.
+	if s.viewer.QuerySupport {
+		if hist, err := s.viewer.History(cluster, host, "load_one"); err == nil {
+			if spark := sparkline(hist); spark != "" {
+				note += " — load_one: " + spark
+			}
+		}
+	}
+	p := page{
+		Title:  "Host " + host,
+		Note:   note,
+		Header: []string{"Metric", "Value", "Units", "TN"},
+		Bytes:  res.Bytes, Elapsed: res.Elapsed.String(),
+	}
+	for _, m := range res.Host.Metrics {
+		p.Rows = append(p.Rows, []string{m.Name, m.Val.Text(), m.Units, fmt.Sprintf("%d", m.TN)})
+	}
+	s.render(w, p)
+}
+
+// grids serves the tree navigation page: the local clusters and child
+// grids of the presented gmetad, each child with its summary and
+// authority pointer — the multiple-resolution entry point of paper §1.
+func (s *Server) grids(w http.ResponseWriter, r *http.Request) {
+	res, err := s.viewer.fetch(MetaView, "/")
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	p := page{
+		Title:  "Monitoring Tree",
+		Header: []string{"Kind", "Name", "Hosts", "Mean load_one", "Authority / link"},
+		Bytes:  res.Bytes, Elapsed: res.Elapsed.String(),
+	}
+	for _, g := range res.Report.Grids {
+		p.Note = fmt.Sprintf("grid %s", g.Name)
+		for _, c := range g.Clusters {
+			sum := c.Summarize()
+			mean := "-"
+			if m, ok := sum.Mean("load_one"); ok {
+				mean = fmt.Sprintf("%.2f", m)
+			}
+			p.Rows = append(p.Rows, []string{
+				"cluster", c.Name,
+				fmt.Sprintf("%d up / %d down", sum.HostsUp, sum.HostsDown),
+				mean,
+				"/cluster/" + c.Name,
+			})
+		}
+		for _, child := range g.Grids {
+			sum := child.Summarize()
+			mean := "-"
+			if m, ok := sum.Mean("load_one"); ok {
+				mean = fmt.Sprintf("%.2f", m)
+			}
+			p.Rows = append(p.Rows, []string{
+				"grid", child.Name,
+				fmt.Sprintf("%d up / %d down", sum.HostsUp, sum.HostsDown),
+				mean,
+				child.Authority,
+			})
+		}
+	}
+	s.render(w, p)
+}
+
+// find serves /find/{cluster}: locate a cluster anywhere in the
+// distributed tree by following authority pointers (paper §2.2).
+func (s *Server) find(w http.ResponseWriter, r *http.Request) {
+	if s.nav == nil {
+		http.Error(w, "navigation not configured", http.StatusNotImplemented)
+		return
+	}
+	name := strings.Trim(strings.TrimPrefix(r.URL.Path, "/find/"), "/")
+	if name == "" {
+		http.NotFound(w, r)
+		return
+	}
+	loc, err := s.nav.FindCluster(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	p := page{
+		Title: "Cluster " + name,
+		Note: fmt.Sprintf("found at %s (authority %s) after following %d authority pointer(s); %d hosts",
+			loc.Addr, loc.Authority, loc.Hops, len(loc.Cluster.Hosts)),
+		Header: []string{"Host", "State", "load_one", "cpu_num"},
+	}
+	hosts := append([]*gxml.Host(nil), loc.Cluster.Hosts...)
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].Name < hosts[j].Name })
+	for _, h := range hosts {
+		state := "up"
+		if !h.Up() {
+			state = "DOWN"
+		}
+		p.Rows = append(p.Rows, []string{h.Name, state, metricText(h, "load_one"), metricText(h, "cpu_num")})
+	}
+	s.render(w, p)
+}
+
+// sparkline renders a history as unicode block characters, unknown
+// slots as spaces.
+func sparkline(h *gxml.History) string {
+	if len(h.Points) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, p := range h.Points {
+		if p.Unknown() {
+			continue
+		}
+		if first || p.Value < lo {
+			lo = p.Value
+		}
+		if first || p.Value > hi {
+			hi = p.Value
+		}
+		first = false
+	}
+	if first {
+		return ""
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for _, p := range h.Points {
+		if p.Unknown() {
+			sb.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((p.Value - lo) / span * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}
+
+func metricText(h *gxml.Host, name string) string {
+	for _, m := range h.Metrics {
+		if m.Name == name {
+			return m.Val.Text()
+		}
+	}
+	return "-"
+}

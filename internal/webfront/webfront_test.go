@@ -1,0 +1,258 @@
+package webfront
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gmetad"
+	"ganglia/internal/tree"
+)
+
+var t0 = time.Unix(1_057_000_000, 0)
+
+// buildTree stands up the fig-2 tree in the requested mode and returns
+// a viewer pointed at the sdsc node — the vantage point of Table 1.
+func buildTree(t testing.TB, mode gmetad.Mode, hosts int) (*tree.Instance, *Viewer) {
+	t.Helper()
+	clk := clock.NewVirtual(t0)
+	inst, err := tree.Build(tree.FigureTwo(hosts), tree.BuildConfig{Mode: mode, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	inst.PollRound(clk.Now())
+	v := &Viewer{
+		Network:      inst.Net,
+		Addr:         tree.QueryAddr("sdsc"),
+		QuerySupport: mode == gmetad.NLevel,
+	}
+	return inst, v
+}
+
+func TestMetaViewNLevel(t *testing.T) {
+	_, v := buildTree(t, gmetad.NLevel, 10)
+	res, err := v.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sdsc subtree: nashi-a, nashi-b local + attic grid (dust-a/b).
+	if got := res.Summary.Hosts(); got != 40 {
+		t.Errorf("meta hosts = %d, want 40", got)
+	}
+	if res.Bytes == 0 || res.Elapsed <= 0 {
+		t.Errorf("timings: %+v", res)
+	}
+	if res.Report.Hosts() != 0 {
+		t.Errorf("N-level meta view downloaded %d full-res hosts; want pure summary", res.Report.Hosts())
+	}
+}
+
+func TestMetaViewOneLevel(t *testing.T) {
+	_, v := buildTree(t, gmetad.OneLevel, 10)
+	res, err := v.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Summary.Hosts(); got != 40 {
+		t.Errorf("meta hosts = %d, want 40", got)
+	}
+	// The 1-level viewer had to download the full tree to build the
+	// same summary.
+	if res.Report.Hosts() != 40 {
+		t.Errorf("1-level meta view saw %d full-res hosts, want 40", res.Report.Hosts())
+	}
+}
+
+func TestMetaViewsAgree(t *testing.T) {
+	// Both designs must present the same data — only the cost differs.
+	_, vN := buildTree(t, gmetad.NLevel, 8)
+	resN, err := vN.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v1 := buildTree(t, gmetad.OneLevel, 8)
+	res1, err := v1.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resN.Summary.Hosts() != res1.Summary.Hosts() {
+		t.Errorf("host counts differ: %d vs %d", resN.Summary.Hosts(), res1.Summary.Hosts())
+	}
+	sN, okN := resN.Summary.Sum("cpu_num")
+	s1, ok1 := res1.Summary.Sum("cpu_num")
+	if !okN || !ok1 || sN != s1 {
+		t.Errorf("cpu_num sums differ: %v/%v vs %v/%v", sN, okN, s1, ok1)
+	}
+	// And the N-level fetch is much smaller.
+	if resN.Bytes*4 > res1.Bytes {
+		t.Errorf("N-level meta fetch %dB not much smaller than 1-level %dB", resN.Bytes, res1.Bytes)
+	}
+}
+
+func TestClusterView(t *testing.T) {
+	for _, mode := range []gmetad.Mode{gmetad.NLevel, gmetad.OneLevel} {
+		_, v := buildTree(t, mode, 10)
+		res, err := v.Cluster("nashi-a")
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(res.Cluster.Hosts) != 10 {
+			t.Errorf("%v: cluster view hosts = %d", mode, len(res.Cluster.Hosts))
+		}
+	}
+}
+
+func TestClusterSummaryView(t *testing.T) {
+	_, v := buildTree(t, gmetad.NLevel, 10)
+	res, err := v.ClusterSummary("nashi-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Hosts() != 10 {
+		t.Errorf("summary hosts = %d", res.Summary.Hosts())
+	}
+	if res.Report.Hosts() != 0 {
+		t.Errorf("cluster-summary query downloaded %d full hosts", res.Report.Hosts())
+	}
+}
+
+func TestHostView(t *testing.T) {
+	for _, mode := range []gmetad.Mode{gmetad.NLevel, gmetad.OneLevel} {
+		_, v := buildTree(t, mode, 10)
+		res, err := v.Host("nashi-a", "compute-nashi-a-3")
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Host == nil || res.Host.Name != "compute-nashi-a-3" {
+			t.Fatalf("%v: host = %+v", mode, res.Host)
+		}
+		if len(res.Host.Metrics) < 30 {
+			t.Errorf("%v: metrics = %d", mode, len(res.Host.Metrics))
+		}
+		if mode == gmetad.NLevel && res.Report.Hosts() != 1 {
+			t.Errorf("N-level host view downloaded %d hosts, want 1", res.Report.Hosts())
+		}
+		if mode == gmetad.OneLevel && res.Report.Hosts() != 40 {
+			t.Errorf("1-level host view downloaded %d hosts, want the full 40", res.Report.Hosts())
+		}
+	}
+}
+
+func TestViewerErrors(t *testing.T) {
+	_, v := buildTree(t, gmetad.NLevel, 5)
+	if _, err := v.Cluster("no-such-cluster"); err == nil {
+		t.Error("missing cluster: no error")
+	}
+	if _, err := v.Host("nashi-a", "no-such-host"); err == nil {
+		t.Error("missing host: no error")
+	}
+	vBad := &Viewer{Network: v.Network, Addr: "nowhere:1", QuerySupport: true}
+	if _, err := vBad.Meta(); err == nil {
+		t.Error("dead gmetad: no error")
+	}
+}
+
+func TestViewString(t *testing.T) {
+	if MetaView.String() != "Meta" || ClusterView.String() != "Cluster" || HostView.String() != "Host" {
+		t.Error("view names wrong")
+	}
+}
+
+func TestHTTPServerPages(t *testing.T) {
+	_, v := buildTree(t, gmetad.NLevel, 6)
+	srv := httptest.NewServer(NewServer(v))
+	defer srv.Close()
+
+	get := func(path string, wantStatus int) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		var sb strings.Builder
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return sb.String()
+	}
+
+	body := get("/", 200)
+	if !strings.Contains(body, "Grid Summary") || !strings.Contains(body, "load_one") {
+		t.Errorf("meta page missing content:\n%.400s", body)
+	}
+	// sdsc subtree at 6 hosts/cluster: nashi-a/b + dust-a/b = 24 hosts.
+	if !strings.Contains(body, "24 hosts up") {
+		t.Errorf("meta page host count wrong:\n%.400s", body)
+	}
+
+	body = get("/cluster/nashi-a", 200)
+	if !strings.Contains(body, "compute-nashi-a-0") {
+		t.Errorf("cluster page missing hosts:\n%.400s", body)
+	}
+
+	body = get("/cluster/nashi-a/summary", 200)
+	if !strings.Contains(body, "(summary)") {
+		t.Errorf("cluster summary page:\n%.400s", body)
+	}
+
+	body = get("/host/nashi-a/compute-nashi-a-2", 200)
+	if !strings.Contains(body, "cpu_num") {
+		t.Errorf("host page missing metrics:\n%.400s", body)
+	}
+
+	get("/host/nashi-a/ghost-host", 502)
+	get("/cluster/ghost-cluster", 502)
+	get("/no-such-page", 404)
+}
+
+func BenchmarkHostViewNLevel(b *testing.B) {
+	_, v := buildTree(b, gmetad.NLevel, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Host("nashi-a", "compute-nashi-a-50"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHostViewOneLevel(b *testing.B) {
+	_, v := buildTree(b, gmetad.OneLevel, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Host("nashi-a", "compute-nashi-a-50"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestGridsPage(t *testing.T) {
+	_, v := buildTree(t, gmetad.NLevel, 5)
+	srv := httptest.NewServer(NewServer(v))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/grids")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 64*1024)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	// sdsc's local clusters and its child grid with authority link.
+	for _, want := range []string{"nashi-a", "nashi-b", "attic", "cluster", "grid", "/cluster/nashi-a", "attic.example"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("grids page missing %q:\n%.500s", want, body)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package xdr implements the subset of the XDR external data
+// representation (RFC 4506) used by the gmond wire protocol.
+//
+// Ganglia's local-area monitor announces each metric as a small XDR
+// message over UDP multicast. XDR encodes every primitive on a 4-byte
+// boundary in big-endian order, which keeps the packets tiny,
+// self-delimiting and portable — the properties the paper relies on when
+// it reports that a 128-node cluster's monitoring traffic fits in less
+// than 56 kbit/s.
+//
+// The Encoder appends to a caller-supplied buffer and never allocates
+// for fixed-size primitives; the Decoder reads from a byte slice and
+// validates every length field against the remaining input so that a
+// corrupt or truncated packet produces an error instead of a panic.
+package xdr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxStringLen bounds the length of any string or opaque field accepted
+// by the Decoder. Gmond packets carry host names, metric names and
+// formatted values, all of which are far below this bound; the limit
+// exists so a hostile or corrupt length prefix cannot force a huge
+// allocation.
+const MaxStringLen = 64 * 1024
+
+var (
+	// ErrShortBuffer is returned when the input ends before the value
+	// being decoded is complete.
+	ErrShortBuffer = errors.New("xdr: short buffer")
+	// ErrStringTooLong is returned when a length prefix exceeds
+	// MaxStringLen.
+	ErrStringTooLong = errors.New("xdr: string exceeds maximum length")
+	// ErrInvalidPadding is returned when the bytes padding a string or
+	// opaque field to a 4-byte boundary are not zero.
+	ErrInvalidPadding = errors.New("xdr: non-zero padding")
+	// ErrInvalidBool is returned when a decoded boolean is neither 0
+	// nor 1.
+	ErrInvalidBool = errors.New("xdr: invalid boolean")
+)
+
+// pad returns the number of zero bytes needed to round n up to a
+// multiple of four.
+func pad(n int) int { return (4 - n%4) % 4 }
+
+// Encoder serializes XDR primitives into a growable byte buffer.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder that appends to buf. Pass a slice with
+// spare capacity to avoid reallocation on the hot announce path.
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the encoded contents but keeps the allocation.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint32 appends v as a big-endian 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Int32 appends v as a big-endian 32-bit two's-complement integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 appends v as an XDR unsigned hyper (eight bytes, big-endian).
+func (e *Encoder) Uint64(v uint64) {
+	e.Uint32(uint32(v >> 32))
+	e.Uint32(uint32(v))
+}
+
+// Int64 appends v as an XDR hyper.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Float32 appends v as an IEEE-754 single-precision float.
+func (e *Encoder) Float32(v float32) { e.Uint32(math.Float32bits(v)) }
+
+// Float64 appends v as an IEEE-754 double-precision float.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Bool appends v as an XDR boolean (a 32-bit 0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// String appends v as an XDR string: a 32-bit length followed by the
+// bytes, zero-padded to a 4-byte boundary.
+func (e *Encoder) String(v string) {
+	e.Uint32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+	for i := 0; i < pad(len(v)); i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Opaque appends v as XDR variable-length opaque data.
+func (e *Encoder) Opaque(v []byte) {
+	e.Uint32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+	for i := 0; i < pad(len(v)); i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Decoder extracts XDR primitives from a byte slice.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a Decoder reading from buf. The Decoder does not
+// copy buf; the caller must not mutate it while decoding.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining reports the number of bytes not yet consumed.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Offset reports the number of bytes consumed so far.
+func (d *Decoder) Offset() int { return d.off }
+
+func (d *Decoder) take(n int) ([]byte, error) {
+	if d.Remaining() < n {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d, have %d",
+			ErrShortBuffer, n, d.off, d.Remaining())
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// Uint32 decodes a big-endian 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+// Int32 decodes a big-endian 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint64 decodes an XDR unsigned hyper.
+func (d *Decoder) Uint64() (uint64, error) {
+	hi, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	return uint64(hi)<<32 | uint64(lo), nil
+}
+
+// Int64 decodes an XDR hyper.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Float32 decodes an IEEE-754 single-precision float.
+func (d *Decoder) Float32() (float32, error) {
+	v, err := d.Uint32()
+	return math.Float32frombits(v), err
+}
+
+// Float64 decodes an IEEE-754 double-precision float.
+func (d *Decoder) Float64() (float64, error) {
+	v, err := d.Uint64()
+	return math.Float64frombits(v), err
+}
+
+// Bool decodes an XDR boolean, rejecting any value other than 0 or 1.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: %d", ErrInvalidBool, v)
+	}
+}
+
+// String decodes an XDR string, validating the length prefix and the
+// zero padding.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Opaque()
+	return string(b), err
+}
+
+// Opaque decodes XDR variable-length opaque data. The returned slice
+// aliases the Decoder's buffer.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxStringLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrStringTooLong, n)
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	padding, err := d.take(pad(int(n)))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range padding {
+		if p != 0 {
+			return nil, ErrInvalidPadding
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,362 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32RoundTrip(t *testing.T) {
+	for _, v := range []uint32{0, 1, 0xdeadbeef, math.MaxUint32} {
+		e := NewEncoder(nil)
+		e.Uint32(v)
+		if e.Len() != 4 {
+			t.Fatalf("Uint32(%d) encoded %d bytes, want 4", v, e.Len())
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Uint32()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+		if d.Remaining() != 0 {
+			t.Errorf("remaining %d after full decode", d.Remaining())
+		}
+	}
+}
+
+func TestInt32RoundTrip(t *testing.T) {
+	for _, v := range []int32{0, -1, math.MinInt32, math.MaxInt32, 42} {
+		e := NewEncoder(nil)
+		e.Int32(v)
+		got, err := NewDecoder(e.Bytes()).Int32()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, math.MaxUint64, 1 << 33} {
+		e := NewEncoder(nil)
+		e.Uint64(v)
+		if e.Len() != 8 {
+			t.Fatalf("Uint64 encoded %d bytes, want 8", e.Len())
+		}
+		got, err := NewDecoder(e.Bytes()).Uint64()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, -0.5, 3.14159, math.Inf(1), math.SmallestNonzeroFloat64} {
+		e := NewEncoder(nil)
+		e.Float64(v)
+		got, err := NewDecoder(e.Bytes()).Float64()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != v {
+			t.Errorf("round trip %g -> %g", v, got)
+		}
+	}
+	e := NewEncoder(nil)
+	e.Float32(1.5)
+	got, err := NewDecoder(e.Bytes()).Float32()
+	if err != nil || got != 1.5 {
+		t.Errorf("float32 round trip got %g, %v", got, err)
+	}
+}
+
+func TestFloatNaN(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Float64(math.NaN())
+	got, err := NewDecoder(e.Bytes()).Float64()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !math.IsNaN(got) {
+		t.Errorf("NaN round trip produced %g", got)
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		e := NewEncoder(nil)
+		e.Bool(v)
+		got, err := NewDecoder(e.Bytes()).Bool()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestBoolInvalid(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint32(2)
+	if _, err := NewDecoder(e.Bytes()).Bool(); !errors.Is(err, ErrInvalidBool) {
+		t.Errorf("Bool on value 2: got %v, want ErrInvalidBool", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, v := range []string{"", "a", "ab", "abc", "abcd", "load_one", "héllo wörld"} {
+		e := NewEncoder(nil)
+		e.String(v)
+		if e.Len()%4 != 0 {
+			t.Errorf("String(%q) length %d not 4-aligned", v, e.Len())
+		}
+		got, err := NewDecoder(e.Bytes()).String()
+		if err != nil {
+			t.Fatalf("decode %q: %v", v, err)
+		}
+		if got != v {
+			t.Errorf("round trip %q -> %q", v, got)
+		}
+	}
+}
+
+func TestStringPaddingIsZero(t *testing.T) {
+	e := NewEncoder(nil)
+	e.String("abc") // needs one pad byte
+	b := e.Bytes()
+	if b[len(b)-1] != 0 {
+		t.Errorf("padding byte = %d, want 0", b[len(b)-1])
+	}
+}
+
+func TestStringRejectsNonZeroPadding(t *testing.T) {
+	e := NewEncoder(nil)
+	e.String("abc")
+	b := append([]byte(nil), e.Bytes()...)
+	b[len(b)-1] = 0xff
+	if _, err := NewDecoder(b).String(); !errors.Is(err, ErrInvalidPadding) {
+		t.Errorf("got %v, want ErrInvalidPadding", err)
+	}
+}
+
+func TestStringRejectsHugeLength(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint32(MaxStringLen + 1)
+	if _, err := NewDecoder(e.Bytes()).String(); !errors.Is(err, ErrStringTooLong) {
+		t.Errorf("got %v, want ErrStringTooLong", err)
+	}
+}
+
+func TestStringTruncated(t *testing.T) {
+	e := NewEncoder(nil)
+	e.String("hello world")
+	b := e.Bytes()[:8] // length says 11, only 4 bytes of payload present
+	if _, err := NewDecoder(b).String(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("got %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestShortBufferEveryPrimitive(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if _, err := d.Uint32(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("Uint32: %v", err)
+	}
+	if _, err := d.Uint64(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("Uint64: %v", err)
+	}
+	if _, err := d.Float64(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("Float64: %v", err)
+	}
+	if _, err := d.String(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("String: %v", err)
+	}
+}
+
+func TestOpaqueRoundTrip(t *testing.T) {
+	v := []byte{0, 1, 2, 3, 4, 255}
+	e := NewEncoder(nil)
+	e.Opaque(v)
+	got, err := NewDecoder(e.Bytes()).Opaque()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(got, v) {
+		t.Errorf("round trip %v -> %v", v, got)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(nil)
+	e.String("something")
+	e.Reset()
+	if e.Len() != 0 {
+		t.Errorf("Len after Reset = %d", e.Len())
+	}
+	e.Uint32(7)
+	got, err := NewDecoder(e.Bytes()).Uint32()
+	if err != nil || got != 7 {
+		t.Errorf("after reset: got %d, %v", got, err)
+	}
+}
+
+func TestSequenceRoundTrip(t *testing.T) {
+	// A realistic gmond-style message: several fields in sequence.
+	e := NewEncoder(nil)
+	e.Uint32(128)           // message type
+	e.String("compute-0-0") // host
+	e.String("load_one")    // metric name
+	e.String("0.89")        // value
+	e.Uint32(20)            // tmax
+	e.Uint32(86400)         // dmax
+	e.Bool(false)           // spoofed
+
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint32(); v != 128 {
+		t.Errorf("field 1 = %d", v)
+	}
+	if v, _ := d.String(); v != "compute-0-0" {
+		t.Errorf("field 2 = %q", v)
+	}
+	if v, _ := d.String(); v != "load_one" {
+		t.Errorf("field 3 = %q", v)
+	}
+	if v, _ := d.String(); v != "0.89" {
+		t.Errorf("field 4 = %q", v)
+	}
+	if v, _ := d.Uint32(); v != 20 {
+		t.Errorf("field 5 = %d", v)
+	}
+	if v, _ := d.Uint32(); v != 86400 {
+		t.Errorf("field 6 = %d", v)
+	}
+	if v, err := d.Bool(); err != nil || v {
+		t.Errorf("field 7 = %v, %v", v, err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d", d.Remaining())
+	}
+}
+
+// Property: any (uint32, string, float64, bool) tuple survives a round
+// trip and the encoding is always 4-byte aligned.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(a uint32, s string, x float64, b bool, i64 int64) bool {
+		if len(s) > MaxStringLen {
+			s = s[:MaxStringLen]
+		}
+		e := NewEncoder(nil)
+		e.Uint32(a)
+		e.String(s)
+		e.Float64(x)
+		e.Bool(b)
+		e.Int64(i64)
+		if e.Len()%4 != 0 {
+			return false
+		}
+		d := NewDecoder(e.Bytes())
+		ga, err := d.Uint32()
+		if err != nil || ga != a {
+			return false
+		}
+		gs, err := d.String()
+		if err != nil || gs != s {
+			return false
+		}
+		gx, err := d.Float64()
+		if err != nil {
+			return false
+		}
+		if gx != x && !(math.IsNaN(gx) && math.IsNaN(x)) {
+			return false
+		}
+		gb, err := d.Bool()
+		if err != nil || gb != b {
+			return false
+		}
+		gi, err := d.Int64()
+		if err != nil || gi != i64 {
+			return false
+		}
+		return d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the decoder never panics on arbitrary input.
+func TestQuickDecoderRobust(t *testing.T) {
+	f := func(data []byte) bool {
+		d := NewDecoder(data)
+		for d.Remaining() > 0 {
+			if _, err := d.String(); err != nil {
+				break
+			}
+		}
+		d2 := NewDecoder(data)
+		for d2.Remaining() > 0 {
+			if _, err := d2.Uint32(); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeMetricMessage(b *testing.B) {
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(buf[:0])
+		e.Uint32(128)
+		e.String("compute-0-0")
+		e.String("load_one")
+		e.String("0.89")
+		e.Uint32(20)
+		e.Uint32(86400)
+	}
+}
+
+func BenchmarkDecodeMetricMessage(b *testing.B) {
+	e := NewEncoder(nil)
+	e.Uint32(128)
+	e.String("compute-0-0")
+	e.String("load_one")
+	e.String("0.89")
+	e.Uint32(20)
+	e.Uint32(86400)
+	msg := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(msg)
+		if _, err := d.Uint32(); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 3; j++ {
+			if _, err := d.String(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := d.Uint32(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Uint32(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
