@@ -1,6 +1,7 @@
 // Command ganglia-bench regenerates the paper's evaluation: figure 5
 // (wide-area scalability), figure 6 (cluster-size sweep), table 1
-// (web-frontend query timings) and the §2.1 gmond bandwidth claim.
+// (web-frontend query timings) and the §2.1 gmond bandwidth claim —
+// plus the serve-cache before/after.
 //
 // Usage:
 //
@@ -9,6 +10,7 @@
 //	ganglia-bench -experiment fig6 -sizes 10,50,100,150,200,300,400,500
 //	ganglia-bench -experiment table1 -samples 5
 //	ganglia-bench -experiment bandwidth
+//	ganglia-bench -experiment serve -hosts 100
 //
 // Each experiment prints the regenerated table or figure series, then
 // re-checks the paper's qualitative claims and reports any violations.
@@ -28,8 +30,8 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity or all")
-		hosts      = flag.Int("hosts", 100, "hosts per cluster (fig5, table1)")
+		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve or all")
+		hosts      = flag.Int("hosts", 100, "hosts per cluster (fig5, table1, serve)")
 		rounds     = flag.Int("rounds", 8, "measured polling rounds (fig5, fig6)")
 		samples    = flag.Int("samples", 5, "samples per view (table1)")
 		sizes      = flag.String("sizes", "", "comma-separated cluster sizes (fig6; default: paper sweep)")
@@ -129,17 +131,25 @@ func main() {
 			fmt.Println(res.Table())
 			check("fidelity", res.ShapeErrors())
 		},
+		"serve": func() {
+			res, err := bench.RunServe(bench.ServeConfig{ClusterSize: *hosts})
+			if err != nil {
+				log.Fatalf("serve: %v", err)
+			}
+			fmt.Println(res.Table())
+			check("serve", res.ShapeErrors())
+		},
 	}
 
 	switch *experiment {
 	case "all":
-		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity"} {
+		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve"} {
 			run[name]()
 		}
 	default:
 		f, ok := run[*experiment]
 		if !ok {
-			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity or all)", *experiment)
+			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve or all)", *experiment)
 		}
 		f()
 	}

@@ -65,6 +65,12 @@ func main() {
 		archive     = flag.Bool("archive", true, "keep round-robin metric histories")
 		archivePath = flag.String("archive-path", "", "snapshot file for archive persistence (restored on start, saved periodically)")
 		saveEvery   = flag.Duration("save-every", 5*time.Minute, "archive snapshot interval (with -archive-path)")
+
+		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "how long to wait for a client's query line before disconnecting")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "how long one response write may take before disconnecting")
+		maxConns     = flag.Int("max-conns", 1024, "max concurrent serve connections; excess are rejected (negative = unlimited)")
+		noCache      = flag.Bool("no-cache", false, "disable the per-epoch rendered-response cache")
+		cacheEntries = flag.Int("cache-entries", 1024, "max distinct query responses cached per poll epoch")
 	)
 	flag.Var(&sources, "source", "data source as name|kind|addr[,addr...] (repeatable)")
 	flag.Parse()
@@ -93,7 +99,14 @@ func main() {
 		ReadTimeout:  *readTimeout,
 		Archive:      *archive,
 		ArchivePath:  *archivePath,
-		Logger:       log.Default(),
+
+		QueryReadTimeout:     *queryTimeout,
+		WriteTimeout:         *writeTimeout,
+		MaxConns:             *maxConns,
+		DisableResponseCache: *noCache,
+		CacheMaxEntries:      *cacheEntries,
+
+		Logger: log.Default(),
 	})
 	if err != nil {
 		log.Fatalf("gmetad: %v", err)
@@ -139,6 +152,9 @@ func main() {
 				fmt.Printf("gmetad: archive snapshot failed: %v\n", err)
 			}
 		case <-status.C:
+			snap := g.Accounting().Snapshot()
+			fmt.Printf("gmetad: %d queries served (%d cache hits, %d misses), %d connections rejected\n",
+				snap.Queries, snap.CacheHits, snap.CacheMisses, snap.RejectedConns)
 			for _, st := range g.Status() {
 				state := "ok"
 				if st.Failed {

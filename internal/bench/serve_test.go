@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunServe(ServeConfig{ClusterSize: 40, Queries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != len(serveQueries) {
+		t.Fatalf("paths = %d, want %d", len(res.Paths), len(serveQueries))
+	}
+	for _, p := range res.Paths {
+		if p.Bytes == 0 || p.UncachedNs <= 0 || p.CachedNs <= 0 {
+			t.Errorf("%s: incomplete measurement: %+v", p.Query, p)
+		}
+	}
+	// The shape claims (cache hits recorded, root dump markedly faster,
+	// nothing meaningfully slower) live in ShapeErrors, shared with the
+	// ganglia-bench CLI; the benchmark in the repo root measures the
+	// real magnitude (>3x on repeats).
+	for _, e := range res.ShapeErrors() {
+		t.Errorf("shape: %s\n%s", e, res.Table())
+	}
+	tab := res.Table()
+	for _, want := range []string{"/meteor-a", "speedup", "hits"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+	t.Logf("\n%s", tab)
+}

@@ -28,6 +28,10 @@ type Accounting struct {
 	pollFails atomic.Int64
 	failovers atomic.Int64
 	queries   atomic.Int64
+
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	rejectedConns atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -44,6 +48,13 @@ type Snapshot struct {
 	PollFails int64
 	Failovers int64
 	Queries   int64
+
+	// CacheHits and CacheMisses count query responses served from and
+	// rendered into the response cache; RejectedConns counts
+	// connections turned away by the max-connections semaphore.
+	CacheHits     int64
+	CacheMisses   int64
+	RejectedConns int64
 }
 
 // Work returns the total processing time across phases.
@@ -73,6 +84,9 @@ func (a *Accounting) Snapshot() Snapshot {
 		PollFails:     a.pollFails.Load(),
 		Failovers:     a.failovers.Load(),
 		Queries:       a.queries.Load(),
+		CacheHits:     a.cacheHits.Load(),
+		CacheMisses:   a.cacheMisses.Load(),
+		RejectedConns: a.rejectedConns.Load(),
 	}
 }
 
@@ -89,6 +103,9 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		PollFails:     s.PollFails - o.PollFails,
 		Failovers:     s.Failovers - o.Failovers,
 		Queries:       s.Queries - o.Queries,
+		CacheHits:     s.CacheHits - o.CacheHits,
+		CacheMisses:   s.CacheMisses - o.CacheMisses,
+		RejectedConns: s.RejectedConns - o.RejectedConns,
 	}
 }
 

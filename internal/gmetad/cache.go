@@ -1,0 +1,84 @@
+package gmetad
+
+import "sync"
+
+// generation identifies one validity window of the response cache: the
+// poll epoch (bumped whenever any source publishes a new snapshot or
+// the source set changes) and the wall second responses are rendered
+// at. Epoch invalidation keeps cached bytes exactly as fresh as the
+// hash DOM; the second component keeps the TN soft-state aging honest —
+// two queries in the same (epoch, second) would render byte-identical
+// answers, so they may share one rendering.
+type generation struct {
+	epoch uint64
+	unix  int64
+}
+
+// newer reports whether g supersedes o. Epochs are strictly monotonic;
+// within an epoch the clock only moves forward.
+func (g generation) newer(o generation) bool {
+	if g.epoch != o.epoch {
+		return g.epoch > o.epoch
+	}
+	return g.unix > o.unix
+}
+
+// responseCache holds the rendered XML answer of each distinct query
+// key for the current generation. One generation is live at a time:
+// storing a response from a newer generation drops everything older,
+// so the cache never grows past maxEntries distinct queries and a
+// re-poll empties it wholesale (the §2.3.1 trade — queries are served
+// on the polling time scale, never staler than one snapshot swap).
+type responseCache struct {
+	mu         sync.RWMutex
+	gen        generation
+	entries    map[string][]byte
+	maxEntries int
+}
+
+func newResponseCache(maxEntries int) *responseCache {
+	return &responseCache{
+		entries:    make(map[string][]byte),
+		maxEntries: maxEntries,
+	}
+}
+
+// get returns the cached rendering for key if it was stored in exactly
+// the caller's generation.
+func (rc *responseCache) get(gen generation, key string) ([]byte, bool) {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	if rc.gen != gen {
+		return nil, false
+	}
+	body, ok := rc.entries[key]
+	return body, ok
+}
+
+// put stores a rendering made at gen. A rendering from a newer
+// generation resets the cache; one from an older generation (the
+// renderer raced a re-poll) is discarded — its bytes may predate the
+// snapshot the current epoch promises.
+func (rc *responseCache) put(gen generation, key string, body []byte) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	switch {
+	case gen == rc.gen:
+	case gen.newer(rc.gen):
+		rc.gen = gen
+		clear(rc.entries)
+	default:
+		return
+	}
+	if len(rc.entries) >= rc.maxEntries {
+		return
+	}
+	rc.entries[key] = body
+}
+
+// len reports the live entry count, for tests.
+func (rc *responseCache) len() int {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return len(rc.entries)
+}

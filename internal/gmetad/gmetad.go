@@ -30,6 +30,7 @@ import (
 	"log"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ganglia/internal/clock"
@@ -132,6 +133,36 @@ type Config struct {
 	// history must survive daemon restarts.
 	ArchivePath string
 
+	// QueryReadTimeout bounds how long the interactive query port
+	// waits for a client's query line. A client that connects and goes
+	// silent is disconnected after this long instead of pinning a
+	// goroutine forever. Defaults to 10 s (wall-clock).
+	QueryReadTimeout time.Duration
+
+	// WriteTimeout bounds writing one query response. A client that
+	// stops reading mid-response is disconnected. Defaults to 30 s
+	// (wall-clock).
+	WriteTimeout time.Duration
+
+	// MaxConns caps concurrent serve connections across both ports.
+	// Connections beyond the cap are answered with an error comment
+	// and closed immediately (counted as RejectedConns), so a
+	// connection flood degrades to fast rejections instead of
+	// unbounded goroutine growth. Defaults to 1024; negative disables
+	// the cap.
+	MaxConns int
+
+	// DisableResponseCache turns off the rendered-response cache and
+	// restores per-connection rendering, for measurement and
+	// comparison. The cache serves repeat queries of one poll epoch
+	// from a single rendering; it is invalidated whenever a source
+	// publishes a new snapshot or the source set changes.
+	DisableResponseCache bool
+
+	// CacheMaxEntries bounds how many distinct query responses are
+	// retained per epoch; defaults to 1024.
+	CacheMaxEntries int
+
 	// Logger, if set, receives operational events: source failures,
 	// recoveries and failovers. Nil disables logging (tests and
 	// experiments run silent).
@@ -155,8 +186,23 @@ type Gmetad struct {
 	slots map[string]*sourceSlot
 	order []string
 
+	// epoch counts snapshot publications and source-set changes; the
+	// response cache is valid only within one epoch.
+	epoch atomic.Uint64
+	cache *responseCache
+	// sem is the max-connections semaphore; nil means uncapped.
+	sem chan struct{}
+
 	listeners listenerSet
 }
+
+// Epoch returns the current poll epoch. It advances whenever a source
+// publishes a new snapshot or the source set changes; cached query
+// responses never cross an epoch boundary.
+func (g *Gmetad) Epoch() uint64 { return g.epoch.Load() }
+
+// bumpEpoch invalidates all cached query responses.
+func (g *Gmetad) bumpEpoch() { g.epoch.Add(1) }
 
 // New creates a Gmetad. It performs no I/O until PollOnce, Run or a
 // Serve method is invoked.
@@ -179,9 +225,27 @@ func New(cfg Config) (*Gmetad, error) {
 	if len(cfg.ArchiveSpec.Archives) == 0 {
 		cfg.ArchiveSpec = rrd.DefaultSpec()
 	}
+	if cfg.QueryReadTimeout <= 0 {
+		cfg.QueryReadTimeout = 10 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 1024
+	}
+	if cfg.CacheMaxEntries <= 0 {
+		cfg.CacheMaxEntries = 1024
+	}
 	g := &Gmetad{
 		cfg:   cfg,
 		slots: make(map[string]*sourceSlot, len(cfg.Sources)),
+	}
+	if !cfg.DisableResponseCache {
+		g.cache = newResponseCache(cfg.CacheMaxEntries)
+	}
+	if cfg.MaxConns > 0 {
+		g.sem = make(chan struct{}, cfg.MaxConns)
 	}
 	if cfg.Archive {
 		if cfg.ArchivePath != "" {
@@ -253,6 +317,7 @@ func (g *Gmetad) AddSource(src DataSource) error {
 	}
 	g.slots[src.Name] = &sourceSlot{cfg: src}
 	g.order = append(g.order, src.Name)
+	g.bumpEpoch()
 	return nil
 }
 
@@ -271,6 +336,7 @@ func (g *Gmetad) RemoveSource(name string) bool {
 			break
 		}
 	}
+	g.bumpEpoch()
 	return true
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"ganglia/internal/gxml"
 	"ganglia/internal/query"
@@ -45,6 +46,31 @@ func (ls *listenerSet) closeAll() {
 	ls.wg.Wait()
 }
 
+// acquireConn takes one slot of the max-connections semaphore without
+// blocking. A connection that finds the daemon at capacity is told so
+// and closed immediately — under a flood the serve path degrades to
+// fast rejections instead of unbounded goroutine growth.
+func (g *Gmetad) acquireConn(c net.Conn) bool {
+	if g.sem == nil {
+		return true
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	default:
+		g.acct.rejectedConns.Add(1)
+		_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+		fmt.Fprint(c, "<!-- ERROR busy: connection limit reached -->\n")
+		return false
+	}
+}
+
+func (g *Gmetad) releaseConn() {
+	if g.sem != nil {
+		<-g.sem
+	}
+}
+
 // ServeXML serves the legacy full-dump contract (gmetad's all-trusted
 // TCP port, historically 8651): every connection receives the complete
 // root report and is closed. Returns when the listener closes.
@@ -62,6 +88,10 @@ func (g *Gmetad) ServeXML(l net.Listener) {
 		go func(c net.Conn) {
 			defer g.listeners.wg.Done()
 			defer c.Close()
+			if !g.acquireConn(c) {
+				return
+			}
+			defer g.releaseConn()
 			g.answer(c, &query.Query{})
 		}(conn)
 	}
@@ -85,12 +115,21 @@ func (g *Gmetad) ServeQuery(l net.Listener) {
 		go func(c net.Conn) {
 			defer g.listeners.wg.Done()
 			defer c.Close()
+			if !g.acquireConn(c) {
+				return
+			}
+			defer g.releaseConn()
+			// A client that never sends its query line would pin this
+			// goroutine (and a semaphore slot) forever; the read
+			// deadline disconnects it.
+			_ = c.SetReadDeadline(time.Now().Add(g.cfg.QueryReadTimeout))
 			line, err := bufio.NewReaderSize(c, 1024).ReadString('\n')
 			if err != nil && line == "" {
 				return
 			}
 			q, err := query.Parse(line)
 			if err != nil {
+				_ = c.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
 				fmt.Fprintf(c, "<!-- ERROR %s -->\n", xmlCommentSafe(err.Error()))
 				return
 			}
@@ -100,19 +139,62 @@ func (g *Gmetad) ServeQuery(l net.Listener) {
 }
 
 // answer builds and writes one query response, accounting the work as
-// serve time.
+// serve time. The write deadline disconnects clients that stop reading
+// mid-response.
 func (g *Gmetad) answer(c net.Conn, q *query.Query) {
 	g.acct.queries.Add(1)
 	timed(&g.acct.serve, func() {
-		rep, err := g.Report(q)
+		_ = c.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
+		if g.cache == nil || q.Filter == query.FilterHistory {
+			// Uncached path: stream straight to the connection.
+			// History answers read the mutable archive pool, which the
+			// epoch does not version, so they are never cached.
+			rep, err := g.Report(q)
+			if err != nil {
+				fmt.Fprintf(c, "<!-- ERROR %s -->\n", xmlCommentSafe(err.Error()))
+				return
+			}
+			cw := &countingWriter{w: c}
+			_ = gxml.WriteReport(cw, rep)
+			g.acct.bytesOut.Add(cw.n)
+			return
+		}
+		body, err := g.respond(q)
 		if err != nil {
 			fmt.Fprintf(c, "<!-- ERROR %s -->\n", xmlCommentSafe(err.Error()))
 			return
 		}
-		cw := &countingWriter{w: c}
-		_ = gxml.WriteReport(cw, rep)
-		g.acct.bytesOut.Add(cw.n)
+		n, _ := c.Write(body)
+		g.acct.bytesOut.Add(int64(n))
 	})
+}
+
+// respond returns the rendered XML answer for q, serving repeats of
+// the same canonical query from one rendering. A cached body is valid
+// only for the exact (epoch, second) it was rendered at: a re-poll
+// bumps the epoch (no response ever spans a snapshot swap), and the
+// second granularity keeps TN soft-state aging identical to a fresh
+// rendering. The epoch is read before the DOM snapshots, so a body can
+// only ever be stamped with an epoch at or below its data's freshness
+// — a racing re-poll invalidates it, never the reverse.
+func (g *Gmetad) respond(q *query.Query) ([]byte, error) {
+	gen := generation{epoch: g.epoch.Load(), unix: g.cfg.Clock.Now().Unix()}
+	key := q.Key()
+	if body, ok := g.cache.get(gen, key); ok {
+		g.acct.cacheHits.Add(1)
+		return body, nil
+	}
+	g.acct.cacheMisses.Add(1)
+	rep, err := g.Report(q)
+	if err != nil {
+		return nil, err
+	}
+	body, err := gxml.RenderReport(rep)
+	if err != nil {
+		return nil, err
+	}
+	g.cache.put(gen, key, body)
+	return body, nil
 }
 
 // xmlCommentSafe strips "--" so an error message cannot terminate the

@@ -67,6 +67,8 @@ func (g *Gmetad) pollSource(slot *sourceSlot, now time.Time) {
 	}
 
 	slot.mu.Lock()
+	slot.version++
+	data.epoch = slot.version
 	slot.data = data
 	recovered := slot.failed
 	var wasDown time.Duration
@@ -82,6 +84,12 @@ func (g *Gmetad) pollSource(slot *sourceSlot, now time.Time) {
 	}
 	slot.activeAddr = addr
 	slot.mu.Unlock()
+
+	// The new snapshot is visible; retire every cached response built
+	// from the previous epoch. Ordering matters: publish first, bump
+	// second, so a query that observes the new epoch always renders
+	// from (at least) the new snapshot.
+	g.bumpEpoch()
 
 	if recovered {
 		g.logf("source %s recovered via %s after %v down", slot.cfg.Name, addr, wasDown)

@@ -24,6 +24,11 @@ type sourceSlot struct {
 	downSince  time.Time
 	lastErr    error
 	activeAddr string
+	// version counts this slot's snapshot publications; each published
+	// sourceData carries the version it was installed at, so readers
+	// can tell two polls of the same source apart even when the data
+	// happens to be identical.
+	version uint64
 }
 
 // snapshot returns the current data (possibly nil) and failure state.
@@ -40,6 +45,9 @@ type sourceData struct {
 	authority string // child gmetad's authority URL
 	localtime int64
 	polled    time.Time
+	// epoch is the slot version this snapshot was published at (the
+	// per-source poll epoch). Set once at publication, then read-only.
+	epoch uint64
 
 	// clusters indexes every full-resolution cluster found in the
 	// report, including clusters nested in child grids (1-level mode).

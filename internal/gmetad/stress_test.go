@@ -1,0 +1,140 @@
+package gmetad
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ganglia/internal/gxml"
+)
+
+// minLocalTime returns the smallest cluster LOCALTIME in a report,
+// falling back to the self grid's LOCALTIME for cluster-free answers
+// (summary filters). Pseudo-gmond stamps clusters with the poll time,
+// so this is the age of the oldest snapshot a response was built from.
+func minLocalTime(rep *gxml.Report) int64 {
+	min := int64(0)
+	seen := false
+	var walkGrid func(g *gxml.Grid)
+	note := func(lt int64) {
+		if !seen || lt < min {
+			min, seen = lt, true
+		}
+	}
+	walkGrid = func(g *gxml.Grid) {
+		for _, c := range g.Clusters {
+			note(c.LocalTime)
+		}
+		for _, child := range g.Grids {
+			walkGrid(child)
+		}
+	}
+	for _, g := range rep.Grids {
+		walkGrid(g)
+	}
+	for _, c := range rep.Clusters {
+		note(c.LocalTime)
+	}
+	if !seen && len(rep.Grids) > 0 {
+		return rep.Grids[0].LocalTime
+	}
+	return min
+}
+
+// TestServeQueryStressNoStaleEpoch hammers the query port from many
+// goroutine clients with mixed hot and cold query paths while the
+// poller keeps re-polling the sources. The invariant under test is the
+// cache's epoch rule: once a poll has published snapshot N and bumped
+// the epoch, a query issued afterwards must never be answered from
+// snapshot N-1 — neither from the DOM nor from a stale cache entry.
+// Run under -race this also exercises every lock on the serve path.
+func TestServeQueryStressNoStaleEpoch(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 25, 1)
+	r.cluster("attic", "attic:8649", 4, 2)
+	g := r.gmetad(Config{
+		GridName: "SDSC",
+		Sources: []DataSource{
+			{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}},
+			{Name: "attic", Kind: SourceGmond, Addrs: []string{"attic:8649"}},
+		},
+	}, "sdsc:8652")
+	g.PollOnce(r.clk.Now())
+
+	// floor is the poll timestamp of the last fully published round:
+	// after PollOnce returns, every source snapshot carries at least
+	// this LOCALTIME, and the epoch has been bumped past anything
+	// older.
+	var floor atomic.Int64
+	floor.Store(r.clk.Now().Unix())
+
+	const (
+		rounds  = 30
+		clients = 8
+	)
+	// Hot paths repeat constantly (cache hits); cold paths churn
+	// distinct keys through the same epoch.
+	queries := []string{
+		"/",
+		"/",
+		"/meteor",
+		"/meteor",
+		"/meteor/compute-meteor-0",
+		"/meteor/compute-meteor-0/load_one",
+		"/meteor/~compute-meteor-1.*",
+		"/meteor?filter=summary",
+		"/?filter=summary",
+		"/attic",
+		"/attic/compute-attic-2",
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < rounds; i++ {
+			now := r.clk.Advance(15 * time.Second)
+			g.PollOnce(now)
+			floor.Store(now.Unix())
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Read the floor BEFORE issuing the query: anything
+				// published later only makes the answer fresher.
+				lower := floor.Load()
+				q := queries[(id+j)%len(queries)]
+				rep, err := r.ask("sdsc:8652", q)
+				if err != nil {
+					t.Errorf("client %d: %s: %v", id, q, err)
+					return
+				}
+				if lt := minLocalTime(rep); lt < lower {
+					t.Errorf("client %d: %s served stale epoch: LOCALTIME %d < floor %d", id, q, lt, lower)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	snap := g.Accounting().Snapshot()
+	if snap.CacheHits == 0 {
+		t.Error("stress run produced no cache hits; the hot path was never exercised")
+	}
+	t.Logf("stress: %d queries, %d cache hits, %d misses over %d epochs",
+		snap.Queries, snap.CacheHits, snap.CacheMisses, g.Epoch())
+}

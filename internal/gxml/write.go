@@ -2,6 +2,7 @@ package gxml
 
 import (
 	"bufio"
+	"bytes"
 	"io"
 	"strconv"
 
@@ -100,6 +101,18 @@ func WriteReport(dst io.Writer, r *Report) error {
 	w := NewWriter(dst)
 	w.Report(r)
 	return w.Flush()
+}
+
+// RenderReport serializes a complete GANGLIA_XML document to a byte
+// slice, for callers that reuse one rendering across many writes
+// (gmetad's query-response cache serves the same bytes to every client
+// of a poll epoch).
+func RenderReport(r *Report) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Report emits a complete document.

@@ -92,6 +92,7 @@ type Query struct {
 	Filter Filter
 
 	raw string
+	key string
 }
 
 // MaxDepth is the deepest addressable level: source/host/metric.
@@ -104,7 +105,7 @@ var (
 	ErrTooDeep   = errors.New("query: more than 3 path segments")
 	ErrBadFilter = errors.New("query: unknown filter")
 	ErrBadRegex  = errors.New("query: bad regular expression segment")
-	ErrEmptySeg  = errors.New("query: empty path segment")
+	ErrEmptySeg  = errors.New("query: empty or blank path segment")
 )
 
 // Parse parses a query line as received on gmetad's interactive port.
@@ -131,10 +132,14 @@ func Parse(s string) (*Query, error) {
 	}
 	s = strings.Trim(s, "/")
 	if s == "" {
+		q.key = q.String()
 		return q, nil // root query
 	}
 	for _, seg := range strings.Split(s, "/") {
-		if seg == "" {
+		// A whitespace-only literal segment can never name a DOM node
+		// and cannot round-trip through the line protocol (its spaces
+		// are trimmed at the line ends); reject it as empty.
+		if strings.TrimSpace(seg) == "" {
 			return nil, ErrEmptySeg
 		}
 		if len(q.Segments) == MaxDepth {
@@ -146,6 +151,7 @@ func Parse(s string) (*Query, error) {
 		}
 		q.Segments = append(q.Segments, m)
 	}
+	q.key = q.String()
 	return q, nil
 }
 
@@ -183,6 +189,18 @@ func MustParse(s string) *Query {
 		panic(err)
 	}
 	return q
+}
+
+// Key returns the canonical cache key for the query: every spelling of
+// the same selection — trailing slashes, surrounding whitespace, the
+// wire protocol's newline — maps to one key, so a response cache keyed
+// on it deduplicates equivalent queries. Parse computes the key once;
+// for queries built by hand it falls back to String().
+func (q *Query) Key() string {
+	if q.key != "" {
+		return q.key
+	}
+	return q.String()
 }
 
 // Root reports whether the query addresses the whole tree.
