@@ -11,6 +11,7 @@
 //	ganglia-bench -experiment table1 -samples 5
 //	ganglia-bench -experiment bandwidth
 //	ganglia-bench -experiment serve -hosts 100
+//	ganglia-bench -experiment chaos -seed 7
 //
 // Each experiment prints the regenerated table or figure series, then
 // re-checks the paper's qualitative claims and reports any violations.
@@ -30,13 +31,14 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve or all")
+		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve, chaos or all")
 		hosts      = flag.Int("hosts", 100, "hosts per cluster (fig5, table1, serve)")
 		rounds     = flag.Int("rounds", 8, "measured polling rounds (fig5, fig6)")
 		samples    = flag.Int("samples", 5, "samples per view (table1)")
 		sizes      = flag.String("sizes", "", "comma-separated cluster sizes (fig6; default: paper sweep)")
 		csvDir     = flag.String("csv", "", "directory to write fig5.csv/fig6.csv/table1.csv into (optional)")
 		detail     = flag.Bool("detail", false, "also print the fig5 per-phase work breakdown")
+		seed       = flag.Int64("seed", 1, "fault-plan and jitter seed (chaos)")
 	)
 	flag.Parse()
 
@@ -139,17 +141,25 @@ func main() {
 			fmt.Println(res.Table())
 			check("serve", res.ShapeErrors())
 		},
+		"chaos": func() {
+			res, err := bench.RunChaos(bench.ChaosConfig{Rounds: *rounds * 5, Seed: *seed})
+			if err != nil {
+				log.Fatalf("chaos: %v", err)
+			}
+			fmt.Println(res.Table())
+			check("chaos", res.ShapeErrors())
+		},
 	}
 
 	switch *experiment {
 	case "all":
-		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve"} {
+		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve", "chaos"} {
 			run[name]()
 		}
 	default:
 		f, ok := run[*experiment]
 		if !ok {
-			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve or all)", *experiment)
+			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve, chaos or all)", *experiment)
 		}
 		f()
 	}

@@ -10,6 +10,7 @@
 //	ganglia-sim -topology site.json      # your own tree (see -print-topology)
 //	ganglia-sim -mode onelevel -hosts 50
 //	ganglia-sim -print-topology > site.json
+//	ganglia-sim -chaos -chaos-seed 7     # inject seeded faults into every poll
 //
 // Then, in another terminal:
 //
@@ -23,12 +24,48 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	"ganglia/internal/gmetad"
+	"ganglia/internal/transport"
 	"ganglia/internal/tree"
 )
+
+// applyChaosPlan assigns a deterministic fault to every emulated gmond
+// port, cycling through the failure modes the wide area produces, and
+// returns a table describing what was injected. The faults only affect
+// the polling fabric; external tools still query the gmetads normally —
+// watch the root's SOURCE_HEALTH elements degrade and recover.
+func applyChaosPlan(fnet *transport.FaultNetwork, dep *tree.Deployment, poll time.Duration) string {
+	var names []string
+	for name := range dep.ClusterAddrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	plans := []struct {
+		desc string
+		plan transport.FaultPlan
+	}{
+		{"flap: refuse half of every 8 polls", transport.FaultPlan{
+			Mode: transport.FaultRefuse, FlapPeriod: 8 * poll, FlapUp: 4 * poll}},
+		{"garble ~1/16 bytes", transport.FaultPlan{Mode: transport.FaultGarble, GarbleEvery: 16}},
+		{"slow-drip 512 B / 50ms", transport.FaultPlan{
+			Mode: transport.FaultSlowDrip, DripBytes: 512, DripEvery: 50 * time.Millisecond}},
+		{"truncate after 4 KiB", transport.FaultPlan{Mode: transport.FaultTruncate, TruncateAfter: 4096}},
+		{"none (control)", transport.FaultPlan{}},
+	}
+	out := "injected faults (poll fabric only):\n"
+	for i, name := range names {
+		p := plans[i%len(plans)]
+		if p.plan.Mode != transport.FaultNone {
+			fnet.SetPlan(dep.ClusterAddrs[name], p.plan)
+		}
+		out += fmt.Sprintf("  %-12s %s\n", name, p.desc)
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -38,6 +75,8 @@ func main() {
 		poll      = flag.Duration("poll", 15*time.Second, "polling interval")
 		archive   = flag.Bool("archive", true, "keep metric histories (enables ?filter=history)")
 		printTopo = flag.Bool("print-topology", false, "print the built-in topology as JSON and exit")
+		chaos     = flag.Bool("chaos", false, "inject a seeded fault plan into the polling fabric")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the -chaos fault plan")
 	)
 	flag.Parse()
 
@@ -70,11 +109,17 @@ func main() {
 		log.Fatalf("ganglia-sim: unknown -mode %q", *modeStr)
 	}
 
-	dep, err := tree.Deploy(topo, tree.DeployConfig{
+	depCfg := tree.DeployConfig{
 		Mode:         mode,
 		Archive:      *archive,
 		PollInterval: *poll,
-	})
+	}
+	var fnet *transport.FaultNetwork
+	if *chaos {
+		fnet = transport.NewFaultNetwork(&transport.TCPNetwork{DialTimeout: 5 * time.Second}, *chaosSeed, nil)
+		depCfg.Network = fnet
+	}
+	dep, err := tree.Deploy(topo, depCfg)
 	if err != nil {
 		log.Fatalf("ganglia-sim: %v", err)
 	}
@@ -83,6 +128,9 @@ func main() {
 	fmt.Printf("ganglia-sim: %d gmetads, %d clusters, %d hosts (%s design, polling every %v)\n\n",
 		len(topo.Nodes), topo.ClusterCount(), topo.HostCount(), mode, *poll)
 	fmt.Print(dep.AddrTable())
+	if fnet != nil {
+		fmt.Print(applyChaosPlan(fnet, dep, *poll))
+	}
 	fmt.Printf("\ntry:  go run ./cmd/gstat -addr %s -q '/?filter=summary' -format summary\n", dep.RootAddr())
 	fmt.Printf("      go run ./cmd/gweb -gmetad %s\n", dep.RootAddr())
 

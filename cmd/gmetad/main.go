@@ -62,6 +62,12 @@ func main() {
 		queryAddr   = flag.String("query", ":8652", "TCP address of the interactive query port (empty to disable)")
 		poll        = flag.Duration("poll", gmetad.DefaultPollInterval, "source polling interval")
 		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-source download timeout")
+		maxReport   = flag.Int64("max-report-bytes", gmetad.DefaultMaxReportBytes, "cap on one source download; bigger reports fail the poll (negative = unlimited)")
+		backoffBase = flag.Duration("addr-backoff", 15*time.Second, "initial per-address retry backoff, doubled per consecutive failure (negative = disabled)")
+		backoffMax  = flag.Duration("addr-backoff-max", 2*time.Minute, "cap on per-address retry backoff")
+		breaker     = flag.Int("breaker-threshold", gmetad.DefaultBreakerThreshold, "consecutive failed polls before a source's cadence is stretched (negative = disabled)")
+		breakerMax  = flag.Duration("breaker-max-stretch", 0, "cap on the stretched poll cadence of a dead source (0 = 4x -poll)")
+		noHealth    = flag.Bool("no-health-xml", false, "omit per-source SOURCE_HEALTH elements from depth-0 responses")
 		archive     = flag.Bool("archive", true, "keep round-robin metric histories")
 		archivePath = flag.String("archive-path", "", "snapshot file for archive persistence (restored on start, saved periodically)")
 		saveEvery   = flag.Duration("save-every", 5*time.Minute, "archive snapshot interval (with -archive-path)")
@@ -99,6 +105,13 @@ func main() {
 		ReadTimeout:  *readTimeout,
 		Archive:      *archive,
 		ArchivePath:  *archivePath,
+
+		MaxReportBytes:    *maxReport,
+		AddrBackoffBase:   *backoffBase,
+		AddrBackoffMax:    *backoffMax,
+		BreakerThreshold:  *breaker,
+		BreakerMaxStretch: *breakerMax,
+		DisableHealthXML:  *noHealth,
 
 		QueryReadTimeout:     *queryTimeout,
 		WriteTimeout:         *writeTimeout,
@@ -155,10 +168,20 @@ func main() {
 			snap := g.Accounting().Snapshot()
 			fmt.Printf("gmetad: %d queries served (%d cache hits, %d misses), %d connections rejected\n",
 				snap.Queries, snap.CacheHits, snap.CacheMisses, snap.RejectedConns)
+			if snap.PollFails > 0 {
+				fmt.Printf("gmetad: %d poll failures, %d failovers, %d backoffs, %d breaker trips, %d oversize reports\n",
+					snap.PollFails, snap.Failovers, snap.Backoffs, snap.BreakerTrips, snap.OversizeReports)
+			}
 			for _, st := range g.Status() {
 				state := "ok"
+				if st.ActiveAddr != "" {
+					state = "ok via " + st.ActiveAddr
+				}
 				if st.Failed {
 					state = "FAILED since " + st.DownSince.Format(time.RFC3339)
+					if !st.NextPollAt.IsZero() {
+						state += " (breaker open, next poll " + st.NextPollAt.Format(time.RFC3339) + ")"
+					}
 					if st.LastError != "" {
 						state += " (" + st.LastError + ")"
 					}

@@ -1,0 +1,357 @@
+// Chaos experiment: a gmetad polling six sources through a seeded
+// fault-injection fabric that mixes every failure mode the wide area
+// produces — refusal, flapping, truncation, garbling, accept-then-hang,
+// and oversized reports — and a report of how polling degraded and
+// recovered: missed epochs, time-to-recovery, failover and breaker
+// activity.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gmetad"
+	"ganglia/internal/pseudo"
+	"ganglia/internal/transport"
+)
+
+// ChaosConfig parameterizes the chaos experiment.
+type ChaosConfig struct {
+	// Rounds is how many 15 s polling rounds to run (default 40).
+	Rounds int
+	// Seed drives the fault fabric and the backoff jitter, so a run is
+	// reproducible end to end (default 1).
+	Seed int64
+	// Hosts is the size of each healthy cluster (default 8).
+	Hosts int
+	// BloatHosts is the size of the oversized cluster that must blow
+	// the report cap (default 300).
+	BloatHosts int
+}
+
+func (c *ChaosConfig) defaults() {
+	if c.Rounds == 0 {
+		c.Rounds = 40
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Hosts == 0 {
+		c.Hosts = 8
+	}
+	if c.BloatHosts == 0 {
+		c.BloatHosts = 300
+	}
+}
+
+// chaosReadTimeout bounds one download on the wall clock; hangs and
+// drips burn this long per attempt, so it is kept small.
+const chaosReadTimeout = 150 * time.Millisecond
+
+// chaosMaxReport is the per-download byte cap; the bloat cluster's
+// report exceeds it, every healthy cluster's stays well under.
+const chaosMaxReport = 256 * 1024
+
+// ChaosSource is one source's degradation record over the run.
+type ChaosSource struct {
+	Name   string
+	Faults string // human description of the injected plan
+
+	// MissedRounds counts polling rounds that ended with the source in
+	// the failed state — epochs the monitoring tree lost.
+	MissedRounds int
+	// Recoveries counts down→up transitions; MaxRoundsToRecover is the
+	// longest down streak that ended in a recovery.
+	Recoveries         int
+	MaxRoundsToRecover int
+
+	FinalDown   bool
+	FinalActive string
+}
+
+// ChaosResult is the whole experiment.
+type ChaosResult struct {
+	Config ChaosConfig
+
+	Sources []ChaosSource
+
+	// Counter deltas over the run.
+	Failovers     int64
+	AddrDialFails int64
+	Backoffs      int64
+	BreakerTrips  int64
+	BreakerSkips  int64
+	Oversize      int64
+	PollPanics    int64
+
+	// MaxRoundWall is the longest wall-clock time one full polling
+	// round took — bounded by the read timeout per faulty source, never
+	// by a blackholed address pinning the round.
+	MaxRoundWall time.Duration
+	// GoroutinesLeaked is the goroutine-count delta across the run
+	// after teardown.
+	GoroutinesLeaked int
+}
+
+func (r *ChaosResult) source(name string) *ChaosSource {
+	for i := range r.Sources {
+		if r.Sources[i].Name == name {
+			return &r.Sources[i]
+		}
+	}
+	return nil
+}
+
+// ShapeErrors re-checks the experiment's qualitative claims: chaos must
+// not touch the healthy control; every source with a live replica must
+// converge to it within the backoff bound and stay there; fully dead
+// sources must trip the breaker but keep being polled; the oversized
+// report must be cut at the cap; nothing may leak.
+func (r *ChaosResult) ShapeErrors() []string {
+	var errs []string
+	claim := func(ok bool, format string, args ...any) {
+		if !ok {
+			errs = append(errs, fmt.Sprintf(format, args...))
+		}
+	}
+	if s := r.source("steady"); s != nil {
+		claim(s.MissedRounds == 0 && !s.FinalDown,
+			"healthy control missed %d rounds under sibling chaos", s.MissedRounds)
+	}
+	if s := r.source("triad"); s != nil {
+		claim(!s.FinalDown, "3-replica source ended down despite a healthy replica")
+		claim(s.FinalActive == "triad-r3:8649",
+			"3-replica source converged to %q, want the healthy replica triad-r3:8649", s.FinalActive)
+		claim(s.MaxRoundsToRecover <= 4,
+			"3-replica source took %d rounds to converge (backoff bound is 4)", s.MaxRoundsToRecover)
+	}
+	if s := r.source("stall"); s != nil {
+		claim(!s.FinalDown && s.FinalActive == "stall-r2:8649",
+			"hung-replica source ended active=%q down=%v, want recovery via stall-r2:8649", s.FinalActive, s.FinalDown)
+	}
+	if s := r.source("garbled"); s != nil {
+		claim(!s.FinalDown && s.FinalActive == "garbled-r2:8649",
+			"garbled-replica source ended active=%q down=%v, want recovery via garbled-r2:8649", s.FinalActive, s.FinalDown)
+	}
+	if s := r.source("dead"); s != nil {
+		claim(s.FinalDown && s.MissedRounds == r.Config.Rounds,
+			"fully dead source reported %d/%d missed rounds", s.MissedRounds, r.Config.Rounds)
+	}
+	if s := r.source("bloat"); s != nil {
+		claim(s.FinalDown, "oversized source was accepted")
+	}
+	claim(r.Oversize >= 1, "report cap never tripped (oversize=%d)", r.Oversize)
+	claim(r.BreakerTrips >= 1, "circuit breaker never tripped")
+	claim(r.BreakerSkips >= 1, "open breaker never stretched a poll cadence")
+	claim(r.Failovers >= 1, "no failover was ever counted")
+	claim(r.Backoffs >= 1, "backoff never suppressed a dial")
+	claim(r.PollPanics == 0, "poll workers panicked %d times", r.PollPanics)
+	// One round polls six sources sequentially; even with every faulty
+	// source burning its read timeout, a blackholed address must never
+	// pin the round longer than the per-source timeouts sum to.
+	claim(r.MaxRoundWall < 3*time.Second,
+		"a polling round took %v wall-clock; a blackholed source is pinning the poller", r.MaxRoundWall)
+	claim(r.GoroutinesLeaked <= 4, "%d goroutines leaked across the run", r.GoroutinesLeaked)
+	return errs
+}
+
+// Table renders the result for terminals, in the repo's experiment
+// style.
+func (r *ChaosResult) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Chaos-hardened polling — %d rounds, seed %d, read timeout %v, report cap %d bytes\n",
+		r.Config.Rounds, r.Config.Seed, chaosReadTimeout, int64(chaosMaxReport))
+	rows := make([][]string, 0, len(r.Sources))
+	for _, s := range r.Sources {
+		state := "up via " + s.FinalActive
+		if s.FinalDown {
+			state = "down"
+		}
+		rows = append(rows, []string{
+			s.Name, s.Faults,
+			fmt.Sprintf("%d/%d", s.MissedRounds, r.Config.Rounds),
+			fmt.Sprintf("%d", s.Recoveries),
+			fmt.Sprintf("%d", s.MaxRoundsToRecover),
+			state,
+		})
+	}
+	sb.WriteString(formatTable(
+		[]string{"source", "injected faults", "missed", "recoveries", "max rounds to recover", "final state"}, rows))
+	fmt.Fprintf(&sb, "failovers %d, addr dial failures %d, backoff-suppressed dials %d\n",
+		r.Failovers, r.AddrDialFails, r.Backoffs)
+	fmt.Fprintf(&sb, "breaker: %d trips, %d stretched rounds; oversize reports %d; poll panics %d\n",
+		r.BreakerTrips, r.BreakerSkips, r.Oversize, r.PollPanics)
+	fmt.Fprintf(&sb, "longest polling round: %v wall-clock; goroutine delta after teardown: %d\n",
+		r.MaxRoundWall, r.GoroutinesLeaked)
+	return sb.String()
+}
+
+// RunChaos runs the experiment: one gmetad, six sources, a seeded fault
+// plan, Rounds polling rounds on a virtual clock.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg.defaults()
+	res := &ChaosResult{Config: cfg}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	clk := clock.NewVirtual(t0)
+	inner := transport.NewInMemNetwork()
+	fnet := transport.NewFaultNetwork(inner, cfg.Seed, clk)
+
+	// Emulated clusters. Replicas of one source share a name and seed,
+	// so any of them yields the same report — the paper's redundant
+	// global state.
+	var pseudos []*pseudo.Gmond
+	serve := func(cluster, addr string, hosts int, seed int64) error {
+		p := pseudo.New(cluster, hosts, seed, clk)
+		l, err := inner.Listen(addr)
+		if err != nil {
+			p.Close()
+			return err
+		}
+		go p.Serve(l)
+		pseudos = append(pseudos, p)
+		return nil
+	}
+	listeners := []struct {
+		cluster, addr string
+		hosts         int
+		seed          int64
+	}{
+		{"steady", "steady:8649", cfg.Hosts, 1},
+		{"triad", "triad-r1:8649", cfg.Hosts, 2},
+		{"triad", "triad-r2:8649", cfg.Hosts, 2},
+		{"triad", "triad-r3:8649", cfg.Hosts, 2},
+		{"stall", "stall-r2:8649", cfg.Hosts, 3},
+		{"garbled", "garbled-r1:8649", cfg.Hosts, 4},
+		{"garbled", "garbled-r2:8649", cfg.Hosts, 4},
+		{"bloat", "bloat:8649", cfg.BloatHosts, 5},
+	}
+	for _, ls := range listeners {
+		if err := serve(ls.cluster, ls.addr, ls.hosts, ls.seed); err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+	}
+	defer func() {
+		for _, p := range pseudos {
+			p.Close()
+		}
+	}()
+
+	// The seeded fault plan. The triad's first replica flaps on a
+	// 2-minute schedule (up for the first minute), its second always
+	// truncates mid-document; only the third is trustworthy.
+	fnet.SetPlan("triad-r1:8649", transport.FaultPlan{
+		Mode: transport.FaultRefuse, FlapPeriod: 2 * time.Minute, FlapUp: time.Minute,
+	})
+	fnet.SetPlan("triad-r2:8649", transport.FaultPlan{Mode: transport.FaultTruncate, TruncateAfter: 512})
+	fnet.SetPlan("stall-r1:8649", transport.FaultPlan{Mode: transport.FaultHang})
+	fnet.SetPlan("garbled-r1:8649", transport.FaultPlan{Mode: transport.FaultGarble, GarbleEvery: 16})
+	fnet.SetPlan("dead-r1:8649", transport.FaultPlan{Mode: transport.FaultRefuse})
+	fnet.SetPlan("dead-r2:8649", transport.FaultPlan{Mode: transport.FaultRefuse})
+
+	faults := map[string]string{
+		"steady":  "none",
+		"triad":   "r1 flap 1m/2m, r2 truncate@512",
+		"stall":   "r1 accept-then-hang",
+		"garbled": "r1 bit flips ~1/16 bytes",
+		"dead":    "r1+r2 refuse",
+		"bloat":   fmt.Sprintf("report > %d bytes", int64(chaosMaxReport)),
+	}
+
+	g, err := gmetad.New(gmetad.Config{
+		GridName:       "chaos",
+		Network:        fnet,
+		Clock:          clk,
+		ReadTimeout:    chaosReadTimeout,
+		MaxReportBytes: chaosMaxReport,
+		HealthSeed:     cfg.Seed,
+		Sources: []gmetad.DataSource{
+			{Name: "steady", Kind: gmetad.SourceGmond, Addrs: []string{"steady:8649"}},
+			{Name: "triad", Kind: gmetad.SourceGmond, Addrs: []string{"triad-r1:8649", "triad-r2:8649", "triad-r3:8649"}},
+			{Name: "stall", Kind: gmetad.SourceGmond, Addrs: []string{"stall-r1:8649", "stall-r2:8649"}},
+			{Name: "garbled", Kind: gmetad.SourceGmond, Addrs: []string{"garbled-r1:8649", "garbled-r2:8649"}},
+			{Name: "dead", Kind: gmetad.SourceGmond, Addrs: []string{"dead-r1:8649", "dead-r2:8649"}},
+			{Name: "bloat", Kind: gmetad.SourceGmond, Addrs: []string{"bloat:8649"}},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	defer g.Close()
+
+	type streak struct {
+		down               int
+		missed, recoveries int
+		maxRecover         int
+	}
+	streaks := make(map[string]*streak)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		clk.Advance(15 * time.Second)
+		start := time.Now()
+		g.PollOnce(clk.Now())
+		if wall := time.Since(start); wall > res.MaxRoundWall {
+			res.MaxRoundWall = wall
+		}
+		for _, st := range g.Status() {
+			s := streaks[st.Name]
+			if s == nil {
+				s = &streak{}
+				streaks[st.Name] = s
+			}
+			if st.Failed {
+				s.missed++
+				s.down++
+				continue
+			}
+			if s.down > 0 {
+				s.recoveries++
+				if s.down > s.maxRecover {
+					s.maxRecover = s.down
+				}
+				s.down = 0
+			}
+		}
+	}
+
+	for _, st := range g.Status() {
+		s := streaks[st.Name]
+		res.Sources = append(res.Sources, ChaosSource{
+			Name:               st.Name,
+			Faults:             faults[st.Name],
+			MissedRounds:       s.missed,
+			Recoveries:         s.recoveries,
+			MaxRoundsToRecover: s.maxRecover,
+			FinalDown:          st.Failed,
+			FinalActive:        st.ActiveAddr,
+		})
+	}
+
+	snap := g.Accounting().Snapshot()
+	res.Failovers = snap.Failovers
+	res.AddrDialFails = snap.AddrDialFails
+	res.Backoffs = snap.Backoffs
+	res.BreakerTrips = snap.BreakerTrips
+	res.BreakerSkips = snap.BreakerSkips
+	res.Oversize = snap.OversizeReports
+	res.PollPanics = snap.PollPanics
+
+	// Teardown, then give conn-holding goroutines a moment to notice.
+	g.Close()
+	for _, p := range pseudos {
+		p.Close()
+	}
+	pseudos = nil
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		res.GoroutinesLeaked = runtime.NumGoroutine() - goroutinesBefore
+		if res.GoroutinesLeaked <= 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return res, nil
+}

@@ -32,6 +32,13 @@ type Accounting struct {
 	cacheHits     atomic.Int64
 	cacheMisses   atomic.Int64
 	rejectedConns atomic.Int64
+
+	addrDialFails   atomic.Int64
+	backoffs        atomic.Int64
+	breakerTrips    atomic.Int64
+	breakerSkips    atomic.Int64
+	oversizeReports atomic.Int64
+	pollPanics      atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -55,6 +62,20 @@ type Snapshot struct {
 	CacheHits     int64
 	CacheMisses   int64
 	RejectedConns int64
+
+	// AddrDialFails counts individual address dial failures (a source
+	// with three replicas can fail three dials in one poll); Backoffs
+	// counts dials suppressed because an address was inside its backoff
+	// window; BreakerTrips counts circuit-breaker openings and
+	// BreakerSkips rounds deferred by an open breaker; OversizeReports
+	// counts downloads cut off at MaxReportBytes; PollPanics counts
+	// poll workers recovered from a panic.
+	AddrDialFails   int64
+	Backoffs        int64
+	BreakerTrips    int64
+	BreakerSkips    int64
+	OversizeReports int64
+	PollPanics      int64
 }
 
 // Work returns the total processing time across phases.
@@ -87,6 +108,13 @@ func (a *Accounting) Snapshot() Snapshot {
 		CacheHits:     a.cacheHits.Load(),
 		CacheMisses:   a.cacheMisses.Load(),
 		RejectedConns: a.rejectedConns.Load(),
+
+		AddrDialFails:   a.addrDialFails.Load(),
+		Backoffs:        a.backoffs.Load(),
+		BreakerTrips:    a.breakerTrips.Load(),
+		BreakerSkips:    a.breakerSkips.Load(),
+		OversizeReports: a.oversizeReports.Load(),
+		PollPanics:      a.pollPanics.Load(),
 	}
 }
 
@@ -106,6 +134,13 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		CacheHits:     s.CacheHits - o.CacheHits,
 		CacheMisses:   s.CacheMisses - o.CacheMisses,
 		RejectedConns: s.RejectedConns - o.RejectedConns,
+
+		AddrDialFails:   s.AddrDialFails - o.AddrDialFails,
+		Backoffs:        s.Backoffs - o.Backoffs,
+		BreakerTrips:    s.BreakerTrips - o.BreakerTrips,
+		BreakerSkips:    s.BreakerSkips - o.BreakerSkips,
+		OversizeReports: s.OversizeReports - o.OversizeReports,
+		PollPanics:      s.PollPanics - o.PollPanics,
 	}
 }
 

@@ -43,6 +43,14 @@ import (
 // generally every 15 seconds" (§2.3.1).
 const DefaultPollInterval = 15 * time.Second
 
+// DefaultMaxReportBytes is the default cap on one source download.
+const DefaultMaxReportBytes = 64 << 20
+
+// DefaultBreakerThreshold is how many consecutive failed polls open a
+// source's circuit breaker by default: at the default 15 s cadence, a
+// source dead for ~2.5 minutes starts being polled less often.
+const DefaultBreakerThreshold = 10
+
 // Mode selects the monitoring-tree design under test.
 type Mode int
 
@@ -121,6 +129,43 @@ type Config struct {
 	// completes its report is failed after this long. Defaults to 30 s
 	// (wall-clock, independent of the logical Clock).
 	ReadTimeout time.Duration
+
+	// MaxReportBytes bounds one source download's size. A garbled or
+	// malicious source that streams bytes forever is failed (with
+	// ErrReportTooLarge) once the cap is reached, so a single source
+	// cannot grow this daemon's memory without bound. Defaults to
+	// 64 MiB; negative disables the cap.
+	MaxReportBytes int64
+
+	// AddrBackoffBase is the retry delay applied to an address after
+	// its first failure; each further consecutive failure doubles it
+	// (with deterministic jitter) up to AddrBackoffMax. While an
+	// address is backing off, the poller prefers its healthy siblings;
+	// if every address of a source is backing off, the one due soonest
+	// is still probed each round — backoff reorders work, it never
+	// abandons a source. Defaults to 15 s; negative disables backoff.
+	AddrBackoffBase time.Duration
+	// AddrBackoffMax caps per-address backoff. Defaults to 2 min.
+	AddrBackoffMax time.Duration
+
+	// BreakerThreshold is how many consecutive failed polls open a
+	// source's circuit breaker: past it, the source's poll cadence is
+	// stretched exponentially (capped by BreakerMaxStretch — a dead
+	// source is polled less often, never abandoned, per the paper's
+	// retry-every-round fault model, §2.1). Defaults to 10; negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerMaxStretch caps the breaker's stretched cadence. Defaults
+	// to 4× PollInterval.
+	BreakerMaxStretch time.Duration
+
+	// HealthSeed seeds the deterministic backoff jitter; any fixed
+	// value yields reproducible schedules under a virtual clock.
+	HealthSeed int64
+
+	// DisableHealthXML omits the per-source SOURCE_HEALTH elements
+	// from depth-0 query responses.
+	DisableHealthXML bool
 
 	// Archive enables round-robin metric histories.
 	Archive bool
@@ -221,6 +266,21 @@ func New(cfg Config) (*Gmetad, error) {
 	}
 	if cfg.ReadTimeout <= 0 {
 		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.MaxReportBytes == 0 {
+		cfg.MaxReportBytes = DefaultMaxReportBytes
+	}
+	if cfg.AddrBackoffBase == 0 {
+		cfg.AddrBackoffBase = 15 * time.Second
+	}
+	if cfg.AddrBackoffMax <= 0 {
+		cfg.AddrBackoffMax = 2 * time.Minute
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerMaxStretch <= 0 {
+		cfg.BreakerMaxStretch = 4 * cfg.PollInterval
 	}
 	if len(cfg.ArchiveSpec.Archives) == 0 {
 		cfg.ArchiveSpec = rrd.DefaultSpec()
@@ -352,6 +412,15 @@ func (g *Gmetad) snapshotOrder() []*sourceSlot {
 	return out
 }
 
+// AddrStatus describes one address's health within a source.
+type AddrStatus struct {
+	Addr string
+	// Fails is the consecutive failure count charged to this address.
+	Fails int
+	// RetryAt is when backoff next allows a dial (zero = eligible now).
+	RetryAt time.Time
+}
+
 // SourceStatus describes one source's health.
 type SourceStatus struct {
 	Name       string
@@ -360,6 +429,15 @@ type SourceStatus struct {
 	LastPolled time.Time
 	ActiveAddr string
 	LastError  string
+
+	// ConsecFails counts consecutive failed polls (the circuit
+	// breaker's input); zero after any successful poll.
+	ConsecFails int
+	// NextPollAt is when the breaker next allows a poll; zero when the
+	// breaker is closed and the source polls on the normal cadence.
+	NextPollAt time.Time
+	// Addrs reports per-address dial health in failover-list order.
+	Addrs []AddrStatus
 }
 
 // Status reports per-source health, for operators and tests.
@@ -368,10 +446,19 @@ func (g *Gmetad) Status() []SourceStatus {
 	for _, s := range g.snapshotOrder() {
 		s.mu.RLock()
 		st := SourceStatus{
-			Name:       s.cfg.Name,
-			Failed:     s.failed,
-			DownSince:  s.downSince,
-			ActiveAddr: s.activeAddr,
+			Name:        s.cfg.Name,
+			Failed:      s.failed,
+			DownSince:   s.downSince,
+			ActiveAddr:  s.activeAddr,
+			ConsecFails: s.consecFails,
+			NextPollAt:  s.nextPollAt,
+		}
+		for _, a := range s.cfg.Addrs {
+			as := AddrStatus{Addr: a}
+			if h := s.health[a]; h != nil {
+				as.Fails, as.RetryAt = h.fails, h.retryAt
+			}
+			st.Addrs = append(st.Addrs, as)
 		}
 		if s.data != nil {
 			st.LastPolled = s.data.polled
@@ -387,9 +474,11 @@ func (g *Gmetad) Status() []SourceStatus {
 
 // PollOnce polls every source once, sequentially and deterministically;
 // the experiment harness drives rounds through it with a virtual clock.
+// Sources whose circuit breaker is open are skipped until their
+// stretched cadence comes due.
 func (g *Gmetad) PollOnce(now time.Time) {
 	for _, slot := range g.snapshotOrder() {
-		g.pollSource(slot, now)
+		g.safePoll(slot, now)
 	}
 }
 
@@ -403,7 +492,7 @@ func (g *Gmetad) Run(done <-chan struct{}) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				g.pollSource(slot, now)
+				g.safePoll(slot, now)
 			}()
 		}
 		wg.Wait()

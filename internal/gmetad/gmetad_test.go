@@ -48,7 +48,9 @@ func (r *rig) cluster(name, addr string, hosts int, seed int64) *pseudo.Gmond {
 // interactive query port.
 func (r *rig) gmetad(cfg Config, queryAddr string) *Gmetad {
 	r.t.Helper()
-	cfg.Network = r.net
+	if cfg.Network == nil {
+		cfg.Network = r.net
+	}
 	cfg.Clock = r.clk
 	g, err := New(cfg)
 	if err != nil {

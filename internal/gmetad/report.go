@@ -36,6 +36,7 @@ func (g *Gmetad) Report(q *query.Query) (*gxml.Report, error) {
 
 	switch q.Depth() {
 	case 0:
+		g.fillHealth(self)
 		if q.Filter == query.FilterSummary {
 			self.Summary = g.treeSummary()
 			return rep, nil
@@ -48,6 +49,38 @@ func (g *Gmetad) Report(q *query.Query) (*gxml.Report, error) {
 		return rep, g.fillHost(self, q, now)
 	}
 	return nil, fmt.Errorf("gmetad: unsupported query depth %d", q.Depth())
+}
+
+// fillHealth attaches per-source degradation records to the root grid.
+// Depth-0 responses — the whole-tree dumps parents and dashboards poll —
+// carry one SOURCE_HEALTH element per source, so "this branch is dark
+// and has been since 14:02, via this replica, for this reason" travels
+// with the data instead of hiding in the daemon's logs. Health
+// transitions bump the poll epoch, so the response cache never serves a
+// stale status.
+func (g *Gmetad) fillHealth(self *gxml.Grid) {
+	if g.cfg.DisableHealthXML {
+		return
+	}
+	for _, slot := range g.snapshotOrder() {
+		slot.mu.RLock()
+		sh := &gxml.SourceHealth{
+			Name:       slot.cfg.Name,
+			Status:     "up",
+			ActiveAddr: slot.activeAddr,
+		}
+		if slot.failed {
+			sh.Status = "down"
+			if !slot.downSince.IsZero() {
+				sh.DownSince = slot.downSince.Unix()
+			}
+			if slot.lastErr != nil {
+				sh.LastError = slot.lastErr.Error()
+			}
+		}
+		slot.mu.RUnlock()
+		self.Health = append(self.Health, sh)
+	}
 }
 
 // treeSummary merges every source's reduction: the O(m) answer this

@@ -1,6 +1,7 @@
 package gmetad
 
 import (
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -9,6 +10,16 @@ import (
 	"ganglia/internal/metric"
 	"ganglia/internal/summary"
 )
+
+// addrHealth is the per-address dial record behind backoff failover:
+// consecutive failures and the earliest instant the address is worth
+// dialing again. Backoff only reorders the failover walk — when every
+// address of a source is backed off, the one due soonest is still
+// probed, so a source is never abandoned.
+type addrHealth struct {
+	fails   int
+	retryAt time.Time
+}
 
 // sourceSlot is the level-1 entry of the hash DOM: one per data source.
 // Each slot carries its own RWMutex — the paper's "fine-grained locks on
@@ -29,6 +40,35 @@ type sourceSlot struct {
 	// can tell two polls of the same source apart even when the data
 	// happens to be identical.
 	version uint64
+
+	// health tracks per-address dial backoff (lazily populated).
+	health map[string]*addrHealth
+	// consecFails counts consecutive failed polls; the circuit
+	// breaker's input. Reset to zero by any successful poll.
+	consecFails int
+	// nextPollAt defers polling while the breaker is open. Zero means
+	// poll on the normal cadence.
+	nextPollAt time.Time
+	// breakerOpen remembers whether the trip was already logged and
+	// counted.
+	breakerOpen bool
+	// rng drives backoff jitter; seeded per slot so chaos runs are
+	// reproducible. Guarded by mu like the rest of the slot.
+	rng *rand.Rand
+}
+
+// healthOf returns the slot's health record for addr, creating it on
+// first use. Caller holds slot.mu.
+func (s *sourceSlot) healthOf(addr string) *addrHealth {
+	if s.health == nil {
+		s.health = make(map[string]*addrHealth)
+	}
+	h := s.health[addr]
+	if h == nil {
+		h = &addrHealth{}
+		s.health[addr] = h
+	}
+	return h
 }
 
 // snapshot returns the current data (possibly nil) and failure state.

@@ -11,7 +11,7 @@ const DTD = `<!DOCTYPE GANGLIA_XML [
 <!ELEMENT GANGLIA_XML (GRID|CLUSTER|HISTORY)*>
   <!ATTLIST GANGLIA_XML VERSION CDATA #REQUIRED>
   <!ATTLIST GANGLIA_XML SOURCE CDATA #REQUIRED>
-<!ELEMENT GRID (CLUSTER | GRID | HOSTS | METRICS)*>
+<!ELEMENT GRID (CLUSTER | GRID | HOSTS | METRICS | SOURCE_HEALTH)*>
   <!ATTLIST GRID NAME CDATA #REQUIRED>
   <!ATTLIST GRID AUTHORITY CDATA #REQUIRED>
   <!ATTLIST GRID LOCALTIME CDATA #IMPLIED>
@@ -47,6 +47,12 @@ const DTD = `<!DOCTYPE GANGLIA_XML [
   <!ATTLIST METRICS NUM CDATA #REQUIRED>
   <!ATTLIST METRICS TYPE CDATA #IMPLIED>
   <!ATTLIST METRICS UNITS CDATA #IMPLIED>
+<!ELEMENT SOURCE_HEALTH EMPTY>
+  <!ATTLIST SOURCE_HEALTH NAME CDATA #REQUIRED>
+  <!ATTLIST SOURCE_HEALTH STATUS (up | down) #REQUIRED>
+  <!ATTLIST SOURCE_HEALTH ACTIVE CDATA #IMPLIED>
+  <!ATTLIST SOURCE_HEALTH DOWN_SINCE CDATA #IMPLIED>
+  <!ATTLIST SOURCE_HEALTH LAST_ERROR CDATA #IMPLIED>
 <!ELEMENT HISTORY (POINT)*>
   <!ATTLIST HISTORY CLUSTER CDATA #REQUIRED>
   <!ATTLIST HISTORY HOST CDATA #REQUIRED>

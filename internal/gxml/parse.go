@@ -38,6 +38,10 @@ type Handler struct {
 	SummaryHosts  func(up, down uint32)
 	SummaryMetric func(sm summary.Metric)
 
+	// SourceHealth delivers the enclosing grid's per-source
+	// degradation records (SOURCE_HEALTH tags).
+	SourceHealth func(sh SourceHealth)
+
 	// StartHistory receives a HISTORY element's attributes; its points
 	// follow as HistoryPoint events before EndHistory.
 	StartHistory func(h History)
@@ -515,6 +519,19 @@ func (p *parser) openElement(name string, selfClosing bool) error {
 				Units: p.findAttr("UNITS"),
 			})
 		}
+	case "SOURCE_HEALTH":
+		if parent != "GRID" {
+			return p.errf("SOURCE_HEALTH inside <%s>", parent)
+		}
+		if p.h.SourceHealth != nil {
+			p.h.SourceHealth(SourceHealth{
+				Name:       p.findAttr("NAME"),
+				Status:     p.findAttr("STATUS"),
+				ActiveAddr: p.findAttr("ACTIVE"),
+				DownSince:  p.intAttr("DOWN_SINCE"),
+				LastError:  p.findAttr("LAST_ERROR"),
+			})
+		}
 	case "HISTORY":
 		if parent != "GANGLIA_XML" {
 			return p.errf("HISTORY inside <%s>", parent)
@@ -678,6 +695,13 @@ func Parse(r io.Reader) (*Report, error) {
 			s, owner := ensureSummary(curClu, gridStk, curSumm, summFor)
 			s.AddReduced(sm)
 			curSumm, summFor = s, owner
+		},
+		SourceHealth: func(sh SourceHealth) {
+			if len(gridStk) > 0 {
+				g := gridStk[len(gridStk)-1]
+				shh := sh
+				g.Health = append(g.Health, &shh)
+			}
 		},
 		StartHistory: func(h History) {
 			hh := h

@@ -77,6 +77,21 @@ func (c *Cluster) Summarize() *summary.Summary {
 	return s
 }
 
+// SourceHealth is a SOURCE_HEALTH element: the serving gmetad's view of
+// one of its data sources' degradation state. Healthy trees carry one
+// per source with STATUS "up"; a down source reports when it went down,
+// the last error seen, and which replica address was last good — so a
+// parent (or viewer) can distinguish "host crashed" from "every poll of
+// that branch has failed since 14:02". Old parsers skip the element:
+// unknown tags are ignored for forward compatibility.
+type SourceHealth struct {
+	Name       string
+	Status     string // "up" or "down"
+	ActiveAddr string // last address that produced a good report
+	DownSince  int64  // Unix seconds; zero when up
+	LastError  string // most recent poll error; empty when up
+}
+
 // Grid is a GRID element: a named collection of clusters and other
 // grids (paper §2.2). Authority is the URL of the gmetad that owns the
 // grid's full-resolution data; upstream nodes keep the pointer so a
@@ -93,6 +108,10 @@ type Grid struct {
 	Clusters []*Cluster
 	Grids    []*Grid
 	Summary  *summary.Summary
+
+	// Health carries the serving daemon's per-source degradation
+	// records, emitted ahead of the grid's children.
+	Health []*SourceHealth
 }
 
 // Summarize computes the grid's reduction: the merge of its cluster

@@ -67,7 +67,11 @@ func (w *Writer) attrFloat(name string, v float64) {
 	w.str(`"`)
 }
 
-// escaped writes s with the five XML attribute metacharacters escaped.
+// escaped writes s with the five XML attribute metacharacters escaped,
+// plus literal whitespace controls as character references — a raw
+// newline inside an attribute (multi-address dial errors join with
+// newlines) would otherwise be normalized to a space by conformant
+// parsers and break line-oriented consumers.
 func (w *Writer) escaped(s string) {
 	if w.err != nil {
 		return
@@ -86,6 +90,12 @@ func (w *Writer) escaped(s string) {
 			esc = "&quot;"
 		case '\'':
 			esc = "&apos;"
+		case '\n':
+			esc = "&#10;"
+		case '\r':
+			esc = "&#13;"
+		case '\t':
+			esc = "&#9;"
 		default:
 			continue
 		}
@@ -147,6 +157,9 @@ func (w *Writer) Grid(g *Grid) {
 	w.attr("AUTHORITY", g.Authority)
 	w.attrInt("LOCALTIME", g.LocalTime)
 	w.str(">\n")
+	for _, sh := range g.Health {
+		w.SourceHealthElem(sh)
+	}
 	if g.Summary != nil && len(g.Clusters) == 0 && len(g.Grids) == 0 {
 		w.SummaryBody(g.Summary)
 	} else {
@@ -207,6 +220,23 @@ func (w *Writer) Metric(m *metric.Metric) {
 	w.attrInt("DMAX", int64(m.DMAX))
 	w.attr("SLOPE", m.Slope.String())
 	w.attr("SOURCE", m.Source)
+	w.str("/>\n")
+}
+
+// SourceHealthElem emits a SOURCE_HEALTH element. DOWN_SINCE and
+// LAST_ERROR are omitted for healthy sources, so the steady-state
+// report stays compact.
+func (w *Writer) SourceHealthElem(sh *SourceHealth) {
+	w.str("<SOURCE_HEALTH")
+	w.attr("NAME", sh.Name)
+	w.attr("STATUS", sh.Status)
+	w.attr("ACTIVE", sh.ActiveAddr)
+	if sh.DownSince != 0 {
+		w.attrInt("DOWN_SINCE", sh.DownSince)
+	}
+	if sh.LastError != "" {
+		w.attr("LAST_ERROR", sh.LastError)
+	}
 	w.str("/>\n")
 }
 

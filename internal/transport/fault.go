@@ -1,0 +1,402 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"ganglia/internal/clock"
+)
+
+// FaultMode selects how a faulted address misbehaves. The modes model
+// the wide-area partial-failure regimes that dominate real monitoring
+// deployments: outright refusal is the *easy* case; the hard ones are
+// peers that accept and then hang, drip bytes too slowly to ever
+// finish, cut the stream mid-document, or corrupt it in flight.
+type FaultMode int
+
+const (
+	// FaultNone leaves the address healthy (used with a flap schedule
+	// to model a link that is only *sometimes* broken).
+	FaultNone FaultMode = iota
+	// FaultRefuse refuses every dial, like a crashed machine.
+	FaultRefuse
+	// FaultHang accepts the connection but never delivers a byte;
+	// reads block until the peer's deadline expires. No connection is
+	// made to the real listener, so the healthy server is not tied up.
+	FaultHang
+	// FaultSlowDrip delivers the real stream, but at most DripBytes
+	// per read with a DripEvery pause between reads — a link slow
+	// enough that a bounded download can never complete.
+	FaultSlowDrip
+	// FaultTruncate delivers the first TruncateAfter bytes of the real
+	// stream, then closes the connection mid-document.
+	FaultTruncate
+	// FaultGarble delivers the real stream with roughly one in
+	// GarbleEvery bytes bit-flipped, deterministically per seed.
+	FaultGarble
+)
+
+// String names the mode for plans and experiment tables.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultNone:
+		return "none"
+	case FaultRefuse:
+		return "refuse"
+	case FaultHang:
+		return "hang"
+	case FaultSlowDrip:
+		return "slow-drip"
+	case FaultTruncate:
+		return "truncate"
+	case FaultGarble:
+		return "garble"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// FaultPlan describes how one address misbehaves. The zero value is a
+// healthy address.
+type FaultPlan struct {
+	// Mode is the failure applied while the plan is active.
+	Mode FaultMode
+
+	// FlapPeriod, when positive, gates the plan on a timed schedule:
+	// each period starts with FlapUp of healthy service, then the
+	// remainder of the period applies Mode (FaultNone there means the
+	// address simply refuses while "down"). The schedule is read from
+	// the fault network's clock, so virtual-clock tests flap
+	// deterministically.
+	FlapPeriod time.Duration
+	// FlapUp is the healthy prefix of each flap period.
+	FlapUp time.Duration
+
+	// TruncateAfter is the byte budget for FaultTruncate; default 512.
+	TruncateAfter int64
+	// DripBytes is the per-read budget for FaultSlowDrip; default 1.
+	DripBytes int
+	// DripEvery is the pause between slow-drip reads; default 10ms.
+	DripEvery time.Duration
+	// GarbleEvery corrupts roughly one in this many bytes for
+	// FaultGarble; default 16.
+	GarbleEvery int
+}
+
+// active reports whether the plan's fault applies at time now, given
+// the network's flap epoch.
+func (p FaultPlan) active(start, now time.Time) bool {
+	if p.FlapPeriod <= 0 {
+		return true
+	}
+	phase := now.Sub(start) % p.FlapPeriod
+	if phase < 0 {
+		phase += p.FlapPeriod
+	}
+	return phase >= p.FlapUp
+}
+
+// FaultNetwork wraps any Network with per-address fault plans. It is
+// deterministic: the same seed, plans and clock produce the same byte
+// corruption and the same flap schedule, so chaos tests are
+// reproducible. Listen passes through untouched — faults are injected
+// on the dialing (polling) side, where the paper's failure handling
+// lives.
+type FaultNetwork struct {
+	inner Network
+	clk   clock.Clock
+	seed  int64
+
+	mu    sync.Mutex
+	start time.Time
+	plans map[string]FaultPlan
+	dials map[string]int
+}
+
+// NewFaultNetwork wraps inner. clk positions flap schedules; nil means
+// the real clock. seed makes garbling deterministic.
+func NewFaultNetwork(inner Network, seed int64, clk clock.Clock) *FaultNetwork {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &FaultNetwork{
+		inner: inner,
+		clk:   clk,
+		seed:  seed,
+		start: clk.Now(),
+		plans: make(map[string]FaultPlan),
+		dials: make(map[string]int),
+	}
+}
+
+// SetPlan installs (or replaces) the fault plan for addr.
+func (n *FaultNetwork) SetPlan(addr string, p FaultPlan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.plans[addr] = p
+}
+
+// ClearPlan heals addr.
+func (n *FaultNetwork) ClearPlan(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.plans, addr)
+}
+
+// DialCount returns how many dials addr has received (refused or not),
+// for tests asserting that backoff actually suppresses dial storms.
+func (n *FaultNetwork) DialCount(addr string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dials[addr]
+}
+
+// Listen implements Network by delegating to the wrapped fabric.
+func (n *FaultNetwork) Listen(addr string) (net.Listener, error) {
+	return n.inner.Listen(addr)
+}
+
+// Dial implements Network, applying addr's fault plan.
+func (n *FaultNetwork) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	n.dials[addr]++
+	dialSeq := n.dials[addr]
+	plan, planned := n.plans[addr]
+	start := n.start
+	n.mu.Unlock()
+
+	if !planned || !plan.active(start, n.clk.Now()) {
+		return n.inner.Dial(addr)
+	}
+
+	switch plan.Mode {
+	case FaultNone, FaultRefuse:
+		// A flapping FaultNone address refuses while down; an explicit
+		// FaultRefuse refuses always (or on its own schedule).
+		return nil, &net.OpError{
+			Op: "dial", Net: "fault", Addr: memAddr(addr),
+			Err: fmt.Errorf("connection refused (fault: %s)", plan.Mode),
+		}
+	case FaultHang:
+		// Accept without touching the real listener: the remote looks
+		// up, but no byte ever arrives.
+		return newHangConn(addr), nil
+	}
+
+	conn, err := n.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	fc := &faultConn{
+		Conn: conn,
+		plan: plan,
+		// Seed per (address, dial ordinal): every connection garbles
+		// the same way on every run, but two connections differ.
+		rng: rand.New(rand.NewSource(n.seed ^ hashAddr(addr) ^ int64(dialSeq)<<17)),
+	}
+	if fc.plan.TruncateAfter <= 0 {
+		fc.plan.TruncateAfter = 512
+	}
+	if fc.plan.DripBytes <= 0 {
+		fc.plan.DripBytes = 1
+	}
+	if fc.plan.DripEvery <= 0 {
+		fc.plan.DripEvery = 10 * time.Millisecond
+	}
+	if fc.plan.GarbleEvery <= 0 {
+		fc.plan.GarbleEvery = 16
+	}
+	return fc, nil
+}
+
+// hashAddr folds an address into a seed perturbation (FNV-1a).
+func hashAddr(addr string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}
+
+// faultConn degrades the byte stream of an established connection.
+type faultConn struct {
+	net.Conn
+	plan FaultPlan
+	rng  *rand.Rand
+
+	mu           sync.Mutex
+	delivered    int64
+	readDeadline time.Time
+	truncated    bool
+}
+
+// SetDeadline records the read half locally (slow-drip pauses must
+// respect it) and forwards both halves to the underlying connection.
+func (c *faultConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// SetReadDeadline records and forwards the read deadline.
+func (c *faultConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// Read implements the plan's degradation on the inbound stream.
+func (c *faultConn) Read(p []byte) (int, error) {
+	switch c.plan.Mode {
+	case FaultSlowDrip:
+		if len(p) > c.plan.DripBytes {
+			p = p[:c.plan.DripBytes]
+		}
+		c.mu.Lock()
+		deadline := c.readDeadline
+		c.mu.Unlock()
+		pause := c.plan.DripEvery
+		if !deadline.IsZero() {
+			if until := time.Until(deadline); until <= 0 {
+				return 0, &net.OpError{Op: "read", Net: "fault", Err: os.ErrDeadlineExceeded}
+			} else if until < pause {
+				pause = until
+			}
+		}
+		time.Sleep(pause)
+		return c.Conn.Read(p)
+	case FaultTruncate:
+		c.mu.Lock()
+		remaining := c.plan.TruncateAfter - c.delivered
+		cut := !c.truncated && remaining <= 0
+		if cut {
+			c.truncated = true
+		}
+		c.mu.Unlock()
+		if remaining <= 0 {
+			if cut {
+				c.Conn.Close()
+			}
+			return 0, io.EOF
+		}
+		if int64(len(p)) > remaining {
+			p = p[:remaining]
+		}
+		n, err := c.Conn.Read(p)
+		c.mu.Lock()
+		c.delivered += int64(n)
+		c.mu.Unlock()
+		return n, err
+	case FaultGarble:
+		n, err := c.Conn.Read(p)
+		c.mu.Lock()
+		for i := 0; i < n; i++ {
+			if c.rng.Intn(c.plan.GarbleEvery) == 0 {
+				p[i] ^= byte(1 << uint(c.rng.Intn(8)))
+			}
+		}
+		c.mu.Unlock()
+		return n, err
+	}
+	return c.Conn.Read(p)
+}
+
+// hangConn is a connection to nowhere: writes are swallowed, reads
+// block until the deadline expires or the connection closes. It is not
+// backed by a real peer, so a hanging fault never occupies the healthy
+// listener it shadows.
+type hangConn struct {
+	addr string
+
+	mu       sync.Mutex
+	deadline time.Time
+	wake     chan struct{} // replaced whenever the deadline moves
+	closed   chan struct{}
+	once     sync.Once
+}
+
+func newHangConn(addr string) *hangConn {
+	return &hangConn{addr: addr, wake: make(chan struct{}), closed: make(chan struct{})}
+}
+
+// Read blocks until deadline or close; it never delivers data.
+func (c *hangConn) Read(p []byte) (int, error) {
+	for {
+		c.mu.Lock()
+		deadline := c.deadline
+		wake := c.wake
+		c.mu.Unlock()
+
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if !deadline.IsZero() {
+			until := time.Until(deadline)
+			if until <= 0 {
+				return 0, &net.OpError{Op: "read", Net: "fault", Addr: memAddr(c.addr), Err: os.ErrDeadlineExceeded}
+			}
+			timer = time.NewTimer(until)
+			timerC = timer.C
+		}
+		select {
+		case <-c.closed:
+			if timer != nil {
+				timer.Stop()
+			}
+			return 0, io.EOF
+		case <-timerC:
+			return 0, &net.OpError{Op: "read", Net: "fault", Addr: memAddr(c.addr), Err: os.ErrDeadlineExceeded}
+		case <-wake:
+			// Deadline moved; re-evaluate.
+			if timer != nil {
+				timer.Stop()
+			}
+		}
+	}
+}
+
+// Write pretends to succeed — the poller's query line disappears into
+// the void, exactly like a peer that ACKs and then stalls.
+func (c *hangConn) Write(p []byte) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, io.ErrClosedPipe
+	default:
+		return len(p), nil
+	}
+}
+
+// Close implements net.Conn.
+func (c *hangConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *hangConn) LocalAddr() net.Addr { return memAddr("fault-client") }
+
+// RemoteAddr implements net.Conn.
+func (c *hangConn) RemoteAddr() net.Addr { return memAddr(c.addr) }
+
+// SetDeadline implements net.Conn.
+func (c *hangConn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn; it wakes any blocked Read so
+// the new deadline takes effect.
+func (c *hangConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	close(c.wake)
+	c.wake = make(chan struct{})
+	c.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn (writes never block).
+func (c *hangConn) SetWriteDeadline(time.Time) error { return nil }

@@ -1,0 +1,281 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"ganglia/internal/clock"
+)
+
+// echoPayload serves payload to every connection on addr.
+func echoPayload(t *testing.T, n *InMemNetwork, addr string, payload []byte) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write(payload)
+			}(c)
+		}
+	}()
+}
+
+func TestFaultRefuse(t *testing.T) {
+	inner := NewInMemNetwork()
+	echoPayload(t, inner, "a:1", []byte("hello"))
+	fn := NewFaultNetwork(inner, 1, nil)
+	fn.SetPlan("a:1", FaultPlan{Mode: FaultRefuse})
+
+	if _, err := fn.Dial("a:1"); err == nil {
+		t.Fatal("refused address accepted a dial")
+	}
+	fn.ClearPlan("a:1")
+	c, err := fn.Dial("a:1")
+	if err != nil {
+		t.Fatalf("healed address still refused: %v", err)
+	}
+	data, _ := io.ReadAll(c)
+	c.Close()
+	if string(data) != "hello" {
+		t.Errorf("payload = %q", data)
+	}
+	if fn.DialCount("a:1") != 2 {
+		t.Errorf("dial count = %d", fn.DialCount("a:1"))
+	}
+}
+
+func TestFaultHangRespectsDeadline(t *testing.T) {
+	inner := NewInMemNetwork()
+	fn := NewFaultNetwork(inner, 1, nil)
+	// No listener needed: a hang fault accepts without a peer.
+	fn.SetPlan("a:1", FaultPlan{Mode: FaultHang})
+
+	c, err := fn.Dial("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("/\n")); err != nil {
+		t.Fatalf("hang conn write: %v", err)
+	}
+	c.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err = c.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("hang conn delivered data")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("read blocked %v past a 50ms deadline", elapsed)
+	}
+}
+
+func TestFaultHangUnblocksOnClose(t *testing.T) {
+	inner := NewInMemNetwork()
+	fn := NewFaultNetwork(inner, 1, nil)
+	fn.SetPlan("a:1", FaultPlan{Mode: FaultHang})
+	c, err := fn.Dial("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Errorf("read after close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read did not unblock on close")
+	}
+}
+
+func TestFaultTruncate(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 4096)
+	inner := NewInMemNetwork()
+	echoPayload(t, inner, "a:1", payload)
+	fn := NewFaultNetwork(inner, 1, nil)
+	fn.SetPlan("a:1", FaultPlan{Mode: FaultTruncate, TruncateAfter: 100})
+
+	c, err := fn.Dial("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatalf("truncated stream read: %v", err)
+	}
+	if len(data) != 100 {
+		t.Errorf("delivered %d bytes, want exactly 100", len(data))
+	}
+}
+
+func TestFaultGarbleDeterministic(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 512)
+	read := func(seed int64) []byte {
+		inner := NewInMemNetwork()
+		echoPayload(t, inner, "a:1", payload)
+		fn := NewFaultNetwork(inner, seed, nil)
+		fn.SetPlan("a:1", FaultPlan{Mode: FaultGarble, GarbleEvery: 8})
+		c, err := fn.Dial("a:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		data, err := io.ReadAll(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := read(42), read(42)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	if bytes.Equal(a, payload) {
+		t.Error("garble mode delivered the payload intact")
+	}
+	if len(a) != len(payload) {
+		t.Errorf("garble changed length: %d != %d", len(a), len(payload))
+	}
+}
+
+func TestFaultSlowDrip(t *testing.T) {
+	payload := []byte("0123456789")
+	inner := NewInMemNetwork()
+	echoPayload(t, inner, "a:1", payload)
+	fn := NewFaultNetwork(inner, 1, nil)
+	fn.SetPlan("a:1", FaultPlan{Mode: FaultSlowDrip, DripBytes: 2, DripEvery: 5 * time.Millisecond})
+
+	c, err := fn.Dial("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	data, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Errorf("drip corrupted data: %q", data)
+	}
+	// 10 bytes at 2 bytes per >=5ms read: at least ~25ms total.
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("drip finished in %v; pacing not applied", elapsed)
+	}
+}
+
+func TestFaultSlowDripDeadline(t *testing.T) {
+	payload := bytes.Repeat([]byte("y"), 1<<20)
+	inner := NewInMemNetwork()
+	echoPayload(t, inner, "a:1", payload)
+	fn := NewFaultNetwork(inner, 1, nil)
+	fn.SetPlan("a:1", FaultPlan{Mode: FaultSlowDrip, DripBytes: 1, DripEvery: 10 * time.Millisecond})
+
+	c, err := fn.Dial("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err = io.ReadAll(c)
+	if err == nil {
+		t.Fatal("megabyte drip completed under a 50ms deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("deadline ignored: read ran %v", elapsed)
+	}
+}
+
+func TestFaultFlapSchedule(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1_057_000_000, 0))
+	inner := NewInMemNetwork()
+	echoPayload(t, inner, "a:1", []byte("ok"))
+	fn := NewFaultNetwork(inner, 1, clk)
+	// Healthy for the first 30s of every minute, refusing after.
+	fn.SetPlan("a:1", FaultPlan{Mode: FaultRefuse, FlapPeriod: time.Minute, FlapUp: 30 * time.Second})
+
+	up := func() bool {
+		c, err := fn.Dial("a:1")
+		if err != nil {
+			return false
+		}
+		c.Close()
+		return true
+	}
+	// t=0 and t=15: up. t=30 and t=45: down. t=60: up again.
+	schedule := []struct {
+		advance time.Duration
+		want    bool
+	}{
+		{0, true}, {15 * time.Second, true}, {15 * time.Second, false},
+		{15 * time.Second, false}, {15 * time.Second, true},
+	}
+	for i, s := range schedule {
+		clk.Advance(s.advance)
+		if got := up(); got != s.want {
+			t.Errorf("step %d (t=%v): up=%v, want %v", i, clk.Now().Sub(time.Unix(1_057_000_000, 0)), got, s.want)
+		}
+	}
+}
+
+func TestFaultModeString(t *testing.T) {
+	for _, m := range []FaultMode{FaultNone, FaultRefuse, FaultHang, FaultSlowDrip, FaultTruncate, FaultGarble} {
+		if s := m.String(); s == "" || strings.HasPrefix(s, "mode(") {
+			t.Errorf("mode %d has no name", int(m))
+		}
+	}
+}
+
+func TestFaultPassthroughListen(t *testing.T) {
+	inner := NewInMemNetwork()
+	fn := NewFaultNetwork(inner, 1, nil)
+	l, err := fn.Listen("svc:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c.Write([]byte("pong"))
+		c.Close()
+	}()
+	// Unplanned addresses behave exactly like the wrapped network.
+	c, err := fn.Dial("svc:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(c)
+	c.Close()
+	if string(data) != "pong" {
+		t.Errorf("passthrough payload = %q", data)
+	}
+}

@@ -26,6 +26,11 @@ type DeployConfig struct {
 	Host string
 	// SeedBase perturbs the emulated metric streams.
 	SeedBase int64
+	// Network, if set, is the fabric the gmetads poll their sources
+	// through; listeners always bind loopback TCP so external tools can
+	// still connect. Passing a transport.FaultNetwork wrapping a
+	// TCPNetwork injects faults into every poll (ganglia-sim -chaos).
+	Network transport.Network
 }
 
 // Deployment is a monitoring tree running on real TCP sockets — the
@@ -63,6 +68,9 @@ func Deploy(topo *Topology, cfg DeployConfig) (*Deployment, error) {
 		cfg.PollInterval = gmetad.DefaultPollInterval
 	}
 	tcp := &transport.TCPNetwork{DialTimeout: 5 * time.Second}
+	if cfg.Network == nil {
+		cfg.Network = tcp
+	}
 	d := &Deployment{
 		Topo:         topo,
 		QueryAddrs:   make(map[string]string),
@@ -125,7 +133,7 @@ func Deploy(topo *Topology, cfg DeployConfig) (*Deployment, error) {
 			// The authority IS the query address, so any client can
 			// follow pointers with a trivial resolver.
 			Authority:    "gq://" + d.QueryAddrs[node.Name],
-			Network:      tcp,
+			Network:      cfg.Network,
 			Sources:      sources,
 			Mode:         cfg.Mode,
 			PollInterval: cfg.PollInterval,
