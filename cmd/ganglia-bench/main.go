@@ -52,7 +52,7 @@ func main() {
 			log.Fatalf("csv: %v", err)
 		}
 		if err := emit(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			log.Fatalf("csv %s: %v", path, err)
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,100 @@
+// Command ganglia-lint runs the repo's invariant analyzers over module
+// packages: clock discipline, lock discipline, bounded reads, error
+// discipline on conn/archive teardown, and goroutine panic isolation.
+//
+// Usage:
+//
+//	go run ./cmd/ganglia-lint ./...          # lint the whole module
+//	go run ./cmd/ganglia-lint -json ./...    # machine-readable findings
+//	go run ./cmd/ganglia-lint -explain ./... # findings + rule docs + fixes
+//	go run ./cmd/ganglia-lint -list          # describe the analyzers
+//	go run ./cmd/ganglia-lint -rules clock,locks ./internal/gmetad
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ganglia/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	explain := flag.Bool("explain", false, "follow each finding with the rule's rationale and suggested fix")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%s\n%s\n\nFix: %s\n\n", a.Name, a.Doc, a.Fix)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *rules != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*rules, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "ganglia-lint: unknown rule %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ganglia-lint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(root, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ganglia-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Check(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "ganglia-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		explained := map[string]bool{}
+		for _, f := range findings {
+			fmt.Println(f)
+			if *explain && !explained[f.Rule] {
+				explained[f.Rule] = true
+				a := lint.AnalyzerByName(f.Rule)
+				fmt.Printf("\n%s\n\n\tFix: %s\n\n", indent(a.Doc), strings.ReplaceAll(a.Fix, "\n", "\n\t"))
+			}
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "ganglia-lint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func indent(s string) string {
+	return "\t" + strings.ReplaceAll(s, "\n", "\n\t")
+}

@@ -93,7 +93,7 @@ func main() {
 			log.Fatalf("ganglia-sim: %v", err)
 		}
 		topo, err = tree.LoadTopology(f)
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			log.Fatalf("ganglia-sim: %v", err)
 		}

@@ -61,3 +61,25 @@ func (v *Virtual) Set(t time.Time) {
 	defer v.mu.Unlock()
 	v.now = t
 }
+
+// The wrappers below are the single blessed entry point for raw
+// wall-clock waiting outside main packages. Library code that must
+// pause or tick on real time (fault injection pacing, production run
+// loops) calls these instead of the time package directly, so every
+// wall-time dependency in the tree is greppable from one place and the
+// ganglia-lint clock analyzer can enforce the discipline mechanically.
+// Code that reasons about monitoring time (soft-state ages, polling
+// rounds) must keep taking a Clock — these wrappers are for pacing,
+// never for timestamps.
+
+// Sleep pauses the calling goroutine for d of wall time.
+func Sleep(d time.Duration) { time.Sleep(d) }
+
+// After returns a channel that fires after d of wall time.
+func After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// NewTimer returns a wall-time timer; the caller must Stop it.
+func NewTimer(d time.Duration) *time.Timer { return time.NewTimer(d) }
+
+// NewTicker returns a wall-time ticker; the caller must Stop it.
+func NewTicker(d time.Duration) *time.Ticker { return time.NewTicker(d) }

@@ -311,7 +311,7 @@ func New(cfg Config) (*Gmetad, error) {
 		if cfg.ArchivePath != "" {
 			if f, err := os.Open(cfg.ArchivePath); err == nil {
 				pool, err := rrd.LoadPool(f)
-				f.Close()
+				_ = f.Close()
 				if err != nil {
 					return nil, fmt.Errorf("gmetad: restore archives from %s: %w", cfg.ArchivePath, err)
 				}
@@ -498,7 +498,7 @@ func (g *Gmetad) Run(done <-chan struct{}) {
 		wg.Wait()
 	}
 	poll()
-	t := time.NewTicker(g.cfg.PollInterval)
+	t := clock.NewTicker(g.cfg.PollInterval)
 	defer t.Stop()
 	for {
 		select {
@@ -525,12 +525,12 @@ func (g *Gmetad) SaveArchives() error {
 		return err
 	}
 	if err := g.pool.SaveTo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	return os.Rename(tmp, g.cfg.ArchivePath)

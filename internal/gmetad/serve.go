@@ -3,6 +3,7 @@ package gmetad
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -10,6 +11,11 @@ import (
 	"ganglia/internal/gxml"
 	"ganglia/internal/query"
 )
+
+// maxQueryLineBytes bounds the interactive port's query line. Path
+// queries are short; a client streaming an endless "line" is cut off
+// here instead of growing the read buffer without limit.
+const maxQueryLineBytes = 4096
 
 // listenerSet tracks the daemon's open listeners for Close.
 type listenerSet struct {
@@ -26,7 +32,7 @@ func (ls *listenerSet) add(l net.Listener) bool {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	if ls.closed {
-		l.Close()
+		_ = l.Close()
 		return false
 	}
 	ls.listeners = append(ls.listeners, l)
@@ -41,7 +47,7 @@ func (ls *listenerSet) closeAll() {
 	ls.listeners = nil
 	ls.mu.Unlock()
 	for _, x := range l {
-		x.Close()
+		_ = x.Close()
 	}
 	ls.wg.Wait()
 }
@@ -59,7 +65,10 @@ func (g *Gmetad) acquireConn(c net.Conn) bool {
 		return true
 	default:
 		g.acct.rejectedConns.Add(1)
-		_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+		if err := c.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+			// The conn is already dead; don't bother with the notice.
+			return false
+		}
 		fmt.Fprint(c, "<!-- ERROR busy: connection limit reached -->\n")
 		return false
 	}
@@ -88,6 +97,7 @@ func (g *Gmetad) ServeXML(l net.Listener) {
 		go func(c net.Conn) {
 			defer g.listeners.wg.Done()
 			defer c.Close()
+			defer g.recoverServePanic()
 			if !g.acquireConn(c) {
 				return
 			}
@@ -115,21 +125,29 @@ func (g *Gmetad) ServeQuery(l net.Listener) {
 		go func(c net.Conn) {
 			defer g.listeners.wg.Done()
 			defer c.Close()
+			defer g.recoverServePanic()
 			if !g.acquireConn(c) {
 				return
 			}
 			defer g.releaseConn()
 			// A client that never sends its query line would pin this
 			// goroutine (and a semaphore slot) forever; the read
-			// deadline disconnects it.
-			_ = c.SetReadDeadline(time.Now().Add(g.cfg.QueryReadTimeout))
-			line, err := bufio.NewReaderSize(c, 1024).ReadString('\n')
+			// deadline disconnects it. A conn that cannot take the
+			// deadline is dead already.
+			if err := c.SetReadDeadline(time.Now().Add(g.cfg.QueryReadTimeout)); err != nil {
+				return
+			}
+			// The line cap keeps a client that streams bytes without a
+			// newline from growing the buffer until the deadline fires.
+			line, err := bufio.NewReaderSize(io.LimitReader(c, maxQueryLineBytes), 1024).ReadString('\n')
 			if err != nil && line == "" {
 				return
 			}
 			q, err := query.Parse(line)
 			if err != nil {
-				_ = c.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
+				if err := c.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout)); err != nil {
+					return
+				}
 				fmt.Fprintf(c, "<!-- ERROR %s -->\n", xmlCommentSafe(err.Error()))
 				return
 			}
@@ -144,7 +162,10 @@ func (g *Gmetad) ServeQuery(l net.Listener) {
 func (g *Gmetad) answer(c net.Conn, q *query.Query) {
 	g.acct.queries.Add(1)
 	timed(&g.acct.serve, func() {
-		_ = c.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
+		if err := c.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout)); err != nil {
+			// A dead conn cannot carry the response; skip the render.
+			return
+		}
 		if g.cache == nil || q.Filter == query.FilterHistory {
 			// Uncached path: stream straight to the connection.
 			// History answers read the mutable archive pool, which the
@@ -195,6 +216,16 @@ func (g *Gmetad) respond(q *query.Query) ([]byte, error) {
 	}
 	g.cache.put(gen, key, body)
 	return body, nil
+}
+
+// recoverServePanic is the serve-path panic isolation (the poll path's
+// safePoll pattern): a handler crashed by one connection's input fails
+// that connection, not the daemon.
+func (g *Gmetad) recoverServePanic() {
+	if r := recover(); r != nil {
+		g.acct.servePanics.Add(1)
+		g.logf("serve panic recovered: %v", r)
+	}
 }
 
 // xmlCommentSafe strips "--" so an error message cannot terminate the

@@ -71,8 +71,13 @@ func (g *Gmetad) pollSource(slot *sourceSlot, now time.Time) {
 	}
 	defer conn.Close()
 	// Bound the whole exchange: a source that connects but stalls is a
-	// remote failure, detected by timeout like any link failure.
-	_ = conn.SetDeadline(time.Now().Add(g.cfg.ReadTimeout))
+	// remote failure, detected by timeout like any link failure. A conn
+	// that cannot take the deadline is as dead as one that refused.
+	if err := conn.SetDeadline(time.Now().Add(g.cfg.ReadTimeout)); err != nil {
+		g.noteAddrFailure(slot, addr, now)
+		g.sourceFailed(slot, now, fmt.Errorf("set deadline %s: %w", addr, err))
+		return
+	}
 
 	// A child gmetad expects a query line; in N-level mode we ask for
 	// the O(m) summary form of its subtree, in 1-level mode for the

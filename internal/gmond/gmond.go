@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ganglia/internal/clock"
@@ -110,13 +111,26 @@ type Gmond struct {
 	unsubscribe func()
 
 	// serving
-	listeners  []net.Listener
-	closedFlag bool
-	serveWG    sync.WaitGroup
-	closeOnce  sync.Once
-	closed     chan struct{}
-	packetsIn  uint64
-	packetsBad uint64
+	listeners   []net.Listener
+	closedFlag  bool
+	serveWG     sync.WaitGroup
+	closeOnce   sync.Once
+	closed      chan struct{}
+	packetsIn   uint64
+	packetsBad  uint64
+	servePanics atomic.Int64
+}
+
+// ServePanics reports how many serve-connection handlers were recovered
+// from a panic since the agent started.
+func (g *Gmond) ServePanics() int64 { return g.servePanics.Load() }
+
+// recoverServePanic isolates one connection handler: a panic while
+// rendering a report must cost that connection, not the agent.
+func (g *Gmond) recoverServePanic() {
+	if r := recover(); r != nil {
+		g.servePanics.Add(1)
+	}
 }
 
 // New creates a gmond agent and, unless cfg.Deaf, subscribes it to the
@@ -428,7 +442,7 @@ func (g *Gmond) Serve(l net.Listener) {
 	g.mu.Lock()
 	if g.closedFlag {
 		g.mu.Unlock()
-		l.Close()
+		_ = l.Close()
 		return
 	}
 	g.listeners = append(g.listeners, l)
@@ -444,6 +458,7 @@ func (g *Gmond) Serve(l net.Listener) {
 		go func(c net.Conn) {
 			defer g.serveWG.Done()
 			defer c.Close()
+			defer g.recoverServePanic()
 			_ = g.WriteXML(c)
 		}(conn)
 	}
@@ -462,7 +477,7 @@ func (g *Gmond) Close() {
 		g.listeners = nil
 		g.mu.Unlock()
 		for _, l := range ls {
-			l.Close()
+			_ = l.Close()
 		}
 	})
 	g.serveWG.Wait()
@@ -472,7 +487,7 @@ func (g *Gmond) Close() {
 // second. Production binaries use Run; tests and experiments call Step
 // with a virtual clock.
 func (g *Gmond) Run(done <-chan struct{}) {
-	t := time.NewTicker(time.Second)
+	t := clock.NewTicker(time.Second)
 	defer t.Stop()
 	for {
 		select {

@@ -53,9 +53,9 @@ func FuzzParseStreamChaos(f *testing.F) {
 	var seed bytes.Buffer
 	_ = WriteReport(&seed, sampleReport())
 	f.Add(seed.String(), uint16(0), uint8(0))
-	f.Add(seed.String(), uint16(100), uint8(0))  // truncate mid-document
-	f.Add(seed.String(), uint16(0), uint8(15))   // garble ~1/16 bytes
-	f.Add(seed.String(), uint16(300), uint8(7))  // both
+	f.Add(seed.String(), uint16(100), uint8(0)) // truncate mid-document
+	f.Add(seed.String(), uint16(0), uint8(15))  // garble ~1/16 bytes
+	f.Add(seed.String(), uint16(300), uint8(7)) // both
 	f.Add(`<GANGLIA_XML VERSION="1" SOURCE="s"><GRID NAME="g" AUTHORITY="a" LOCALTIME="0"><SOURCE_HEALTH NAME="x" STATUS="down" ACTIVE="a:1" DOWN_SINCE="5" LAST_ERROR="e"/></GRID></GANGLIA_XML>`, uint16(120), uint8(11))
 
 	subscribed := &Handler{

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// bannedTimeFuncs are the time-package entry points that read or wait
+// on the wall clock. time.Since and time.Until are included: both call
+// time.Now internally.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// deadlineSetters take wall-clock instants by contract: the net package
+// interprets deadlines against the real clock, so building them from a
+// virtual clock would be wrong. time.Now is therefore allowed inside
+// their argument lists.
+var deadlineSetters = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// ClockAnalyzer enforces the clock discipline: library code reads time
+// through an injected clock.Clock and waits through the internal/clock
+// wrappers, never through the time package directly.
+var ClockAnalyzer = &Analyzer{
+	Name: "clock",
+	Doc: `clock: no raw time.Now/Sleep/After/Since/Until/Tick/NewTimer/NewTicker
+outside internal/clock, cmd/ and examples/.
+
+Every component that reasons about soft-state lifetimes takes a
+clock.Clock, which is what lets an hour-long paper experiment replay
+deterministically in milliseconds and keeps the chaos suite's failure
+schedules reproducible. A single raw time.Now in library code silently
+decouples that code from the virtual clock and breaks replayability in
+ways only a flaky test ever reveals. Wall-clock waiting (pacing real
+sockets, production run loops) must go through the internal/clock
+wrappers so every raw-time dependency is greppable from one place.
+Exception: arguments to SetDeadline/SetReadDeadline/SetWriteDeadline
+may use time.Now — the net package defines deadlines against the real
+clock, so virtual instants would be wrong there.`,
+	Fix: `Take a clock.Clock (cfg.Clock.Now()) for timestamps; use
+clock.Sleep/clock.After/clock.NewTimer/clock.NewTicker for wall-clock
+pacing; or annotate a deliberate wall-clock read with
+//lint:allow clock <reason>.`,
+	Run: runClock,
+}
+
+func runClock(pass *Pass) {
+	path := pass.Pkg.Path
+	if path == "ganglia/internal/clock" ||
+		strings.HasPrefix(path, "ganglia/cmd/") ||
+		strings.HasPrefix(path, "ganglia/examples/") {
+		// The clock package is where raw time lives; main packages own
+		// the decision to run on real time.
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgFuncCall(pass.Pkg.Info, call, "time",
+				"Now", "Sleep", "After", "AfterFunc", "Tick", "NewTimer", "NewTicker", "Since", "Until")
+			if !ok {
+				return true
+			}
+			if name == "Now" && insideDeadlineArg(pass, stack) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"raw time.%s in library code: take a clock.Clock or use the internal/clock wrappers", name)
+			return true
+		})
+	}
+}
+
+// insideDeadlineArg reports whether the current node sits inside an
+// argument of a Set*Deadline call.
+func insideDeadlineArg(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if _, name, ok := selectorCall(pass.Pkg.Info, call); ok && deadlineSetters[name] {
+			return true
+		}
+	}
+	return false
+}

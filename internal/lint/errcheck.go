@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheckAnalyzer enforces the error discipline on connection and
+// archive teardown calls.
+var ErrCheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc: `errcheck: Close/SetDeadline/SetReadDeadline/SetWriteDeadline/
+Flush/Sync errors on conns, listeners, files and writers must be
+handled.
+
+The paper's failure model detects dead peers "with TCP timeouts"; in
+this port that detection is carried entirely by deadline setters and
+close-path errors. A silently failed SetReadDeadline leaves a goroutine
+reading an undeadlined conn forever — precisely the slow-client pileup
+the serve-path semaphore exists to prevent. Two checks: (1) a bare
+statement call of these methods that returns an error is a violation
+(the error vanishes implicitly); (2) for the deadline setters even an
+explicit "_ =" discard is a violation — a conn that cannot take a
+deadline is dead and must be abandoned, not read. "_ =" remains
+acceptable for best-effort Close/Flush on teardown paths, and "defer
+x.Close()" is conventional and exempt.`,
+	Fix: `Check the error: return/propagate on the poll and serve paths,
+log where teardown is best-effort, or write "_ = x.Close()" to record
+that discarding is intentional (deadline setters must be checked, not
+discarded). Annotate deliberate exceptions with
+//lint:allow errcheck <reason>.`,
+	Run: runErrCheck,
+}
+
+// checkedMethods are the teardown/deadline methods whose error results
+// this rule tracks.
+var checkedMethods = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true,
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if name, ok := checkedErrCall(pass, call); ok {
+						pass.Reportf(call.Pos(),
+							"%s error discarded implicitly; check it, log it, or write \"_ =\" to discard deliberately", name)
+					}
+				}
+			case *ast.AssignStmt:
+				checkBlankDeadline(pass, s)
+			}
+			return true
+		})
+	}
+}
+
+// checkedErrCall reports whether call is a tracked method returning an
+// error.
+func checkedErrCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	_, name, ok := selectorCall(pass.Pkg.Info, call)
+	if !ok || !checkedMethods[name] {
+		return "", false
+	}
+	tv, ok := pass.Pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	if !returnsError(tv.Type) {
+		return "", false
+	}
+	return "." + name, true
+}
+
+// returnsError reports whether a call's result type includes an error.
+func returnsError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// checkBlankDeadline flags "_ = c.SetXxxDeadline(...)": a conn that
+// cannot take a deadline must not be read or written afterwards.
+func checkBlankDeadline(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	if id, ok := as.Lhs[0].(*ast.Ident); !ok || id.Name != "_" {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	_, name, ok := selectorCall(pass.Pkg.Info, call)
+	if !ok || !strings.HasPrefix(name, "Set") || !strings.HasSuffix(name, "Deadline") {
+		return
+	}
+	if tv, ok := pass.Pkg.Info.Types[call]; !ok || !returnsError(tv.Type) {
+		return
+	}
+	pass.Reportf(as.Pos(),
+		".%s error discarded with \"_ =\": a conn that cannot take a deadline is dead and must be abandoned, not used", name)
+}

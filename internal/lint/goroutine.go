@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineAnalyzer enforces the panic-isolation pattern on daemon
+// goroutines.
+var GoroutineAnalyzer = &Analyzer{
+	Name: "goroutines",
+	Doc: `goroutines: goroutines launched on the gmetad/gmond poll and
+serve paths must be panic-isolated.
+
+A panic in a goroutine kills the whole process. The poll path learned
+this the hard way — a poisoned report that crashes the parser must fail
+one source's round, not the daemon (the safePoll pattern) — and the
+serve path accepts arbitrary network input under the same threat. Every
+"go" statement in internal/gmetad and internal/gmond must either defer
+a recover() itself, or exclusively run functions that begin with a
+deferred recover (like safePoll).`,
+	Fix: `Give the goroutine body "defer func() { if r := recover(); r !=
+nil { ... count and log ... } }()" as its first statement (the PR 2
+safePoll pattern), or route the work through an existing panic-isolated
+function. Annotate deliberate exceptions with
+//lint:allow goroutines <reason>.`,
+	Run: runGoroutines,
+}
+
+// goroutineScope is where the discipline applies inside this module.
+var goroutineScope = []string{
+	"ganglia/internal/gmetad",
+	"ganglia/internal/gmond",
+}
+
+func runGoroutines(pass *Pass) {
+	if !inScope(pass.Pkg.Path, goroutineScope) {
+		return
+	}
+	// Two tiers of helpers: functions whose body calls recover()
+	// directly (usable as "defer g.recoverServePanic()"), and functions
+	// that are themselves panic-isolated by a top-level deferred
+	// recover (usable as the goroutine's whole workload, like
+	// safePoll).
+	recoverers := recoverCallers(pass)
+	recovering := recoveringFuncs(pass, recoverers)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goIsIsolated(pass, g.Call, recoverers, recovering) {
+				pass.Reportf(g.Pos(),
+					"goroutine without panic isolation: a panic here kills the daemon; defer a recover() first (safePoll pattern)")
+			}
+			return true
+		})
+	}
+}
+
+// recoverCallers indexes this package's functions whose body calls
+// recover() directly.
+func recoverCallers(pass *Pass) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if callsRecover(fd.Body) {
+				if f, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out[f] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// recoveringFuncs indexes this package's functions that begin their
+// body with panic isolation (a top-level deferred recover).
+func recoveringFuncs(pass *Pass, recoverers map[*types.Func]bool) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasRecoverDefer(pass, fd.Body, recoverers) {
+				if f, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out[f] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// goIsIsolated reports whether the spawned call is panic-safe: a
+// literal with its own deferred recover, a literal whose active work is
+// exclusively calls to recovering functions, or a direct call to a
+// recovering function.
+func goIsIsolated(pass *Pass, call *ast.CallExpr, recoverers, recovering map[*types.Func]bool) bool {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		if hasRecoverDefer(pass, lit.Body, recoverers) {
+			return true
+		}
+		// Pattern from Run: go func() { defer wg.Done(); g.safePoll(...) }()
+		// — every non-defer statement must itself be a recovering call.
+		active := 0
+		for _, s := range lit.Body.List {
+			if _, isDefer := s.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				return false
+			}
+			inner, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			f := calleeFunc(pass.Pkg.Info, inner)
+			if f == nil || !recovering[f] {
+				return false
+			}
+			active++
+		}
+		return active > 0
+	}
+	if f := calleeFunc(pass.Pkg.Info, call); f != nil && recovering[f] {
+		return true
+	}
+	return false
+}
+
+// hasRecoverDefer reports whether a body's top-level statements include
+// a deferred recover: an inline closure calling recover(), or a defer
+// of a function whose body calls recover().
+func hasRecoverDefer(pass *Pass, body *ast.BlockStmt, recoverers map[*types.Func]bool) bool {
+	for _, s := range body.List {
+		d, ok := s.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			if callsRecover(lit.Body) {
+				return true
+			}
+			continue
+		}
+		if f := calleeFunc(pass.Pkg.Info, d.Call); f != nil && recoverers[f] {
+			return true
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether a body contains a call to the recover
+// builtin.
+func callsRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,208 @@
+// Package lint implements ganglia-lint, a static-analysis suite that
+// enforces the repo's concurrency, clock, and codec invariants.
+//
+// The paper's core engineering claims — a query engine decoupled from
+// summarization by fine-grained locking (§2.3) and an O(m)-bounded wire
+// path — survive in this codebase only as conventions. Nothing in the
+// type system stops a future change from blocking on the network while
+// holding a DOM lock, reading wall time past the deterministic
+// internal/clock, or adding an unbounded read to a codec. This package
+// makes those conventions compile-time-detectable: one analyzer per
+// invariant, built purely on the standard library's go/ast, go/parser
+// and go/types (the repo's zero-dependency constraint extends to its
+// tooling).
+//
+// Deliberate exceptions are annotated in the source with
+//
+//	//lint:allow <rule> <reason>
+//
+// on the offending line or the line above it. A directive without a
+// reason does not suppress anything: the exception's justification is
+// part of the invariant's documentation.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Rule    string         `json:"rule"`
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	Message string         `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the rule name used in findings and allow directives.
+	Name string
+	// Doc explains what the rule enforces and which paper property it
+	// protects; shown by the explain mode.
+	Doc string
+	// Fix suggests how to bring a violation into compliance.
+	Fix string
+	// Run inspects one package and reports findings on the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Rule:    p.Analyzer.Name,
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		ClockAnalyzer,
+		LockAnalyzer,
+		BoundedReadAnalyzer,
+		ErrCheckAnalyzer,
+		GoroutineAnalyzer,
+	}
+}
+
+// AnalyzerByName returns the named analyzer, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Check runs the analyzers over the packages and returns the surviving
+// findings (violations not covered by a reasoned allow directive),
+// sorted by position.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, f := range pass.findings {
+				if allows.covers(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// allowSet indexes //lint:allow directives by file, line and rule.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) covers(f Finding) bool {
+	lines := s[f.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Line, f.Line - 1} {
+		if rules := lines[line]; rules != nil && (rules[f.Rule] || rules["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows gathers the package's reasoned allow directives. A
+// directive suppresses findings of its rule on its own line (trailing
+// comment) and on the line below (full-line comment).
+func collectAllows(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				rule, reason, ok := parseAllow(c.Text)
+				if !ok || reason == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = map[string]bool{}
+				}
+				lines[pos.Line][rule] = true
+			}
+		}
+	}
+	return set
+}
+
+// parseAllow decodes one "//lint:allow <rule> <reason>" directive.
+func parseAllow(text string) (rule, reason string, ok bool) {
+	const prefix = "//lint:allow "
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	rule, reason, _ = strings.Cut(rest, " ")
+	return rule, strings.TrimSpace(reason), rule != ""
+}
+
+// inspectWithStack walks the file like ast.Inspect but also hands the
+// visitor the stack of enclosing nodes (outermost first, excluding n).
+func inspectWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := visit(n, stack)
+		stack = append(stack, n)
+		if !descend {
+			// ast.Inspect will not call us again for this subtree, so
+			// pop eagerly; returning false skips the children AND the
+			// nil pop callback.
+			stack = stack[:len(stack)-1]
+		}
+		return descend
+	})
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersTestdata runs each analyzer over its golden package in
+// testdata/<rule>/ and compares findings against the file's
+// `// want "substring"` markers: every marked line must produce a
+// finding containing the substring, and no unmarked line may produce
+// one. The golden files double as the rule's documentation — each
+// holds at least one violation and at least one allowed pattern.
+func TestAnalyzersTestdata(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			checkTestdata(t, a)
+		})
+	}
+}
+
+func checkTestdata(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", a.Name)
+	pkg, err := LoadDir(dir, "lintdata/"+a.Name)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	wants := wantMarkers(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("%s has no want markers; golden files must show at least one caught violation", dir)
+	}
+
+	findings := Check([]*Package{pkg}, []*Analyzer{a})
+	matched := map[string]bool{}
+	for _, f := range findings {
+		if f.Rule != a.Name {
+			t.Errorf("finding carries rule %q, analyzer is %q", f.Rule, a.Name)
+		}
+		key := posKey(f.File, f.Line)
+		substr, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if !strings.Contains(f.Message, substr) {
+			t.Errorf("finding at %s: message %q does not contain %q", key, f.Message, substr)
+		}
+		matched[key] = true
+	}
+	for key, substr := range wants {
+		if !matched[key] {
+			t.Errorf("missing finding at %s (want message containing %q)", key, substr)
+		}
+	}
+}
+
+// wantMarkers extracts `// want "substring"` comments, keyed by
+// file:line.
+func wantMarkers(t *testing.T, pkg *Package) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				const marker = `want "`
+				i := strings.Index(c.Text, marker)
+				if i < 0 {
+					continue
+				}
+				rest := c.Text[i+len(marker):]
+				j := strings.Index(rest, `"`)
+				if j < 0 {
+					t.Fatalf("unterminated want marker: %s", c.Text)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[posKey(pos.Filename, pos.Line)] = rest[:j]
+			}
+		}
+	}
+	return out
+}
+
+func posKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+}
+
+// TestSelfHost asserts the suite runs clean over this repository: the
+// invariants the analyzers enforce hold everywhere, with every
+// deliberate exception carrying a reasoned //lint:allow directive.
+func TestSelfHost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkgs, err := LoadModule(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern resolution is broken", len(pkgs))
+	}
+	for _, f := range Check(pkgs, Analyzers()) {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text   string
+		rule   string
+		reason string
+		ok     bool
+	}{
+		{"//lint:allow clock bench measures wall time", "clock", "bench measures wall time", true},
+		{"//lint:allow locks x", "locks", "x", true},
+		// A reasonless directive parses but is ignored by collectAllows.
+		{"//lint:allow clock", "clock", "", true},
+		{"//lint:allow  ", "", "", false},
+		{"// lint:allow clock reason", "", "", false},
+		{"// ordinary comment", "", "", false},
+	}
+	for _, c := range cases {
+		rule, reason, ok := parseAllow(c.text)
+		if ok != c.ok || (ok && (rule != c.rule || reason != c.reason)) {
+			t.Errorf("parseAllow(%q) = %q, %q, %v; want %q, %q, %v",
+				c.text, rule, reason, ok, c.rule, c.reason, c.ok)
+		}
+	}
+}
+
+func TestAnalyzerByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		if AnalyzerByName(a.Name) != a {
+			t.Errorf("AnalyzerByName(%q) did not return the analyzer", a.Name)
+		}
+	}
+	if AnalyzerByName("nonsense") != nil {
+		t.Errorf("AnalyzerByName(nonsense) should be nil")
+	}
+}

@@ -1,0 +1,380 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockAnalyzer enforces the lock discipline that keeps the query engine
+// decoupled from summarization and polling (paper §2.3): locks bound
+// in-memory critical sections only.
+var LockAnalyzer = &Analyzer{
+	Name: "locks",
+	Doc: `locks: critical sections must be short and in-memory.
+
+The paper's query engine answers from the previous snapshot while a
+parse is in flight, which only works if no lock is ever held across
+network or file I/O, channel operations, or sleeps — one blocking call
+under the DOM lock and queries stall behind the slowest source, exactly
+the lock-contention collapse Zhang et al. measure in monitoring
+systems. Three checks: (1) no blocking operation (net/file I/O, channel
+send/receive, selects without default, sleeps, encoder/decoder runs)
+while a sync.Mutex or RWMutex is held; (2) every Lock/RLock has a
+matching defer Unlock or explicit unlock in the same function; (3) no
+function takes or returns a mutex-bearing struct by value.`,
+	Fix: `Move the blocking call outside the critical section (snapshot
+under the lock, do I/O after unlocking), add the missing unlock, or
+pass mutex-bearing structs by pointer. Annotate a deliberate exception
+with //lint:allow locks <reason>.`,
+	Run: runLocks,
+}
+
+// blockingMethods are method names that can block on I/O or
+// synchronization when invoked on conns, files, buffered writers,
+// wait groups or stream codecs.
+var blockingMethods = map[string]bool{
+	"Read": true, "ReadString": true, "ReadBytes": true, "ReadRune": true,
+	"ReadByte": true, "ReadFrom": true, "ReadFull": true,
+	"Write": true, "WriteString": true, "WriteTo": true, "Flush": true,
+	"Accept": true, "Dial": true, "Wait": true, "Sleep": true,
+	"Encode": true, "Decode": true,
+}
+
+// inMemoryPkgs hold types whose Read/Write methods never leave memory.
+var inMemoryPkgs = map[string]bool{"bytes": true, "strings": true}
+
+func runLocks(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				checkMutexCopies(pass, fn)
+				if fn.Body != nil {
+					checkLockBody(pass, fn.Body)
+				}
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// checkMutexCopies flags receivers, parameters and results that carry a
+// mutex by value (complements go vet's copylocks, which checks call
+// sites rather than signatures).
+func checkMutexCopies(pass *Pass, fn *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.Pkg.Info.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if containsMutex(t) {
+				pass.Reportf(field.Type.Pos(),
+					"%s of %s copies a mutex by value; pass a pointer", what, fn.Name.Name)
+			}
+		}
+	}
+	check(fn.Recv, "receiver")
+	if fn.Type != nil {
+		check(fn.Type.Params, "parameter")
+		check(fn.Type.Results, "result")
+	}
+}
+
+// lockState tracks which mutexes are held at a point in a linear walk
+// of one function body. Keys are "expr/mode" like "g.mu/W".
+type lockState struct {
+	pass     *Pass
+	held     map[string]token.Pos
+	lockPos  map[string]token.Pos // first Lock per key, for balance
+	unlocked map[string]bool      // keys with an unlock anywhere in the function
+}
+
+// checkLockBody runs the blocking-under-lock and lock-balance checks
+// over one function body. Nested function literals get their own state:
+// they run on other goroutines or at defer time.
+func checkLockBody(pass *Pass, body *ast.BlockStmt) {
+	st := &lockState{
+		pass:     pass,
+		held:     map[string]token.Pos{},
+		lockPos:  map[string]token.Pos{},
+		unlocked: map[string]bool{},
+	}
+	st.stmts(body.List)
+	for key, pos := range st.lockPos {
+		if !st.unlocked[key] {
+			pass.Reportf(pos,
+				"%s acquired with no matching unlock in this function", lockName(key))
+		}
+	}
+}
+
+// lockName renders a state key back to source form ("g.mu.Lock()").
+func lockName(key string) string {
+	expr := key[:len(key)-2]
+	if key[len(key)-1] == 'R' {
+		return expr + ".RLock()"
+	}
+	return expr + ".Lock()"
+}
+
+func (st *lockState) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		st.stmt(s)
+	}
+}
+
+// stmt walks one statement in source order. The walk is linear and
+// intraprocedural: branches are traversed in order with the same state,
+// which matches the lock/unlock shapes this codebase uses (lock,
+// branch-unlock-return, unlock) without full dominance analysis.
+func (st *lockState) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		st.expr(s.X)
+	case *ast.SendStmt:
+		st.expr(s.Chan)
+		st.expr(s.Value)
+		st.blocked(s.Pos(), "channel send")
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			st.expr(e)
+		}
+		for _, e := range s.Lhs {
+			st.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						st.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			st.expr(e)
+		}
+	case *ast.DeferStmt:
+		// The deferred call runs at return; only register unlocks (they
+		// satisfy balance) and scan arguments evaluated now.
+		if key, op, ok := st.lockOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			st.unlocked[key] = true
+		} else {
+			for _, a := range s.Call.Args {
+				st.expr(a)
+			}
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				checkLockBody(st.pass, lit.Body)
+			}
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			st.expr(a)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			checkLockBody(st.pass, lit.Body)
+		}
+	case *ast.IfStmt:
+		st.stmt(s.Init)
+		st.expr(s.Cond)
+		st.stmts(s.Body.List)
+		st.stmt(s.Else)
+	case *ast.ForStmt:
+		st.stmt(s.Init)
+		if s.Cond != nil {
+			st.expr(s.Cond)
+		}
+		st.stmts(s.Body.List)
+		st.stmt(s.Post)
+	case *ast.RangeStmt:
+		st.expr(s.X)
+		if t := st.pass.Pkg.Info.Types[s.X].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				st.blocked(s.Pos(), "range over channel")
+			}
+		}
+		st.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		st.stmt(s.Init)
+		if s.Tag != nil {
+			st.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					st.expr(e)
+				}
+				st.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		st.stmt(s.Init)
+		st.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				st.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			st.blocked(s.Pos(), "select without default")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				st.stmts(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		st.stmts(s.List)
+	case *ast.LabeledStmt:
+		st.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		st.expr(s.X)
+	}
+}
+
+// expr scans an expression for lock operations, blocking calls and
+// channel receives. Function literals are checked independently.
+func (st *lockState) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkLockBody(st.pass, n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				st.blocked(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if key, op, ok := st.lockOp(n); ok {
+				switch op {
+				case "Lock", "RLock":
+					st.held[key] = n.Pos()
+					if _, seen := st.lockPos[key]; !seen {
+						st.lockPos[key] = n.Pos()
+					}
+				case "Unlock", "RUnlock":
+					delete(st.held, key)
+					st.unlocked[key] = true
+				}
+				return false
+			}
+			if reason := st.blockingCall(n); reason != "" {
+				st.blocked(n.Pos(), reason)
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes calls to sync.Mutex/RWMutex Lock/RLock/Unlock/
+// RUnlock (including through embedding) and returns the state key.
+func (st *lockState) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
+	f := calleeFunc(st.pass.Pkg.Info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	op = f.Name()
+	if op != "Lock" && op != "RLock" && op != "Unlock" && op != "RUnlock" {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	mode := "/W"
+	if op == "RLock" || op == "RUnlock" {
+		mode = "/R"
+	}
+	return exprString(sel.X) + mode, op, true
+}
+
+// blockingCall classifies a call that can block on I/O, time or
+// synchronization; returns "" for non-blocking calls.
+func (st *lockState) blockingCall(call *ast.CallExpr) string {
+	info := st.pass.Pkg.Info
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch pkgPathOf(info, sel.X) {
+		case "time":
+			switch sel.Sel.Name {
+			case "Sleep", "After", "Tick":
+				return "time." + sel.Sel.Name
+			}
+			return ""
+		case "io":
+			switch sel.Sel.Name {
+			case "Copy", "CopyN", "ReadAll", "ReadFull", "WriteString":
+				return "io." + sel.Sel.Name
+			}
+			return ""
+		case "fmt":
+			switch sel.Sel.Name {
+			case "Fprint", "Fprintf", "Fprintln":
+				return "fmt." + sel.Sel.Name + " to a writer"
+			}
+			return ""
+		case "os":
+			switch sel.Sel.Name {
+			case "Open", "Create", "ReadFile", "WriteFile", "Remove", "Rename":
+				return "os." + sel.Sel.Name
+			}
+			return ""
+		case "net":
+			switch sel.Sel.Name {
+			case "Dial", "DialTimeout", "Listen", "ListenPacket":
+				return "net." + sel.Sel.Name
+			}
+			return ""
+		case "ganglia/internal/clock":
+			switch sel.Sel.Name {
+			case "Sleep", "After":
+				return "clock." + sel.Sel.Name
+			}
+			return ""
+		}
+	}
+	recv, name, ok := selectorCall(info, call)
+	if !ok || !blockingMethods[name] {
+		return ""
+	}
+	if t := info.Types[recv].Type; t != nil {
+		if n := namedType(t); n != nil && n.Obj().Pkg() != nil && inMemoryPkgs[n.Obj().Pkg().Path()] {
+			return ""
+		}
+	}
+	return "." + name + " (potentially blocking)"
+}
+
+// blocked reports a blocking operation if any lock is held.
+func (st *lockState) blocked(pos token.Pos, what string) {
+	if len(st.held) == 0 {
+		return
+	}
+	// Report against a deterministic lock when several are held.
+	keys := make([]string, 0, len(st.held))
+	for key := range st.held {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	st.pass.Reportf(pos, "%s while %s is held: critical sections must stay in-memory",
+		what, lockName(keys[0]))
+}

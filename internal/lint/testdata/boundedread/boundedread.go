@@ -1,0 +1,44 @@
+// Package boundedreaddata exercises the bounded-read analyzer:
+// wholesale consumption of a raw conn is a violation; capped readers
+// and caller-bounded parameters are not.
+package boundedreaddata
+
+import (
+	"bufio"
+	"io"
+	"net"
+)
+
+// bad drains a raw connection with no cap.
+func bad(c net.Conn) ([]byte, error) {
+	return io.ReadAll(c) // want "no size cap"
+}
+
+// badBuffered hides the conn behind a bufio.Reader; ReadString grows
+// until the delimiter arrives, so the allocation is still unbounded.
+func badBuffered(c net.Conn) (string, error) {
+	r := bufio.NewReader(c)
+	return r.ReadString('\n') // want "no size cap"
+}
+
+// good caps the conn before consuming it.
+func good(c net.Conn) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(c, 1<<20))
+}
+
+// goodWrapped caps first, then buffers.
+func goodWrapped(c net.Conn) (string, error) {
+	r := bufio.NewReader(io.LimitReader(c, 4096))
+	return r.ReadString('\n')
+}
+
+// callerBounded consumes a plain reader parameter: the cap is the
+// caller's contract, enforced at every call site.
+func callerBounded(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r)
+}
+
+// allowed demonstrates a reasoned escape.
+func allowed(c net.Conn) ([]byte, error) {
+	return io.ReadAll(c) //lint:allow boundedread testdata demonstrates a sanctioned unbounded read
+}

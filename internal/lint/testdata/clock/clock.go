@@ -1,0 +1,41 @@
+// Package clockdata exercises the clock analyzer: raw time reads are
+// violations, deadline arguments and reasoned allows are not.
+package clockdata
+
+import (
+	"net"
+	"time"
+)
+
+// bad reads and waits on the wall clock directly.
+func bad() (time.Time, time.Duration) {
+	time.Sleep(time.Second)          // want "raw time.Sleep"
+	start := time.Now()              // want "raw time.Now"
+	t := time.NewTicker(time.Second) // want "raw time.NewTicker"
+	defer t.Stop()
+	return start, time.Since(start) // want "raw time.Since"
+}
+
+// deadlineOK: the net package defines deadlines against the real
+// clock, so time.Now inside a Set*Deadline argument is sanctioned.
+func deadlineOK(c net.Conn) error {
+	return c.SetReadDeadline(time.Now().Add(time.Second))
+}
+
+// allowedRead demonstrates a reasoned escape, trailing-comment form.
+func allowedRead() time.Time {
+	return time.Now() //lint:allow clock testdata demonstrates a sanctioned wall-clock read
+}
+
+// allowedAbove demonstrates the full-line form covering the next line.
+func allowedAbove() time.Time {
+	//lint:allow clock testdata demonstrates a sanctioned wall-clock read
+	return time.Now()
+}
+
+// unreasonedAllow shows that a directive without a reason does not
+// suppress the finding: the justification is part of the invariant.
+func unreasonedAllow() time.Time {
+	//lint:allow clock
+	return time.Now() // want "raw time.Now"
+}

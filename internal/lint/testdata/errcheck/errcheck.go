@@ -1,0 +1,44 @@
+// Package errcheckdata exercises the errcheck analyzer: silently
+// dropped teardown/deadline errors are violations; deliberate "_ ="
+// closes, defer closes, and checked deadlines are not.
+package errcheckdata
+
+import (
+	"net"
+	"time"
+)
+
+// bad drops the Close error implicitly.
+func bad(c net.Conn) {
+	c.Close() // want ".Close error discarded implicitly"
+}
+
+// badDeadline discards a deadline error: a conn that cannot take a
+// deadline is dead and using it afterwards hangs a goroutine.
+func badDeadline(c net.Conn, t time.Time) {
+	_ = c.SetReadDeadline(t) // want "must be abandoned"
+}
+
+// goodDeadline checks and propagates.
+func goodDeadline(c net.Conn, t time.Time) error {
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return nil
+}
+
+// goodDefer: deferred best-effort close is conventional and exempt.
+func goodDefer(c net.Conn) {
+	defer c.Close()
+}
+
+// goodBlank: an explicit "_ =" records that discarding a Close error
+// is intentional on this teardown path.
+func goodBlank(c net.Conn) {
+	_ = c.Close()
+}
+
+// allowed demonstrates a reasoned escape.
+func allowed(c net.Conn) {
+	c.Close() //lint:allow errcheck testdata demonstrates a sanctioned discard
+}

@@ -1,0 +1,72 @@
+// Package goroutinesdata exercises the goroutine analyzer: daemon
+// goroutines must be panic-isolated, either inline or by running
+// functions that begin with a deferred recover (the safePoll shape).
+package goroutinesdata
+
+import "sync"
+
+func work() {}
+
+// bad spawns unprotected work: one panic kills the process.
+func bad() {
+	go work() // want "panic isolation"
+}
+
+// badLit spawns an unprotected literal.
+func badLit() {
+	go func() { // want "panic isolation"
+		work()
+	}()
+}
+
+// safeWork begins with a deferred recover, like safePoll.
+func safeWork() {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = r
+		}
+	}()
+	work()
+}
+
+// recoverHelper is a recover-bearing helper usable in a defer.
+func recoverHelper() {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+// good runs a recovering function directly.
+func good() {
+	go safeWork()
+}
+
+// goodLit wraps a recovering function with bookkeeping defers only.
+func goodLit(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		safeWork()
+	}()
+}
+
+// goodInline isolates with its own deferred recover.
+func goodInline() {
+	go func() {
+		defer func() { _ = recover() }()
+		work()
+	}()
+}
+
+// goodHelperDefer isolates by deferring a recover-bearing helper.
+func goodHelperDefer() {
+	go func() {
+		defer recoverHelper()
+		work()
+	}()
+}
+
+// allowed demonstrates a reasoned escape.
+func allowed() {
+	go work() //lint:allow goroutines testdata demonstrates a sanctioned unguarded goroutine
+}

@@ -1,0 +1,75 @@
+// Package locksdata exercises the lock analyzer: blocking while a
+// mutex is held, unbalanced locks, and by-value mutex copies are
+// violations; snapshot-then-unlock and in-memory work are not.
+package locksdata
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state []byte
+}
+
+// bad performs network I/O inside the critical section.
+func (s *server) bad(c net.Conn, buf []byte) {
+	s.mu.Lock()
+	_, _ = c.Read(buf) // want "while s.mu.Lock() is held"
+	s.mu.Unlock()
+}
+
+// badSend blocks on a channel inside the critical section.
+func (s *server) badSend(ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want "channel send while s.mu.Lock() is held"
+	s.mu.Unlock()
+}
+
+// unbalanced acquires without any unlock in the function.
+func (s *server) unbalanced() {
+	s.mu.Lock() // want "no matching unlock"
+	s.state = nil
+}
+
+// copies takes a mutex-bearing struct by value.
+func copies(mu sync.Mutex) { // want "copies a mutex by value"
+	_ = mu
+}
+
+// good snapshots under the lock and does I/O after unlocking — the
+// shape the query engine uses to stay decoupled from slow readers.
+func (s *server) good(w io.Writer) error {
+	s.mu.Lock()
+	snap := append([]byte(nil), s.state...)
+	s.mu.Unlock()
+	_, err := w.Write(snap)
+	return err
+}
+
+// goodDefer uses the conventional defer unlock.
+func (s *server) goodDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.state)
+}
+
+// goodBuffer writes to an in-memory buffer under the lock: bytes and
+// strings readers/writers never leave memory and are exempt.
+func (s *server) goodBuffer() string {
+	var b bytes.Buffer
+	s.mu.Lock()
+	b.Write(s.state)
+	s.mu.Unlock()
+	return b.String()
+}
+
+// allowedSend demonstrates a reasoned escape.
+func (s *server) allowedSend(ch chan int) {
+	s.mu.Lock()
+	ch <- 1 //lint:allow locks testdata demonstrates a sanctioned send under lock
+	s.mu.Unlock()
+}

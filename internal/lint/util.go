@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pkgPathOf returns the import path of the package an identifier names,
+// or "" when the identifier is not a package qualifier.
+func pkgPathOf(info *types.Info, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// calleeFunc resolves a call to its *types.Func, or nil (builtin calls,
+// function-typed variables, type conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// selectorCall splits a call of the form recv.Name(...) where recv is a
+// value (not a package qualifier). Returns ok=false otherwise.
+func selectorCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	if pkgPathOf(info, sel.X) != "" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// pkgFuncCall reports whether call invokes pkgPath.name for one of the
+// given names (e.g. time.Now, io.ReadAll).
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pkgPathOf(info, sel.X) != pkgPath {
+		return "", false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// namedType returns the (pointer-dereferenced) named type of t, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeFromPkg reports whether t (after deref) is a named type declared
+// in the package with the given import path.
+func typeFromPkg(t types.Type, pkgPath string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath
+}
+
+// typeIs reports whether t (after deref) is exactly pkgPath.name.
+func typeIs(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// containsMutex reports whether t holds a sync.Mutex or sync.RWMutex by
+// value, directly or through embedded structs and arrays.
+func containsMutex(t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		if typeIs(t, "sync", "Mutex") || typeIs(t, "sync", "RWMutex") {
+			// Only by-value containment counts; a pointer shares the
+			// mutex instead of copying it.
+			if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+				return true
+			}
+			return false
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// exprString renders a (small) expression for use as a lock identity
+// key and in messages: "g.mu", "slot.mu".
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	}
+	return "?"
+}
+
+// isGangliaPkg reports whether path is inside this module.
+func isGangliaPkg(path string) bool {
+	return path == "ganglia" || strings.HasPrefix(path, "ganglia/")
+}
+
+// inScope reports whether the analyzer with the given module-internal
+// scope should run on the package: module packages must be listed,
+// while external packages (the analyzer self-tests under testdata) are
+// always in scope.
+func inScope(pkgPath string, scope []string) bool {
+	if !isGangliaPkg(pkgPath) {
+		return true
+	}
+	for _, s := range scope {
+		if pkgPath == s {
+			return true
+		}
+	}
+	return false
+}

@@ -208,7 +208,7 @@ func (p *Gmond) Serve(l net.Listener) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		l.Close()
+		_ = l.Close()
 		return
 	}
 	p.listeners = append(p.listeners, l)
@@ -238,7 +238,7 @@ func (p *Gmond) Close() {
 		p.listeners = nil
 		p.mu.Unlock()
 		for _, l := range ls {
-			l.Close()
+			_ = l.Close()
 		}
 	})
 	p.serveWG.Wait()

@@ -111,8 +111,10 @@ func restore(s dbSnapshot) (*Database, error) {
 // SaveTo serializes the pool. Concurrent updates are blocked for the
 // duration.
 func (p *Pool) SaveTo(w io.Writer) error {
+	// Snapshot under the lock, encode outside it: gob writes to w,
+	// which may be a slow disk or socket, and a stalled writer must not
+	// block every archive update in the pool.
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	snap := poolSnapshot{
 		Version: persistVersion,
 		Spec:    p.spec,
@@ -123,6 +125,7 @@ func (p *Pool) SaveTo(w io.Writer) error {
 	for k, db := range p.dbs {
 		snap.DBs[k] = db.snapshot()
 	}
+	p.mu.Unlock()
 	return gob.NewEncoder(w).Encode(snap)
 }
 

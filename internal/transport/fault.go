@@ -264,13 +264,15 @@ func (c *faultConn) Read(p []byte) (int, error) {
 		c.mu.Unlock()
 		pause := c.plan.DripEvery
 		if !deadline.IsZero() {
-			if until := time.Until(deadline); until <= 0 {
+			// Deadlines on net.Conn are wall-clock by contract; emulating
+			// them needs real elapsed time even under a virtual clock.
+			if until := time.Until(deadline); until <= 0 { //lint:allow clock net.Conn deadline emulation is wall-clock by contract
 				return 0, &net.OpError{Op: "read", Net: "fault", Err: os.ErrDeadlineExceeded}
 			} else if until < pause {
 				pause = until
 			}
 		}
-		time.Sleep(pause)
+		clock.Sleep(pause)
 		return c.Conn.Read(p)
 	case FaultTruncate:
 		c.mu.Lock()
@@ -282,7 +284,7 @@ func (c *faultConn) Read(p []byte) (int, error) {
 		c.mu.Unlock()
 		if remaining <= 0 {
 			if cut {
-				c.Conn.Close()
+				_ = c.Conn.Close()
 			}
 			return 0, io.EOF
 		}
@@ -337,11 +339,11 @@ func (c *hangConn) Read(p []byte) (int, error) {
 		var timer *time.Timer
 		var timerC <-chan time.Time
 		if !deadline.IsZero() {
-			until := time.Until(deadline)
+			until := time.Until(deadline) //lint:allow clock net.Conn deadline emulation is wall-clock by contract
 			if until <= 0 {
 				return 0, &net.OpError{Op: "read", Net: "fault", Addr: memAddr(c.addr), Err: os.ErrDeadlineExceeded}
 			}
-			timer = time.NewTimer(until)
+			timer = clock.NewTimer(until)
 			timerC = timer.C
 		}
 		select {

@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"net"
+
+	"ganglia/internal/clock"
 	"sync"
 	"time"
 )
@@ -112,7 +114,7 @@ func (n *InMemNetwork) Dial(addr string) (net.Conn, error) {
 	n.mu.Unlock()
 
 	if delay > 0 {
-		time.Sleep(delay)
+		clock.Sleep(delay)
 	}
 	if failed || l == nil {
 		return nil, &net.OpError{
@@ -127,8 +129,8 @@ func (n *InMemNetwork) Dial(addr string) (net.Conn, error) {
 	case l.conns <- server:
 		return client, nil
 	case <-l.closed:
-		client.Close()
-		server.Close()
+		_ = client.Close()
+		_ = server.Close()
 		return nil, &net.OpError{
 			Op:   "dial",
 			Net:  "inmem",

@@ -49,7 +49,7 @@ func NewUDPBus(groupAddr string, ifi *net.Interface) (*UDPBus, error) {
 	}
 	send, err := net.DialUDP("udp", nil, gaddr)
 	if err != nil {
-		recv.Close()
+		_ = recv.Close()
 		return nil, err
 	}
 	b := &UDPBus{
@@ -124,7 +124,7 @@ func (b *UDPBus) Close() error {
 	b.closed = true
 	b.subs = map[int]func(pkt []byte){}
 	b.mu.Unlock()
-	b.send.Close()
+	_ = b.send.Close()
 	return b.recv.Close()
 }
 

@@ -76,7 +76,7 @@ func (j *JoinListener) Serve(l net.Listener) {
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
-		l.Close()
+		_ = l.Close()
 		return
 	}
 	j.listeners = append(j.listeners, l)
@@ -180,7 +180,7 @@ func (j *JoinListener) Close() {
 	j.listeners = nil
 	j.mu.Unlock()
 	for _, l := range ls {
-		l.Close()
+		_ = l.Close()
 	}
 	j.wg.Wait()
 }

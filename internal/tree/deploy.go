@@ -48,6 +48,7 @@ type Deployment struct {
 	pseudos   map[string]*pseudo.Gmond
 	pollOrder []string
 	interval  time.Duration
+	clk       clock.Clock
 
 	stopOnce    sync.Once
 	loopStarted bool
@@ -79,6 +80,7 @@ func Deploy(topo *Topology, cfg DeployConfig) (*Deployment, error) {
 		pseudos:      make(map[string]*pseudo.Gmond),
 		pollOrder:    topo.LeafFirst(),
 		interval:     cfg.PollInterval,
+		clk:          clock.Real{},
 		done:         make(chan struct{}),
 		finished:     make(chan struct{}),
 	}
@@ -102,7 +104,7 @@ func Deploy(topo *Topology, cfg DeployConfig) (*Deployment, error) {
 		for _, cs := range node.Clusters {
 			cl, err := tcp.Listen(cfg.Host + ":0")
 			if err != nil {
-				l.Close()
+				_ = l.Close()
 				return fail(fmt.Errorf("tree: listen for cluster %s: %w", cs.Name, err))
 			}
 			seed++
@@ -155,13 +157,13 @@ func Deploy(topo *Topology, cfg DeployConfig) (*Deployment, error) {
 func (d *Deployment) pollLoop() {
 	defer close(d.finished)
 	round := func() {
-		now := time.Now()
+		now := d.clk.Now()
 		for _, name := range d.pollOrder {
 			d.gmetads[name].PollOnce(now)
 		}
 	}
 	round()
-	t := time.NewTicker(d.interval)
+	t := clock.NewTicker(d.interval)
 	defer t.Stop()
 	for {
 		select {

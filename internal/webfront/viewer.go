@@ -17,10 +17,17 @@ import (
 	"io"
 	"time"
 
+	"ganglia/internal/clock"
 	"ganglia/internal/gxml"
 	"ganglia/internal/summary"
 	"ganglia/internal/transport"
 )
+
+// DefaultMaxResponseBytes caps one gmetad response download. A viewer
+// talks to a trusted monitor, but the O(m) edge bound should hold on
+// the presentation edge too: a garbled or hostile endpoint must not be
+// able to grow the viewer's memory without limit.
+const DefaultMaxResponseBytes = 64 << 20
 
 // View names the three central web views of the paper's Table 1.
 type View int
@@ -57,6 +64,21 @@ type Viewer struct {
 	// 1-level frontend: fetch the entire tree every time and filter or
 	// summarize client-side.
 	QuerySupport bool
+	// Clock positions the Table 1 timings; defaults to the system
+	// clock. Experiments inject a virtual clock so timing fields stay
+	// deterministic.
+	Clock clock.Clock
+	// MaxResponseBytes bounds one response download; defaults to
+	// DefaultMaxResponseBytes, negative disables the cap.
+	MaxResponseBytes int64
+}
+
+// now reads the viewer's clock.
+func (v *Viewer) now() time.Time {
+	if v.Clock != nil {
+		return v.Clock.Now()
+	}
+	return clock.Real{}.Now()
 }
 
 // Result is one fetch: the parsed report plus the timings Table 1 rows
@@ -80,7 +102,7 @@ type Result struct {
 
 // fetch performs one query round-trip and parse.
 func (v *Viewer) fetch(view View, q string) (*Result, error) {
-	start := time.Now()
+	start := v.now()
 	conn, err := v.Network.Dial(v.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("webfront: dial %s: %w", v.Addr, err)
@@ -89,9 +111,17 @@ func (v *Viewer) fetch(view View, q string) (*Result, error) {
 	if _, err := io.WriteString(conn, q+"\n"); err != nil {
 		return nil, fmt.Errorf("webfront: send query: %w", err)
 	}
-	cr := &countingReader{r: bufio.NewReaderSize(conn, 64*1024)}
+	max := v.MaxResponseBytes
+	if max == 0 {
+		max = DefaultMaxResponseBytes
+	}
+	var src io.Reader = conn
+	if max > 0 {
+		src = io.LimitReader(conn, max)
+	}
+	cr := &countingReader{r: bufio.NewReaderSize(src, 64*1024)}
 	rep, err := gxml.Parse(cr)
-	elapsed := time.Since(start)
+	elapsed := v.now().Sub(start)
 	if err != nil {
 		return nil, fmt.Errorf("webfront: parse response to %q: %w", q, err)
 	}
@@ -108,20 +138,20 @@ func (v *Viewer) Meta() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		post := time.Now()
+		post := v.now()
 		total := summary.New()
 		for _, g := range res.Report.Grids {
 			total.Merge(g.Summarize())
 		}
 		res.Summary = total
-		res.PostProcess = time.Since(post)
+		res.PostProcess = v.now().Sub(post)
 		return res, nil
 	}
 	res, err := v.fetch(MetaView, "/")
 	if err != nil {
 		return nil, err
 	}
-	post := time.Now()
+	post := v.now()
 	total := summary.New()
 	for _, c := range res.Report.Clusters {
 		total.Merge(c.Summarize())
@@ -130,7 +160,7 @@ func (v *Viewer) Meta() (*Result, error) {
 		total.Merge(g.Summarize())
 	}
 	res.Summary = total
-	res.PostProcess = time.Since(post)
+	res.PostProcess = v.now().Sub(post)
 	return res, nil
 }
 
@@ -144,13 +174,13 @@ func (v *Viewer) Cluster(name string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	post := time.Now()
+	post := v.now()
 	c := findCluster(res.Report, name)
 	if c == nil {
 		return nil, fmt.Errorf("webfront: cluster %q not in report", name)
 	}
 	res.Cluster = c
-	res.PostProcess = time.Since(post)
+	res.PostProcess = v.now().Sub(post)
 	return res, nil
 }
 
@@ -167,14 +197,14 @@ func (v *Viewer) ClusterSummary(name string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	post := time.Now()
+	post := v.now()
 	c := findCluster(res.Report, name)
 	if c == nil {
 		return nil, fmt.Errorf("webfront: cluster %q not in report", name)
 	}
 	res.Cluster = c
 	res.Summary = c.Summarize()
-	res.PostProcess = time.Since(post)
+	res.PostProcess = v.now().Sub(post)
 	return res, nil
 }
 
@@ -190,7 +220,7 @@ func (v *Viewer) Host(cluster, host string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	post := time.Now()
+	post := v.now()
 	c := findCluster(res.Report, cluster)
 	if c == nil {
 		return nil, fmt.Errorf("webfront: cluster %q not in report", cluster)
@@ -199,7 +229,7 @@ func (v *Viewer) Host(cluster, host string) (*Result, error) {
 		if h.Name == host {
 			res.Cluster = c
 			res.Host = h
-			res.PostProcess = time.Since(post)
+			res.PostProcess = v.now().Sub(post)
 			return res, nil
 		}
 	}
