@@ -12,6 +12,7 @@
 //	ganglia-bench -experiment bandwidth
 //	ganglia-bench -experiment serve -hosts 100
 //	ganglia-bench -experiment chaos -seed 7
+//	ganglia-bench -experiment checkpoint -hosts 100
 //
 // Each experiment prints the regenerated table or figure series, then
 // re-checks the paper's qualitative claims and reports any violations.
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve, chaos or all")
+		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve, chaos, checkpoint or all")
 		hosts      = flag.Int("hosts", 100, "hosts per cluster (fig5, table1, serve)")
 		rounds     = flag.Int("rounds", 8, "measured polling rounds (fig5, fig6)")
 		samples    = flag.Int("samples", 5, "samples per view (table1)")
@@ -149,17 +150,25 @@ func main() {
 			fmt.Println(res.Table())
 			check("chaos", res.ShapeErrors())
 		},
+		"checkpoint": func() {
+			res, err := bench.RunCheckpoint(bench.CheckpointConfig{Hosts: *hosts})
+			if err != nil {
+				log.Fatalf("checkpoint: %v", err)
+			}
+			fmt.Println(res.Table())
+			check("checkpoint", res.ShapeErrors())
+		},
 	}
 
 	switch *experiment {
 	case "all":
-		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve", "chaos"} {
+		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve", "chaos", "checkpoint"} {
 			run[name]()
 		}
 	default:
 		f, ok := run[*experiment]
 		if !ok {
-			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve, chaos or all)", *experiment)
+			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve, chaos, checkpoint or all)", *experiment)
 		}
 		f()
 	}

@@ -69,8 +69,10 @@ func main() {
 		breakerMax  = flag.Duration("breaker-max-stretch", 0, "cap on the stretched poll cadence of a dead source (0 = 4x -poll)")
 		noHealth    = flag.Bool("no-health-xml", false, "omit per-source SOURCE_HEALTH elements from depth-0 responses")
 		archive     = flag.Bool("archive", true, "keep round-robin metric histories")
-		archivePath = flag.String("archive-path", "", "snapshot file for archive persistence (restored on start, saved periodically)")
-		saveEvery   = flag.Duration("save-every", 5*time.Minute, "archive snapshot interval (with -archive-path)")
+		archivePath = flag.String("archive-path", "", "base path for archive snapshots: generations are written as <path>.gen-<seq>, the newest valid one is restored on start, corrupt ones are quarantined as <path>.corrupt-<seq>")
+		saveEvery   = flag.Duration("save-every", 5*time.Minute, "archive checkpoint interval (with -archive-path)")
+		generations = flag.Int("generations", gmetad.DefaultCheckpointGenerations, "archive snapshot generations to retain")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM, how long to wait for in-flight responses before abandoning them")
 
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "how long to wait for a client's query line before disconnecting")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "how long one response write may take before disconnecting")
@@ -105,6 +107,9 @@ func main() {
 		ReadTimeout:  *readTimeout,
 		Archive:      *archive,
 		ArchivePath:  *archivePath,
+
+		CheckpointInterval:    *saveEvery,
+		CheckpointGenerations: *generations,
 
 		MaxReportBytes:    *maxReport,
 		AddrBackoffBase:   *backoffBase,
@@ -150,20 +155,10 @@ func main() {
 
 	status := time.NewTicker(time.Minute)
 	defer status.Stop()
-	var save <-chan time.Time
-	if *archive && *archivePath != "" {
-		t := time.NewTicker(*saveEvery)
-		defer t.Stop()
-		save = t.C
-	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	for {
 		select {
-		case <-save:
-			if err := g.SaveArchives(); err != nil {
-				fmt.Printf("gmetad: archive snapshot failed: %v\n", err)
-			}
 		case <-status.C:
 			snap := g.Accounting().Snapshot()
 			fmt.Printf("gmetad: %d queries served (%d cache hits, %d misses), %d connections rejected\n",
@@ -171,6 +166,10 @@ func main() {
 			if snap.PollFails > 0 {
 				fmt.Printf("gmetad: %d poll failures, %d failovers, %d backoffs, %d breaker trips, %d oversize reports\n",
 					snap.PollFails, snap.Failovers, snap.Backoffs, snap.BreakerTrips, snap.OversizeReports)
+			}
+			if snap.Checkpoints+snap.CheckpointFails+snap.QuarantinedSnapshots > 0 {
+				fmt.Printf("gmetad: %d checkpoints (%d failed), %d generations recovered, %d snapshots quarantined\n",
+					snap.Checkpoints, snap.CheckpointFails, snap.RecoveredGenerations, snap.QuarantinedSnapshots)
 			}
 			for _, st := range g.Status() {
 				state := "ok"
@@ -189,10 +188,18 @@ func main() {
 				fmt.Printf("gmetad: source %-20s %s\n", st.Name, state)
 			}
 		case <-sig:
+			// Graceful drain: stop polling, stop accepting, let
+			// in-flight responses finish (bounded), then take a final
+			// checkpoint so no history newer than the last periodic
+			// save is lost.
 			close(done)
+			fmt.Println("gmetad: draining")
+			if !g.Drain(*drainWait) {
+				fmt.Printf("gmetad: drain timed out after %v; abandoning stragglers\n", *drainWait)
+			}
 			if *archive && *archivePath != "" {
-				if err := g.SaveArchives(); err != nil {
-					fmt.Printf("gmetad: final archive snapshot failed: %v\n", err)
+				if err := g.Checkpoint(); err != nil {
+					fmt.Printf("gmetad: final checkpoint failed: %v\n", err)
 				}
 			}
 			fmt.Println("gmetad: shutting down")

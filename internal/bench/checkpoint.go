@@ -1,0 +1,323 @@
+// Checkpoint experiment: what crash-safe archive persistence costs.
+// The paper's durability story is RRD files on the gmetad's disk
+// (§2.2); this repo's substitute is the generational checkpoint, and
+// the experiment measures its two prices — the save itself, and the
+// interference a background save inflicts on concurrent query service —
+// then proves the product works by crash-recovering the archive and
+// comparing it byte for byte.
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gmetad"
+	"ganglia/internal/pseudo"
+	"ganglia/internal/rrd"
+	"ganglia/internal/transport"
+)
+
+// CheckpointConfig parameterizes the checkpoint experiment.
+type CheckpointConfig struct {
+	// Hosts is the monitored cluster's size; default 100.
+	Hosts int
+	// Rounds is how many 15 s polling rounds populate the archive
+	// before measurement; default 12.
+	Rounds int
+	// Checkpoints is how many saves are timed; default 8.
+	Checkpoints int
+	// Queries is how many latency samples each serve measurement
+	// takes; default 300.
+	Queries int
+}
+
+func (c *CheckpointConfig) defaults() {
+	if c.Hosts == 0 {
+		c.Hosts = 100
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 12
+	}
+	if c.Checkpoints == 0 {
+		c.Checkpoints = 8
+	}
+	if c.Queries == 0 {
+		c.Queries = 300
+	}
+}
+
+// CheckpointResult is the measured experiment.
+type CheckpointResult struct {
+	Config CheckpointConfig
+
+	// Series is the archive pool's database count; SnapshotBytes one
+	// durable generation's size.
+	Series        int
+	SnapshotBytes int64
+
+	// SaveMeanNs and SaveMaxNs time Checkpoint over Config.Checkpoints
+	// runs (encode + fsync + rename + dir fsync).
+	SaveMeanNs float64
+	SaveMaxNs  float64
+
+	// QuietNs and DuringNs are mean serve latencies for the same query
+	// with the checkpointer idle vs. continuously saving.
+	QuietNs  float64
+	DuringNs float64
+
+	// Recovered reports the restart: how many series came back, and
+	// whether the recovered pool serializes to the exact bytes of the
+	// last durable generation's pool.
+	Recovered      int
+	ByteIdentical  bool
+	RecoverErrors  int64 // quarantines observed at recovery (want 0)
+	CheckpointErrs int64 // failed saves during the run (want 0)
+}
+
+// Interference is how many times slower the serve path answers while a
+// checkpoint is running.
+func (r *CheckpointResult) Interference() float64 {
+	if r.QuietNs <= 0 {
+		return 0
+	}
+	return r.DuringNs / r.QuietNs
+}
+
+// ShapeErrors re-checks the experiment's qualitative claims: every save
+// succeeds, recovery is byte-exact and quarantine-free, and a
+// background save must not stall query service. Serve latency here is
+// microseconds against an in-memory network, so interference is judged
+// with a generous bound: it only counts as a stall when queries get
+// both much slower in ratio AND slow in absolute terms.
+func (r *CheckpointResult) ShapeErrors() []string {
+	var errs []string
+	if r.CheckpointErrs > 0 {
+		errs = append(errs, fmt.Sprintf("%d checkpoint(s) failed on a healthy disk", r.CheckpointErrs))
+	}
+	if !r.ByteIdentical {
+		errs = append(errs, "recovered archive is not byte-identical to the last durable generation")
+	}
+	if r.RecoverErrors > 0 {
+		errs = append(errs, fmt.Sprintf("recovery quarantined %d snapshot(s) written by a healthy daemon", r.RecoverErrors))
+	}
+	if r.Recovered != r.Series {
+		errs = append(errs, fmt.Sprintf("recovered %d of %d series", r.Recovered, r.Series))
+	}
+	if x := r.Interference(); x > 25 && r.DuringNs > 2e6 {
+		errs = append(errs, fmt.Sprintf("background checkpoint stalls query service (%.0fx slower, %.2fms)", x, r.DuringNs/1e6))
+	}
+	return errs
+}
+
+// Table renders the result for terminals, in the repo's experiment
+// style.
+func (r *CheckpointResult) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Checkpoint cost — %d-host cluster, %d series archived\n",
+		r.Config.Hosts, r.Series)
+	rows := [][]string{
+		{"snapshot size", fmt.Sprintf("%d bytes", r.SnapshotBytes)},
+		{"save (mean)", fmt.Sprintf("%.2f ms", r.SaveMeanNs/1e6)},
+		{"save (max)", fmt.Sprintf("%.2f ms", r.SaveMaxNs/1e6)},
+		{"serve, checkpointer idle", fmt.Sprintf("%.0f ns/query", r.QuietNs)},
+		{"serve, during checkpoint", fmt.Sprintf("%.0f ns/query", r.DuringNs)},
+		{"interference", fmt.Sprintf("%.2fx", r.Interference())},
+		{"recovered series", fmt.Sprintf("%d of %d", r.Recovered, r.Series)},
+		{"byte-identical recovery", fmt.Sprintf("%v", r.ByteIdentical)},
+	}
+	sb.WriteString(formatTable([]string{"measure", "value"}, rows))
+	return sb.String()
+}
+
+// RunCheckpoint measures archive checkpoint cost, serve interference,
+// and crash recovery on one archiving gmetad over a pseudo-gmond
+// cluster.
+func RunCheckpoint(cfg CheckpointConfig) (*CheckpointResult, error) {
+	cfg.defaults()
+	res := &CheckpointResult{Config: cfg}
+
+	dir, err := os.MkdirTemp("", "ganglia-bench-ckpt-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	path := dir + "/archives"
+
+	clk := clock.NewVirtual(t0)
+	net := transport.NewInMemNetwork()
+	cluster := pseudo.New("meteor", cfg.Hosts, 1, clk)
+	cl, err := net.Listen("meteor:8649")
+	if err != nil {
+		return nil, err
+	}
+	go cluster.Serve(cl)
+	defer cluster.Close()
+
+	build := func() (*gmetad.Gmetad, error) {
+		return gmetad.New(gmetad.Config{
+			GridName: "SDSC",
+			Network:  net,
+			Clock:    clk,
+			Sources: []gmetad.DataSource{
+				{Name: "meteor", Kind: gmetad.SourceGmond, Addrs: []string{"meteor:8649"}},
+			},
+			Archive:     true,
+			ArchiveSpec: experimentArchive(),
+			ArchivePath: path,
+		})
+	}
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+	ql, err := net.Listen("bench-gmetad:8652")
+	if err != nil {
+		return nil, err
+	}
+	go g.ServeQuery(ql)
+
+	for i := 0; i < cfg.Rounds; i++ {
+		clk.Advance(15 * time.Second)
+		g.PollOnce(clk.Now())
+	}
+	res.Series = g.Pool().Len()
+
+	// Save cost over repeated checkpoints.
+	var totalSave, maxSave time.Duration
+	for i := 0; i < cfg.Checkpoints; i++ {
+		start := time.Now() //lint:allow clock bench measures real save cost
+		err := g.Checkpoint()
+		took := time.Since(start) //lint:allow clock bench measures real save cost
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %d: %w", i, err)
+		}
+		totalSave += took
+		if took > maxSave {
+			maxSave = took
+		}
+	}
+	res.SaveMeanNs = float64(totalSave.Nanoseconds()) / float64(cfg.Checkpoints)
+	res.SaveMaxNs = float64(maxSave.Nanoseconds())
+	res.SnapshotBytes, err = newestGenerationSize(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Serve latency with the checkpointer idle...
+	ask := func() error {
+		conn, err := net.Dial("bench-gmetad:8652")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if _, err := io.WriteString(conn, "/meteor\n"); err != nil {
+			return err
+		}
+		_, err = io.Copy(io.Discard, conn)
+		return err
+	}
+	measure := func() (float64, error) {
+		if err := ask(); err != nil { // warm the path
+			return 0, err
+		}
+		start := time.Now() //lint:allow clock bench measures real serve latency
+		for i := 0; i < cfg.Queries; i++ {
+			if err := ask(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(cfg.Queries), nil //lint:allow clock bench measures real serve latency
+	}
+	if res.QuietNs, err = measure(); err != nil {
+		return nil, err
+	}
+
+	// ...and with checkpoints running back to back in the background.
+	stop := make(chan struct{})
+	saverDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				saverDone <- nil
+				return
+			default:
+			}
+			if err := g.Checkpoint(); err != nil {
+				saverDone <- err
+				return
+			}
+		}
+	}()
+	res.DuringNs, err = measure()
+	close(stop)
+	if serr := <-saverDone; serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.CheckpointErrs = g.Accounting().Snapshot().CheckpointFails
+
+	// Crash-recover: the daemon dies without a goodbye (no final save),
+	// a fresh one restores from the newest durable generation.
+	wantBytes, err := poolSnapshotBytes(g.Pool())
+	if err != nil {
+		return nil, err
+	}
+	g.Close()
+	g2, err := build()
+	if err != nil {
+		return nil, err
+	}
+	defer g2.Close()
+	res.Recovered = g2.Pool().Len()
+	res.RecoverErrors = g2.Accounting().Snapshot().QuarantinedSnapshots
+	gotBytes, err := poolSnapshotBytes(g2.Pool())
+	if err != nil {
+		return nil, err
+	}
+	res.ByteIdentical = bytes.Equal(wantBytes, gotBytes)
+	return res, nil
+}
+
+// poolSnapshotBytes is a pool's canonical serialization; WriteSnapshot
+// is deterministic, so byte equality means state equality.
+func poolSnapshotBytes(p *rrd.Pool) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// newestGenerationSize returns the size of the newest .gen- snapshot in
+// dir.
+func newestGenerationSize(dir string) (int64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var gens []string
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".gen-") {
+			gens = append(gens, e.Name())
+		}
+	}
+	if len(gens) == 0 {
+		return 0, fmt.Errorf("no generations in %s", dir)
+	}
+	sort.Strings(gens)
+	info, err := os.Stat(dir + "/" + gens[len(gens)-1])
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

@@ -40,6 +40,11 @@ type Accounting struct {
 	oversizeReports atomic.Int64
 	pollPanics      atomic.Int64
 	servePanics     atomic.Int64
+
+	checkpoints          atomic.Int64
+	checkpointFails      atomic.Int64
+	recoveredGenerations atomic.Int64
+	quarantinedSnapshots atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -79,6 +84,16 @@ type Snapshot struct {
 	OversizeReports int64
 	PollPanics      int64
 	ServePanics     int64
+
+	// Checkpoints counts archive generations made durable and
+	// CheckpointFails attempts that were withdrawn before publication;
+	// RecoveredGenerations counts snapshots restored at startup (0 or 1
+	// per process) and QuarantinedSnapshots files that failed
+	// verification during recovery and were renamed aside.
+	Checkpoints          int64
+	CheckpointFails      int64
+	RecoveredGenerations int64
+	QuarantinedSnapshots int64
 }
 
 // Work returns the total processing time across phases.
@@ -119,6 +134,11 @@ func (a *Accounting) Snapshot() Snapshot {
 		OversizeReports: a.oversizeReports.Load(),
 		PollPanics:      a.pollPanics.Load(),
 		ServePanics:     a.servePanics.Load(),
+
+		Checkpoints:          a.checkpoints.Load(),
+		CheckpointFails:      a.checkpointFails.Load(),
+		RecoveredGenerations: a.recoveredGenerations.Load(),
+		QuarantinedSnapshots: a.quarantinedSnapshots.Load(),
 	}
 }
 
@@ -146,6 +166,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		OversizeReports: s.OversizeReports - o.OversizeReports,
 		PollPanics:      s.PollPanics - o.PollPanics,
 		ServePanics:     s.ServePanics - o.ServePanics,
+
+		Checkpoints:          s.Checkpoints - o.Checkpoints,
+		CheckpointFails:      s.CheckpointFails - o.CheckpointFails,
+		RecoveredGenerations: s.RecoveredGenerations - o.RecoveredGenerations,
+		QuarantinedSnapshots: s.QuarantinedSnapshots - o.QuarantinedSnapshots,
 	}
 }
 

@@ -28,7 +28,7 @@ package gmetad
 import (
 	"fmt"
 	"log"
-	"os"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +36,7 @@ import (
 	"ganglia/internal/clock"
 	"ganglia/internal/rrd"
 	"ganglia/internal/transport"
+	"ganglia/internal/vfs"
 )
 
 // DefaultPollInterval is the paper's polling cadence: "Gmeta system
@@ -172,11 +173,33 @@ type Config struct {
 	// ArchiveSpec configures the databases; defaults to
 	// rrd.DefaultSpec.
 	ArchiveSpec rrd.Spec
-	// ArchivePath, if set, names a snapshot file: New restores the
-	// pool from it when present, and SaveArchives rewrites it. The
-	// real gmetad keeps its RRD files on disk for the same reason —
-	// history must survive daemon restarts.
+	// ArchivePath, if set, is the base path of the archive snapshots:
+	// checkpoints are published as <ArchivePath>.gen-<seq> generations,
+	// and New restores the newest generation that verifies, falling
+	// back generation by generation and quarantining corrupt files
+	// (renamed to <ArchivePath>.corrupt-<seq>) instead of refusing to
+	// start. A legacy single-file snapshot at ArchivePath itself is
+	// accepted as the oldest candidate. The real gmetad keeps its RRD
+	// files on disk for the same reason — history must survive daemon
+	// restarts, including unclean ones.
 	ArchivePath string
+
+	// CheckpointInterval enables the background checkpointer: while
+	// Run or PollOnce drives the daemon, the archive pool is snapshot
+	// to a new generation whenever the (jittered) interval has elapsed
+	// on the injected clock. Zero disables automatic checkpoints;
+	// SaveArchives and Checkpoint remain available for manual and
+	// shutdown saves. Requires ArchivePath.
+	CheckpointInterval time.Duration
+
+	// CheckpointGenerations is how many snapshot generations to
+	// retain; older generations are pruned after each successful
+	// checkpoint. Defaults to 3.
+	CheckpointGenerations int
+
+	// FS is the filesystem used for archive persistence; defaults to
+	// the real filesystem. Crash tests inject a vfs.FaultFS.
+	FS vfs.FS
 
 	// QueryReadTimeout bounds how long the interactive query port
 	// waits for a client's query line. A client that connects and goes
@@ -238,6 +261,14 @@ type Gmetad struct {
 	// sem is the max-connections semaphore; nil means uncapped.
 	sem chan struct{}
 
+	// ckptMu serializes checkpoints and guards the checkpointer's
+	// schedule; it is never held while the pool lock is (the pool is
+	// snapshotted by WriteSnapshot under its own lock, briefly).
+	ckptMu   sync.Mutex
+	ckptSeq  uint64     // next generation sequence number
+	ckptNext time.Time  // next scheduled checkpoint on the injected clock
+	ckptRng  *rand.Rand // deterministic checkpoint jitter
+
 	listeners listenerSet
 }
 
@@ -297,6 +328,12 @@ func New(cfg Config) (*Gmetad, error) {
 	if cfg.CacheMaxEntries <= 0 {
 		cfg.CacheMaxEntries = 1024
 	}
+	if cfg.CheckpointGenerations <= 0 {
+		cfg.CheckpointGenerations = DefaultCheckpointGenerations
+	}
+	if cfg.FS == nil {
+		cfg.FS = vfs.OS{}
+	}
 	g := &Gmetad{
 		cfg:   cfg,
 		slots: make(map[string]*sourceSlot, len(cfg.Sources)),
@@ -309,19 +346,17 @@ func New(cfg Config) (*Gmetad, error) {
 	}
 	if cfg.Archive {
 		if cfg.ArchivePath != "" {
-			if f, err := os.Open(cfg.ArchivePath); err == nil {
-				pool, err := rrd.LoadPool(f)
-				_ = f.Close()
-				if err != nil {
-					return nil, fmt.Errorf("gmetad: restore archives from %s: %w", cfg.ArchivePath, err)
-				}
-				g.pool = pool
-			}
+			// Recovery never fails New: a corrupt or torn snapshot is
+			// quarantined and an older generation (or an empty pool)
+			// takes its place. Losing history degrades the monitor;
+			// refusing to start kills it.
+			g.recoverArchives()
 		}
 		if g.pool == nil {
 			g.pool = rrd.NewPool(cfg.ArchiveSpec)
 		}
 	}
+	g.ckptRng = rand.New(rand.NewSource(cfg.HealthSeed ^ 0x636b7074)) // "ckpt"
 	for _, src := range cfg.Sources {
 		if src.Name == "" {
 			return nil, fmt.Errorf("gmetad: data source with empty name")
@@ -475,11 +510,13 @@ func (g *Gmetad) Status() []SourceStatus {
 // PollOnce polls every source once, sequentially and deterministically;
 // the experiment harness drives rounds through it with a virtual clock.
 // Sources whose circuit breaker is open are skipped until their
-// stretched cadence comes due.
+// stretched cadence comes due. When the background checkpointer is
+// configured, a due checkpoint runs after the round.
 func (g *Gmetad) PollOnce(now time.Time) {
 	for _, slot := range g.snapshotOrder() {
 		g.safePoll(slot, now)
 	}
+	g.maybeCheckpoint(now)
 }
 
 // Run polls all sources every PollInterval until done is closed.
@@ -496,6 +533,10 @@ func (g *Gmetad) Run(done <-chan struct{}) {
 			}()
 		}
 		wg.Wait()
+		// Checkpoint from the poll loop, never the serve path: the
+		// pool is snapshotted in memory briefly, then encoded and
+		// fsynced while queries keep being answered.
+		g.maybeCheckpoint(now)
 	}
 	poll()
 	t := clock.NewTicker(g.cfg.PollInterval)
@@ -510,30 +551,18 @@ func (g *Gmetad) Run(done <-chan struct{}) {
 	}
 }
 
-// SaveArchives snapshots the archive pool to Config.ArchivePath,
-// atomically (write to a temporary file, then rename).
-func (g *Gmetad) SaveArchives() error {
-	if g.pool == nil {
-		return fmt.Errorf("gmetad: archiving disabled")
-	}
-	if g.cfg.ArchivePath == "" {
-		return fmt.Errorf("gmetad: no archive path configured")
-	}
-	tmp := g.cfg.ArchivePath + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := g.pool.SaveTo(f); err != nil {
-		_ = f.Close()
-		_ = os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, g.cfg.ArchivePath)
+// SaveArchives snapshots the archive pool to a new durable generation
+// under Config.ArchivePath. It is Checkpoint under its historical name.
+func (g *Gmetad) SaveArchives() error { return g.Checkpoint() }
+
+// Drain performs the graceful half of shutdown: stop accepting new
+// connections, then wait up to timeout (wall clock) for in-flight
+// responses to finish. It reports whether every handler completed;
+// either way the daemon no longer serves, and a final Checkpoint plus
+// Close may follow. Handlers still running after a false return are
+// abandoned — their deadlines will reap them.
+func (g *Gmetad) Drain(timeout time.Duration) bool {
+	return g.listeners.drainAll(timeout)
 }
 
 // Close stops all Serve loops.

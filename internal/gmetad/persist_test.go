@@ -77,18 +77,35 @@ func TestSaveArchivesErrors(t *testing.T) {
 	}
 }
 
-func TestNewRejectsCorruptArchiveFile(t *testing.T) {
+func TestNewQuarantinesCorruptArchiveFile(t *testing.T) {
+	// A corrupt archive must never prevent startup: the file is
+	// quarantined for forensics and the daemon starts with an empty
+	// pool. (Before the generational checkpointer, New refused to
+	// start — a crash that tore the snapshot then killed the monitor
+	// for good.)
 	r := newRig(t)
 	path := filepath.Join(t.TempDir(), "corrupt.gob")
 	if err := writeFile(path, []byte("garbage")); err != nil {
 		t.Fatal(err)
 	}
-	_, err := New(Config{
+	g, err := New(Config{
 		GridName: "g", Network: r.net, Clock: r.clk,
 		Archive: true, ArchiveSpec: smallArchive(), ArchivePath: path,
 	})
-	if err == nil {
-		t.Error("corrupt archive file accepted")
+	if err != nil {
+		t.Fatalf("corrupt archive file prevented startup: %v", err)
+	}
+	if g.Pool() == nil || g.Pool().Len() != 0 {
+		t.Error("expected an empty pool after quarantine")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt file still at %s", path)
+	}
+	if _, err := os.Stat(path + ".corrupt-legacy"); err != nil {
+		t.Errorf("quarantined copy missing: %v", err)
+	}
+	if got := g.Accounting().Snapshot().QuarantinedSnapshots; got != 1 {
+		t.Errorf("QuarantinedSnapshots = %d, want 1", got)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ganglia/internal/clock"
 	"ganglia/internal/gxml"
 	"ganglia/internal/query"
 )
@@ -17,11 +18,16 @@ import (
 // here instead of growing the read buffer without limit.
 const maxQueryLineBytes = 4096
 
-// listenerSet tracks the daemon's open listeners for Close.
+// listenerSet tracks the daemon's open listeners for Close and Drain.
 type listenerSet struct {
 	mu        sync.Mutex
 	listeners []net.Listener
 	closed    bool
+	// abandoned marks a drain that timed out with handlers still
+	// running: a later closeAll must not Wait for them (they are owed
+	// to their own deadlines), or shutdown would hang on the very
+	// stragglers the drain already gave up on.
+	abandoned bool
 	wg        sync.WaitGroup
 }
 
@@ -43,13 +49,47 @@ func (ls *listenerSet) add(l net.Listener) bool {
 func (ls *listenerSet) closeAll() {
 	ls.mu.Lock()
 	ls.closed = true
+	abandoned := ls.abandoned
 	l := ls.listeners
 	ls.listeners = nil
 	ls.mu.Unlock()
 	for _, x := range l {
 		_ = x.Close()
 	}
-	ls.wg.Wait()
+	if !abandoned {
+		ls.wg.Wait()
+	}
+}
+
+// drainAll closes the listeners so no new connection is accepted, then
+// waits up to timeout for the in-flight handlers to finish. It reports
+// whether they all did; on false, the survivors are marked abandoned so
+// a following closeAll returns without waiting for them.
+func (ls *listenerSet) drainAll(timeout time.Duration) bool {
+	ls.mu.Lock()
+	ls.closed = true
+	l := ls.listeners
+	ls.listeners = nil
+	ls.mu.Unlock()
+	for _, x := range l {
+		_ = x.Close()
+	}
+	done := make(chan struct{})
+	go func() { //lint:allow goroutines only calls WaitGroup.Wait and close; nothing here can panic
+		ls.wg.Wait()
+		close(done)
+	}()
+	t := clock.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		ls.mu.Lock()
+		ls.abandoned = true
+		ls.mu.Unlock()
+		return false
+	}
 }
 
 // acquireConn takes one slot of the max-connections semaphore without

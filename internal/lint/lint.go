@@ -85,6 +85,7 @@ func Analyzers() []*Analyzer {
 		BoundedReadAnalyzer,
 		ErrCheckAnalyzer,
 		GoroutineAnalyzer,
+		SyncRenameAnalyzer,
 	}
 }
 

@@ -1,0 +1,90 @@
+// Package syncrenamedata exercises the syncrename analyzer: a function
+// that writes a file and publishes it with Rename must fsync first, or
+// a crash can leave the published name holding torn data.
+package syncrenamedata
+
+import "os"
+
+// fakeFS stands in for vfs.FS-shaped filesystems.
+type fakeFS struct{}
+
+func (fakeFS) Create(string) (*os.File, error) { return nil, nil }
+func (fakeFS) Rename(oldp, newp string) error  { return nil }
+func (fakeFS) SyncDir(string) error            { return nil }
+func (fakeFS) Remove(string) error             { return nil }
+
+// badPlain writes with os.Create and renames without any sync.
+func badPlain(tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want "without Sync"
+}
+
+// badWriteFile takes the one-shot shortcut: os.WriteFile buffers
+// through the page cache exactly like Create+Write.
+func badWriteFile(tmp, final string) error {
+	if err := os.WriteFile(tmp, []byte("data"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want "without Sync"
+}
+
+// badMethodFS violates the discipline through an FS-shaped value.
+func badMethodFS(fs fakeFS, tmp, final string) error {
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, final) // want "without Sync"
+}
+
+// goodSynced follows the full discipline: write, fsync, rename, fsync
+// the directory.
+func goodSynced(fs fakeFS, dir, tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+// goodRenameOnly publishes nothing new: quarantine and prune moves are
+// exempt.
+func goodRenameOnly(path string) error {
+	return os.Rename(path, path+".corrupt")
+}
+
+// goodAllowed documents a deliberate exception: a scratch file on a
+// throwaway path whose loss is acceptable.
+func goodAllowed(tmp, final string) error {
+	if err := os.WriteFile(tmp, []byte("scratch"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) //lint:allow syncrename scratch output; losing it on crash is acceptable
+}

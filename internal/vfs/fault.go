@@ -1,0 +1,253 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"syscall"
+)
+
+// ErrCrashed is returned by every mutating operation after a FaultFS
+// crash point fires: the simulated machine lost power mid-write.
+var ErrCrashed = errors.New("vfs: simulated crash (power loss)")
+
+// ErrSyncFailed is returned by Sync while FailSync is armed.
+var ErrSyncFailed = errors.New("vfs: simulated sync failure")
+
+// ErrRenameFailed is returned by Rename while FailRename is armed.
+var ErrRenameFailed = errors.New("vfs: simulated rename failure")
+
+// FaultFS wraps an FS with injectable disk faults, the filesystem
+// sibling of transport.FaultNetwork. Its failure model is the one the
+// checkpoint discipline must survive:
+//
+//   - CrashAfter(n) models power loss: once n more bytes have been
+//     written across all files, the write in flight is torn at that
+//     exact byte and every later mutation (Create, Write, Sync,
+//     Rename, Remove) fails with ErrCrashed. Reads and directory
+//     listings keep working so a test can inspect the disk, and Heal
+//     restarts the machine.
+//   - SetQuota(n) models ENOSPC: writes beyond n more bytes are torn
+//     at the boundary and fail with a syscall.ENOSPC-wrapped error,
+//     but the filesystem otherwise keeps working.
+//   - FailSync / FailDirSync / FailRename model a dying disk whose
+//     writes appear to succeed but whose durability or metadata
+//     operations fail.
+//
+// Writes that returned success are treated as durable (as if the files
+// were opened O_SYNC); the separately injected Sync failures are how
+// tests exercise the must-fsync-before-rename discipline.
+type FaultFS struct {
+	inner FS
+
+	mu          sync.Mutex
+	crashBudget int64 // bytes until power loss; -1 = disarmed
+	crashed     bool
+	quota       int64 // bytes until ENOSPC; -1 = unlimited
+	written     int64
+	failSync    bool
+	failDirSync bool
+	failRename  bool
+}
+
+// NewFaultFS wraps inner with all faults disarmed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, crashBudget: -1, quota: -1}
+}
+
+// CrashAfter arms a power loss n written bytes from now. n = 0 tears
+// the very next write before its first byte.
+func (f *FaultFS) CrashAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashBudget = n
+	f.crashed = false
+}
+
+// Heal restarts the crashed machine and disarms every fault.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashBudget = -1
+	f.crashed = false
+	f.quota = -1
+	f.failSync = false
+	f.failDirSync = false
+	f.failRename = false
+}
+
+// SetQuota arms ENOSPC n written bytes from now; negative disarms.
+func (f *FaultFS) SetQuota(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.quota = n
+}
+
+// FailSync makes file Sync calls fail while armed.
+func (f *FaultFS) FailSync(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSync = v
+}
+
+// FailDirSync makes SyncDir calls fail while armed.
+func (f *FaultFS) FailDirSync(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failDirSync = v
+}
+
+// FailRename makes Rename calls fail while armed.
+func (f *FaultFS) FailRename(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failRename = v
+}
+
+// Written returns the total bytes successfully written through the
+// fault layer, for sweeping crash offsets across a save.
+func (f *FaultFS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Crashed reports whether a crash point has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *FaultFS) mutationErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.mutationErr(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+// Open implements FS; reads pass through even after a crash so the
+// recovery side of a test can inspect what survived.
+func (f *FaultFS) Open(name string) (File, error) { return f.inner.Open(name) }
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.mutationErr(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	failRename := f.failRename
+	f.mu.Unlock()
+	if failRename {
+		return fmt.Errorf("vfs: rename %s: %w", oldpath, ErrRenameFailed)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.mutationErr(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// ReadDirNames implements FS; listings pass through.
+func (f *FaultFS) ReadDirNames(dir string) ([]string, error) { return f.inner.ReadDirNames(dir) }
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.mutationErr(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	failDirSync := f.failDirSync
+	f.mu.Unlock()
+	if failDirSync {
+		return fmt.Errorf("vfs: sync dir %s: %w", dir, ErrSyncFailed)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile applies the write-side faults of its FaultFS.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+}
+
+// Read passes through.
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.inner.Read(p) }
+
+// Write delivers as many bytes as the crash budget and quota allow,
+// then fails: a write straddling the boundary is torn mid-record,
+// exactly the power-loss shape the snapshot format must detect.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	allow := int64(len(p))
+	var failErr error
+	if f.crashBudget >= 0 && allow > f.crashBudget {
+		allow = f.crashBudget
+		f.crashed = true
+		failErr = ErrCrashed
+	}
+	if failErr == nil && f.quota >= 0 && allow > f.quota {
+		allow = f.quota
+		failErr = fmt.Errorf("vfs: write %s: %w", ff.name, syscall.ENOSPC)
+	}
+	if f.crashBudget >= 0 {
+		f.crashBudget -= allow
+	}
+	if f.quota >= 0 {
+		f.quota -= allow
+	}
+	f.written += allow
+	f.mu.Unlock()
+
+	n, err := ff.inner.Write(p[:allow])
+	if err != nil {
+		return n, err
+	}
+	if failErr != nil {
+		return n, failErr
+	}
+	return n, nil
+}
+
+// Sync honors the crash and sync faults.
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	crashed, failSync := f.crashed, f.failSync
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	if failSync {
+		return fmt.Errorf("vfs: sync %s: %w", ff.name, ErrSyncFailed)
+	}
+	return ff.inner.Sync()
+}
+
+// Close always reaches the real file, so descriptors never leak even
+// across a simulated crash.
+func (ff *faultFile) Close() error { return ff.inner.Close() }

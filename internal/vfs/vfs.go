@@ -1,0 +1,82 @@
+// Package vfs abstracts the handful of filesystem operations the
+// archive checkpoint subsystem performs — create, rename, remove, list,
+// and the fsyncs that make them durable — so disk faults can be
+// injected in tests the way transport.FaultNetwork injects network
+// faults. Production code uses OS; crash-replay tests wrap it in a
+// FaultFS that tears writes at an arbitrary byte offset, fails Sync,
+// runs out of space, or refuses renames.
+package vfs
+
+import (
+	"io"
+	"os"
+	"sort"
+)
+
+// File is one open file of an FS.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+}
+
+// FS is the filesystem surface the checkpointer needs.
+type FS interface {
+	// Create makes (or truncates) a file for writing.
+	Create(name string) (File, error)
+	// Open opens a file for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDirNames lists the entries of dir, sorted by name.
+	ReadDirNames(dir string) ([]string, error)
+	// SyncDir fsyncs a directory, making renames within it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDirNames implements FS.
+func (OS) ReadDirNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS by opening the directory and fsyncing it: the
+// only portable way to make a completed rename survive power loss.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
+}

@@ -1,0 +1,261 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS{}
+	tmp := filepath.Join(dir, "file.tmp")
+	final := filepath.Join(dir, "file")
+
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := fsys.ReadDirNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "file" {
+		t.Fatalf("ReadDirNames = %v", names)
+	}
+
+	r, err := fsys.Open(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "payload" {
+		t.Fatalf("read %q", data)
+	}
+	if err := fsys.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSCrashTearsWriteAtExactByte(t *testing.T) {
+	dir := t.TempDir()
+	for _, budget := range []int64{0, 1, 3, 7} {
+		fsys := NewFaultFS(OS{})
+		fsys.CrashAfter(budget)
+		path := filepath.Join(dir, "torn")
+		f, err := fsys.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := f.Write([]byte("12345678"))
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("budget %d: write error %v", budget, err)
+		}
+		if int64(n) != budget {
+			t.Fatalf("budget %d: wrote %d bytes", budget, n)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !fsys.Crashed() {
+			t.Fatalf("budget %d: not crashed", budget)
+		}
+		// The torn bytes are on disk; everything past them is not.
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "12345678"[:budget] {
+			t.Fatalf("budget %d: disk holds %q", budget, got)
+		}
+	}
+}
+
+func TestFaultFSCrashExactBudgetSucceeds(t *testing.T) {
+	// A write that fits the budget exactly succeeds: CrashAfter(len)
+	// models power loss after the write completed.
+	fsys := NewFaultFS(OS{})
+	fsys.CrashAfter(5)
+	f, err := fsys.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("12345")); err != nil || n != 5 {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if fsys.Crashed() {
+		t.Fatal("crashed on exact-budget write")
+	}
+	// The next byte is the one that dies.
+	if _, err := f.Write([]byte("6")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("next write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSMutationsFailAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	keep := filepath.Join(dir, "keep")
+	if err := os.WriteFile(keep, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := NewFaultFS(OS{})
+	fsys.CrashAfter(0)
+	f, err := fsys.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Create(filepath.Join(dir, "g")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("create: %v", err)
+	}
+	if err := fsys.Rename(keep, keep+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename: %v", err)
+	}
+	if err := fsys.Remove(keep); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := fsys.SyncDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("syncdir: %v", err)
+	}
+	// Reads and listings survive the crash so recovery can look around.
+	if _, err := fsys.ReadDirNames(dir); err != nil {
+		t.Fatalf("readdir after crash: %v", err)
+	}
+	r, err := fsys.Open(keep)
+	if err != nil {
+		t.Fatalf("open after crash: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heal restarts the machine.
+	fsys.Heal()
+	if err := fsys.Rename(keep, keep+"2"); err != nil {
+		t.Fatalf("rename after heal: %v", err)
+	}
+}
+
+func TestFaultFSQuota(t *testing.T) {
+	fsys := NewFaultFS(OS{})
+	fsys.SetQuota(4)
+	f, err := fsys.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("123456"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write error %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("wrote %d bytes", n)
+	}
+	// ENOSPC is not a crash: other operations keep working.
+	if fsys.Crashed() {
+		t.Fatal("quota exhaustion reported as crash")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fsys.SetQuota(-1)
+	g, err := fsys.Create(filepath.Join(t.TempDir(), "g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("123456")); err != nil {
+		t.Fatalf("write after quota lift: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSInjectedFailures(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS{})
+
+	fsys.FailSync(true)
+	f, err := fsys.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fsys.FailDirSync(true)
+	if err := fsys.SyncDir(dir); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("syncdir: %v", err)
+	}
+
+	fsys.FailRename(true)
+	if err := fsys.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); !errors.Is(err, ErrRenameFailed) {
+		t.Fatalf("rename: %v", err)
+	}
+
+	fsys.Heal()
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatalf("syncdir after heal: %v", err)
+	}
+}
+
+func TestFaultFSWrittenCounter(t *testing.T) {
+	fsys := NewFaultFS(OS{})
+	f, err := fsys.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("12345")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsys.Written(); got != 15 {
+		t.Fatalf("Written = %d, want 15", got)
+	}
+}
