@@ -11,6 +11,7 @@
 //	ganglia-bench -experiment table1 -samples 5
 //	ganglia-bench -experiment bandwidth
 //	ganglia-bench -experiment serve -hosts 100
+//	ganglia-bench -experiment render -hosts 100 -json BENCH_render.json
 //	ganglia-bench -experiment chaos -seed 7
 //	ganglia-bench -experiment checkpoint -hosts 100
 //
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve, chaos, checkpoint or all")
+		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint or all")
 		hosts      = flag.Int("hosts", 100, "hosts per cluster (fig5, table1, serve)")
 		rounds     = flag.Int("rounds", 8, "measured polling rounds (fig5, fig6)")
 		samples    = flag.Int("samples", 5, "samples per view (table1)")
@@ -40,6 +41,7 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory to write fig5.csv/fig6.csv/table1.csv into (optional)")
 		detail     = flag.Bool("detail", false, "also print the fig5 per-phase work breakdown")
 		seed       = flag.Int64("seed", 1, "fault-plan and jitter seed (chaos)")
+		jsonOut    = flag.String("json", "", "file to write the render result into as a regression baseline (render)")
 	)
 	flag.Parse()
 
@@ -142,6 +144,28 @@ func main() {
 			fmt.Println(res.Table())
 			check("serve", res.ShapeErrors())
 		},
+		"render": func() {
+			res, err := bench.RunRender(bench.RenderConfig{ClusterSize: *hosts})
+			if err != nil {
+				log.Fatalf("render: %v", err)
+			}
+			fmt.Println(res.Table())
+			check("render", res.ShapeErrors())
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					log.Fatalf("json: %v", err)
+				}
+				if err := res.WriteJSON(f); err != nil {
+					_ = f.Close()
+					log.Fatalf("json %s: %v", *jsonOut, err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatalf("json %s: %v", *jsonOut, err)
+				}
+				fmt.Printf("  wrote %s\n\n", *jsonOut)
+			}
+		},
 		"chaos": func() {
 			res, err := bench.RunChaos(bench.ChaosConfig{Rounds: *rounds * 5, Seed: *seed})
 			if err != nil {
@@ -162,13 +186,13 @@ func main() {
 
 	switch *experiment {
 	case "all":
-		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve", "chaos", "checkpoint"} {
+		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve", "render", "chaos", "checkpoint"} {
 			run[name]()
 		}
 	default:
 		f, ok := run[*experiment]
 		if !ok {
-			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve, chaos, checkpoint or all)", *experiment)
+			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint or all)", *experiment)
 		}
 		f()
 	}

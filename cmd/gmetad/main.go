@@ -79,6 +79,8 @@ func main() {
 		maxConns     = flag.Int("max-conns", 1024, "max concurrent serve connections; excess are rejected (negative = unlimited)")
 		noCache      = flag.Bool("no-cache", false, "disable the per-epoch rendered-response cache")
 		cacheEntries = flag.Int("cache-entries", 1024, "max distinct query responses cached per poll epoch")
+		cacheBytes   = flag.Int64("cache-bytes", gmetad.DefaultCacheMaxBytes, "max total bytes of cached response bodies per epoch (negative = unbounded)")
+		emitDTD      = flag.Bool("emit-dtd", false, "include the Ganglia DTD in every response, as classic gmetad did")
 	)
 	flag.Var(&sources, "source", "data source as name|kind|addr[,addr...] (repeatable)")
 	flag.Parse()
@@ -123,6 +125,8 @@ func main() {
 		MaxConns:             *maxConns,
 		DisableResponseCache: *noCache,
 		CacheMaxEntries:      *cacheEntries,
+		CacheMaxBytes:        *cacheBytes,
+		EmitDTD:              *emitDTD,
 
 		Logger: log.Default(),
 	})
@@ -161,8 +165,10 @@ func main() {
 		select {
 		case <-status.C:
 			snap := g.Accounting().Snapshot()
-			fmt.Printf("gmetad: %d queries served (%d cache hits, %d misses), %d connections rejected\n",
-				snap.Queries, snap.CacheHits, snap.CacheMisses, snap.RejectedConns)
+			fmt.Printf("gmetad: %d queries served (%d cache hits, %d misses, %d bytes evicted), %d connections rejected\n",
+				snap.Queries, snap.CacheHits, snap.CacheMisses, snap.CacheEvictedBytes, snap.RejectedConns)
+			fmt.Printf("gmetad: %d fragment renders (%d serve-time fallbacks), render time %v of %v total work\n",
+				snap.FragmentRenders, snap.FragmentFallbacks, snap.Render, snap.Work())
 			if snap.PollFails > 0 {
 				fmt.Printf("gmetad: %d poll failures, %d failovers, %d backoffs, %d breaker trips, %d oversize reports\n",
 					snap.PollFails, snap.Failovers, snap.Backoffs, snap.BreakerTrips, snap.OversizeReports)

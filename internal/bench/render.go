@@ -1,0 +1,235 @@
+// Render-pipeline experiment: the zero-copy fragment splice measured
+// against the retired DOM pipeline it replaced, plus the cache-hit
+// fast path.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gmetad"
+	"ganglia/internal/gxml"
+	"ganglia/internal/pseudo"
+	"ganglia/internal/query"
+	"ganglia/internal/transport"
+)
+
+// RenderConfig parameterizes the render experiment.
+type RenderConfig struct {
+	// ClusterSize is the host count of each monitored cluster.
+	ClusterSize int
+	// Clusters is how many clusters the daemon aggregates.
+	Clusters int
+}
+
+func (c *RenderConfig) defaults() {
+	if c.ClusterSize == 0 {
+		c.ClusterSize = 100
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 4
+	}
+}
+
+// RenderStage is one measured pipeline variant.
+type RenderStage struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// RenderResult is the regenerated experiment: the depth-0 dump a parent
+// gmetad polls every round, rendered three ways.
+type RenderResult struct {
+	Config        RenderConfig `json:"config"`
+	ResponseBytes int          `json:"response_bytes"`
+	// DOM is the retired pipeline: deep-copy the tree into a throwaway
+	// gxml.Report, then serialize it.
+	DOM RenderStage `json:"dom"`
+	// Splice is a cache-miss zero-copy render: per-request header over
+	// spliced pre-rendered fragments.
+	Splice RenderStage `json:"splice"`
+	// CacheHit is a repeat query served from the response cache.
+	CacheHit RenderStage `json:"cache_hit"`
+}
+
+// AllocReduction returns how many times fewer allocations the splice
+// path performs per cache-miss response.
+func (r *RenderResult) AllocReduction() float64 {
+	if r.Splice.AllocsPerOp <= 0 {
+		return float64(r.DOM.AllocsPerOp)
+	}
+	return float64(r.DOM.AllocsPerOp) / float64(r.Splice.AllocsPerOp)
+}
+
+// Speedup returns the cache-miss ns/op win over the DOM pipeline.
+func (r *RenderResult) Speedup() float64 {
+	if r.Splice.NsPerOp <= 0 {
+		return 0
+	}
+	return r.DOM.NsPerOp / r.Splice.NsPerOp
+}
+
+// ShapeErrors re-checks the refactor's quantitative claims: the splice
+// must cut allocations at least in half (it should cut them by orders
+// of magnitude), win measurably on time, and cache hits must not
+// allocate.
+func (r *RenderResult) ShapeErrors() []string {
+	var errs []string
+	if red := r.AllocReduction(); red < 2 {
+		errs = append(errs, fmt.Sprintf("cache-miss allocs barely improved (%.1fx, want >=2x)", red))
+	}
+	if s := r.Speedup(); s < 1.2 {
+		errs = append(errs, fmt.Sprintf("cache-miss render not measurably faster (%.2fx, want >=1.2x)", s))
+	}
+	if r.CacheHit.AllocsPerOp > 1 {
+		errs = append(errs, fmt.Sprintf("cache hit allocates (%d allocs/op, want <=1)", r.CacheHit.AllocsPerOp))
+	}
+	return errs
+}
+
+// Table renders the result for terminals, in the repo's experiment
+// style.
+func (r *RenderResult) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Render pipeline — depth-0 dump, %d clusters × %d hosts (%d response bytes)\n",
+		r.Config.Clusters, r.Config.ClusterSize, r.ResponseBytes)
+	fmt.Fprintf(&sb, "%-22s %14s %14s %14s\n", "pipeline", "ns/op", "allocs/op", "B/op")
+	for _, s := range []RenderStage{r.DOM, r.Splice, r.CacheHit} {
+		fmt.Fprintf(&sb, "%-22s %14.0f %14d %14d\n", s.Name, s.NsPerOp, s.AllocsPerOp, s.BytesPerOp)
+	}
+	fmt.Fprintf(&sb, "cache-miss: %.0fx fewer allocs, %.1fx faster than the DOM pipeline\n",
+		r.AllocReduction(), r.Speedup())
+	return sb.String()
+}
+
+// WriteJSON writes the result as the committed regression baseline.
+func (r *RenderResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RunRender measures the depth-0 render three ways over one daemon's
+// polled state. The virtual clock is frozen, so the cached variant hits
+// on every repeat — the splice and DOM variants run with the cache
+// disabled so every iteration pays the full render.
+func RunRender(cfg RenderConfig) (*RenderResult, error) {
+	cfg.defaults()
+	res := &RenderResult{Config: cfg}
+
+	build := func(disableCache bool) (*gmetad.Gmetad, func(), error) {
+		net := transport.NewInMemNetwork()
+		clk := clock.NewVirtual(t0)
+		var gmonds []*pseudo.Gmond
+		var sources []gmetad.DataSource
+		for i := 0; i < cfg.Clusters; i++ {
+			name := fmt.Sprintf("cluster-%d", i)
+			addr := name + ":8649"
+			p := pseudo.New(name, cfg.ClusterSize, int64(i+1), clk)
+			l, err := net.Listen(addr)
+			if err != nil {
+				return nil, nil, err
+			}
+			go p.Serve(l)
+			gmonds = append(gmonds, p)
+			sources = append(sources, gmetad.DataSource{
+				Name: name, Kind: gmetad.SourceGmond, Addrs: []string{addr},
+			})
+		}
+		g, err := gmetad.New(gmetad.Config{
+			GridName:             "render-bench",
+			Authority:            "http://render-bench/",
+			Network:              net,
+			Clock:                clk,
+			Sources:              sources,
+			DisableResponseCache: disableCache,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		g.PollOnce(clk.Now())
+		cleanup := func() {
+			g.Close()
+			for _, p := range gmonds {
+				p.Close()
+			}
+		}
+		return g, cleanup, nil
+	}
+
+	q := query.MustParse("/")
+	stage := func(name string, g *gmetad.Gmetad, op func() error) (RenderStage, error) {
+		var opErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := op(); err != nil {
+					opErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if opErr != nil {
+			return RenderStage{}, fmt.Errorf("%s: %w", name, opErr)
+		}
+		return RenderStage{
+			Name:        name,
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}, nil
+	}
+
+	// Cache-miss variants: DOM vs splice over the identical snapshot.
+	g, cleanup, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	var buf strings.Builder
+	if err := g.WriteAnswer(&buf, q); err != nil {
+		cleanup()
+		return nil, err
+	}
+	res.ResponseBytes = buf.Len()
+
+	res.DOM, err = stage("dom (retired)", g, func() error {
+		rep, err := g.ReferenceReport(q)
+		if err != nil {
+			return err
+		}
+		_, err = gxml.RenderReport(rep)
+		return err
+	})
+	if err == nil {
+		res.Splice, err = stage("splice (cache miss)", g, func() error {
+			return g.WriteAnswer(io.Discard, q)
+		})
+	}
+	cleanup()
+	if err != nil {
+		return nil, err
+	}
+
+	// Cache-hit variant: a second daemon with the cache on, warmed once.
+	g, cleanup, err = build(false)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	if err := g.WriteAnswer(io.Discard, q); err != nil {
+		return nil, err
+	}
+	res.CacheHit, err = stage("cache hit", g, func() error {
+		return g.WriteAnswer(io.Discard, q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -20,6 +20,7 @@ type Accounting struct {
 	summarize     atomic.Int64 // ns computing additive reductions
 	archive       atomic.Int64 // ns updating round-robin archives
 	serve         atomic.Int64 // ns building + writing query responses
+	render        atomic.Int64 // ns rendering per-source XML fragments
 
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
@@ -29,9 +30,13 @@ type Accounting struct {
 	failovers atomic.Int64
 	queries   atomic.Int64
 
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
-	rejectedConns atomic.Int64
+	cacheHits         atomic.Int64
+	cacheMisses       atomic.Int64
+	cacheEvictedBytes atomic.Int64
+	rejectedConns     atomic.Int64
+
+	fragmentRenders   atomic.Int64
+	fragmentFallbacks atomic.Int64
 
 	addrDialFails   atomic.Int64
 	backoffs        atomic.Int64
@@ -53,6 +58,10 @@ type Snapshot struct {
 	Summarize     time.Duration
 	Archive       time.Duration
 	Serve         time.Duration
+	// Render is time spent rendering per-source XML fragments on the
+	// poll path — serialization work the zero-copy serve pipeline moved
+	// from once-per-query to once-per-poll-generation.
+	Render time.Duration
 
 	BytesIn  int64
 	BytesOut int64
@@ -63,11 +72,23 @@ type Snapshot struct {
 	Queries   int64
 
 	// CacheHits and CacheMisses count query responses served from and
-	// rendered into the response cache; RejectedConns counts
-	// connections turned away by the max-connections semaphore.
-	CacheHits     int64
-	CacheMisses   int64
-	RejectedConns int64
+	// rendered into the response cache; CacheEvictedBytes totals the
+	// body bytes FIFO eviction pushed out of the byte-bounded cache
+	// (epoch turnovers are invalidation, not eviction, and don't
+	// count); RejectedConns counts connections turned away by the
+	// max-connections semaphore.
+	CacheHits         int64
+	CacheMisses       int64
+	CacheEvictedBytes int64
+	RejectedConns     int64
+
+	// FragmentRenders counts per-source fragment renderings (one per
+	// published snapshot generation); FragmentFallbacks counts serve
+	// renders that found no fragment matching the live snapshot (the
+	// reader caught the publish window) and rendered from the snapshot
+	// directly.
+	FragmentRenders   int64
+	FragmentFallbacks int64
 
 	// AddrDialFails counts individual address dial failures (a source
 	// with three replicas can fail three dials in one poll); Backoffs
@@ -98,7 +119,7 @@ type Snapshot struct {
 
 // Work returns the total processing time across phases.
 func (s Snapshot) Work() time.Duration {
-	return s.DownloadParse + s.Summarize + s.Archive + s.Serve
+	return s.DownloadParse + s.Summarize + s.Archive + s.Serve + s.Render
 }
 
 // CPUPercent converts accumulated work into the paper's reporting unit:
@@ -117,15 +138,21 @@ func (a *Accounting) Snapshot() Snapshot {
 		Summarize:     time.Duration(a.summarize.Load()),
 		Archive:       time.Duration(a.archive.Load()),
 		Serve:         time.Duration(a.serve.Load()),
+		Render:        time.Duration(a.render.Load()),
 		BytesIn:       a.bytesIn.Load(),
 		BytesOut:      a.bytesOut.Load(),
 		Polls:         a.polls.Load(),
 		PollFails:     a.pollFails.Load(),
 		Failovers:     a.failovers.Load(),
 		Queries:       a.queries.Load(),
-		CacheHits:     a.cacheHits.Load(),
-		CacheMisses:   a.cacheMisses.Load(),
-		RejectedConns: a.rejectedConns.Load(),
+
+		CacheHits:         a.cacheHits.Load(),
+		CacheMisses:       a.cacheMisses.Load(),
+		CacheEvictedBytes: a.cacheEvictedBytes.Load(),
+		RejectedConns:     a.rejectedConns.Load(),
+
+		FragmentRenders:   a.fragmentRenders.Load(),
+		FragmentFallbacks: a.fragmentFallbacks.Load(),
 
 		AddrDialFails:   a.addrDialFails.Load(),
 		Backoffs:        a.backoffs.Load(),
@@ -149,15 +176,21 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Summarize:     s.Summarize - o.Summarize,
 		Archive:       s.Archive - o.Archive,
 		Serve:         s.Serve - o.Serve,
+		Render:        s.Render - o.Render,
 		BytesIn:       s.BytesIn - o.BytesIn,
 		BytesOut:      s.BytesOut - o.BytesOut,
 		Polls:         s.Polls - o.Polls,
 		PollFails:     s.PollFails - o.PollFails,
 		Failovers:     s.Failovers - o.Failovers,
 		Queries:       s.Queries - o.Queries,
-		CacheHits:     s.CacheHits - o.CacheHits,
-		CacheMisses:   s.CacheMisses - o.CacheMisses,
-		RejectedConns: s.RejectedConns - o.RejectedConns,
+
+		CacheHits:         s.CacheHits - o.CacheHits,
+		CacheMisses:       s.CacheMisses - o.CacheMisses,
+		CacheEvictedBytes: s.CacheEvictedBytes - o.CacheEvictedBytes,
+		RejectedConns:     s.RejectedConns - o.RejectedConns,
+
+		FragmentRenders:   s.FragmentRenders - o.FragmentRenders,
+		FragmentFallbacks: s.FragmentFallbacks - o.FragmentFallbacks,
 
 		AddrDialFails:   s.AddrDialFails - o.AddrDialFails,
 		Backoffs:        s.Backoffs - o.Backoffs,

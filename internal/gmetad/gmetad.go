@@ -35,6 +35,7 @@ import (
 
 	"ganglia/internal/clock"
 	"ganglia/internal/rrd"
+	"ganglia/internal/summary"
 	"ganglia/internal/transport"
 	"ganglia/internal/vfs"
 )
@@ -51,6 +52,10 @@ const DefaultMaxReportBytes = 64 << 20
 // source's circuit breaker by default: at the default 15 s cadence, a
 // source dead for ~2.5 minutes starts being polled less often.
 const DefaultBreakerThreshold = 10
+
+// DefaultCacheMaxBytes is the default byte bound on the response
+// cache's rendered bodies.
+const DefaultCacheMaxBytes = 16 << 20
 
 // Mode selects the monitoring-tree design under test.
 type Mode int
@@ -231,6 +236,17 @@ type Config struct {
 	// retained per epoch; defaults to 1024.
 	CacheMaxEntries int
 
+	// CacheMaxBytes bounds the total rendered-body bytes the response
+	// cache retains per epoch; past it the oldest entries are evicted
+	// FIFO (counted as CacheEvictedBytes). Defaults to
+	// DefaultCacheMaxBytes; negative disables the byte bound.
+	CacheMaxBytes int64
+
+	// EmitDTD embeds the Ganglia DTD in every query response, matching
+	// the real daemons' self-describing output. Off by default: the
+	// declaration adds ~2 KiB to every answer.
+	EmitDTD bool
+
 	// Logger, if set, receives operational events: source failures,
 	// recoveries and failovers. Nil disables logging (tests and
 	// experiments run silent).
@@ -258,6 +274,12 @@ type Gmetad struct {
 	// response cache is valid only within one epoch.
 	epoch atomic.Uint64
 	cache *responseCache
+	// tracker maintains the whole-tree reduction incrementally in
+	// N-level mode; nil in 1-level mode (see treeSummary).
+	tracker *summary.Tracker
+	// hdrPrefix is the precomputed response header up to the root
+	// grid's LOCALTIME value (see buildHeaderPrefix).
+	hdrPrefix []byte
 	// sem is the max-connections semaphore; nil means uncapped.
 	sem chan struct{}
 
@@ -328,6 +350,9 @@ func New(cfg Config) (*Gmetad, error) {
 	if cfg.CacheMaxEntries <= 0 {
 		cfg.CacheMaxEntries = 1024
 	}
+	if cfg.CacheMaxBytes == 0 {
+		cfg.CacheMaxBytes = DefaultCacheMaxBytes
+	}
 	if cfg.CheckpointGenerations <= 0 {
 		cfg.CheckpointGenerations = DefaultCheckpointGenerations
 	}
@@ -335,11 +360,15 @@ func New(cfg Config) (*Gmetad, error) {
 		cfg.FS = vfs.OS{}
 	}
 	g := &Gmetad{
-		cfg:   cfg,
-		slots: make(map[string]*sourceSlot, len(cfg.Sources)),
+		cfg:       cfg,
+		slots:     make(map[string]*sourceSlot, len(cfg.Sources)),
+		hdrPrefix: buildHeaderPrefix(cfg.GridName, cfg.Authority, cfg.EmitDTD),
+	}
+	if cfg.Mode == NLevel {
+		g.tracker = summary.NewTracker()
 	}
 	if !cfg.DisableResponseCache {
-		g.cache = newResponseCache(cfg.CacheMaxEntries)
+		g.cache = newResponseCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes)
 	}
 	if cfg.MaxConns > 0 {
 		g.sem = make(chan struct{}, cfg.MaxConns)
@@ -430,6 +459,9 @@ func (g *Gmetad) RemoveSource(name string) bool {
 			g.order = append(g.order[:i], g.order[i+1:]...)
 			break
 		}
+	}
+	if g.tracker != nil {
+		g.tracker.Withdraw(name)
 	}
 	g.bumpEpoch()
 	return true

@@ -45,6 +45,7 @@ func (g *Gmetad) historyReport(q *query.Query) (*gxml.Report, error) {
 	for _, p := range points {
 		h.Points = append(h.Points, gxml.HistoryPoint{Time: p.Time.Unix(), Value: p.Value})
 	}
+	//lint:allow nocopyserve history answers are built from the archive pool, not from snapshots; the DOM is their contract
 	return &gxml.Report{
 		Version:   gxml.Version,
 		Source:    "gmetad",

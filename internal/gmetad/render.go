@@ -1,0 +1,500 @@
+package gmetad
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/query"
+)
+
+// This file is the zero-copy serve pipeline. The legacy pipeline (kept
+// in reference.go as the equivalence oracle) answered a query by
+// deep-copying the selected subtree into a fresh gxml.Report DOM —
+// O(C·H·m) allocation per cache miss — and re-rendering it. Here a
+// response is assembled in three layers, none of which copies the hash
+// DOM:
+//
+//  1. Per-source fragments: a source's subtree is rendered to bytes
+//     once per snapshot generation (renderFragment, called from the
+//     poll path) and spliced into every response that wants it.
+//  2. renderBody streams a query's answer — fragment splices for whole
+//     sources, direct snapshot-to-bytes rendering for narrower
+//     selections — into one buffer, presized from the fragment sizes.
+//  3. writeAnswer stitches a small per-request header (the root GRID
+//     open tag carries the serve-time LOCALTIME), the body, and a
+//     constant footer onto the connection. Bodies are cached per poll
+//     epoch; a cache hit costs two buffer copies and no allocation.
+
+// respFooter closes every query response: the root grid and document.
+const respFooter = "</GRID>\n</GANGLIA_XML>\n"
+
+// headerPool recycles the per-request header scratch buffers so cache
+// hits allocate nothing.
+var headerPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// buildHeaderPrefix precomputes everything of a response header up to
+// the root grid's LOCALTIME value: the XML declaration, optionally the
+// DTD, the GANGLIA_XML open tag, and the root GRID open tag cut at
+// `LOCALTIME="`. Per request only the current Unix second and `">` are
+// appended.
+func buildHeaderPrefix(gridName, authority string, emitDTD bool) []byte {
+	b := []byte(gxml.XMLDecl)
+	if emitDTD {
+		b = append(b, gxml.DTD...)
+	}
+	b = append(b, `<GANGLIA_XML VERSION="`...)
+	b = gxml.AppendEscaped(b, gxml.Version)
+	b = append(b, `" SOURCE="gmetad">`...)
+	b = append(b, '\n')
+	b = append(b, `<GRID NAME="`...)
+	b = gxml.AppendEscaped(b, gridName)
+	b = append(b, `" AUTHORITY="`...)
+	b = gxml.AppendEscaped(b, authority)
+	b = append(b, `" LOCALTIME="`...)
+	return b
+}
+
+// renderFragment renders one snapshot's subtree to a fragment, with the
+// snapshot's age baked into every TN. Rendering happens once per
+// snapshot generation, on the poll path; the serve path only splices.
+func renderFragment(data *sourceData, mode Mode) *sourceFragment {
+	f := &sourceFragment{epoch: data.epoch}
+	var buf bytes.Buffer
+	w := gxml.NewWriter(&buf)
+	switch {
+	case data.kind == SourceGmond:
+		for _, cname := range data.clusterOrder {
+			writeClusterFull(w, data.clusters[cname], data.age)
+		}
+		f.clusters = buf.Bytes()
+	case mode == NLevel:
+		writeSummaryGrid(w, data)
+		f.grids = buf.Bytes()
+	default: // OneLevel: the union of the child's data, full detail
+		for _, child := range data.grids {
+			w.GridAged(child, data.age)
+		}
+		f.grids = buf.Bytes()
+	}
+	// A bytes.Buffer destination cannot fail; Flush is a formality.
+	_ = w.Flush()
+	return f
+}
+
+// writeClusterFull streams one cluster at full resolution with aged
+// TN values — the zero-copy equivalent of serializing agedCluster's
+// deep copy (which always drops the summary, so even a host-less
+// cluster is written in full-resolution form).
+func writeClusterFull(w *gxml.Writer, c *clusterData, age uint32) {
+	w.OpenCluster(c.meta.Name, c.meta.Owner, c.meta.URL, c.meta.LocalTime)
+	for _, name := range c.order {
+		w.HostAged(c.hosts[name], age)
+	}
+	w.CloseCluster()
+}
+
+// writeSummaryCluster streams the cluster-summary filter form (§2.3.2).
+func writeSummaryCluster(w *gxml.Writer, c *clusterData) {
+	w.OpenCluster(c.meta.Name, c.meta.Owner, c.meta.URL, c.meta.LocalTime)
+	w.SummaryBody(c.summaryOf())
+	w.CloseCluster()
+}
+
+// writeSummaryGrid streams a remote source as its O(m) summary plus the
+// authority pointer to the child holding full resolution.
+func writeSummaryGrid(w *gxml.Writer, data *sourceData) {
+	name := data.name
+	authority := data.authority
+	if len(data.grids) > 0 {
+		if data.grids[0].Name != "" {
+			name = data.grids[0].Name
+		}
+		if data.grids[0].Authority != "" {
+			authority = data.grids[0].Authority
+		}
+	}
+	w.OpenGrid(name, authority, data.localtime)
+	w.SummaryBody(data.summaryOf())
+	w.CloseGrid()
+}
+
+// renderBody renders the inside of the root GRID element for q: health
+// records, then the selected subtree. Errors are decided before any
+// byte is emitted, so a non-nil error always comes with an empty body.
+func (g *Gmetad) renderBody(q *query.Query) ([]byte, error) {
+	switch q.Depth() {
+	case 0:
+		return g.renderRoot(q.Filter == query.FilterSummary)
+	case 1:
+		return g.renderSource(q)
+	case 2, 3:
+		return g.renderHost(q)
+	}
+	return nil, fmt.Errorf("gmetad: unsupported query depth %d", q.Depth())
+}
+
+// renderRoot answers depth-0 queries: the whole tree, as health records
+// followed by every gmond source's clusters and then every gmetad
+// source's grids (document order matches the reference DOM, which
+// serializes all clusters before all grids).
+func (g *Gmetad) renderRoot(summaryFilter bool) ([]byte, error) {
+	slots := g.snapshotOrder()
+
+	if summaryFilter {
+		var buf bytes.Buffer
+		w := gxml.NewWriter(&buf)
+		g.renderHealth(w, slots)
+		w.SummaryBody(g.treeSummary())
+		return buf.Bytes(), w.Flush()
+	}
+
+	// One consistent view per slot, taken once; presize the buffer from
+	// the fragment sizes so splicing large trees does not reallocate.
+	type view struct {
+		data *sourceData
+		frag *sourceFragment
+	}
+	views := make([]view, len(slots))
+	size := 256
+	for i, slot := range slots {
+		views[i].data, views[i].frag = slot.view()
+		size += views[i].frag.size()
+	}
+
+	var buf bytes.Buffer
+	buf.Grow(size)
+	w := gxml.NewWriter(&buf)
+	g.renderHealth(w, slots)
+	for _, v := range views {
+		if v.data == nil || v.data.kind != SourceGmond {
+			continue
+		}
+		if v.frag != nil {
+			w.Raw(v.frag.clusters)
+			continue
+		}
+		g.countFallbackRender()
+		for _, cname := range v.data.clusterOrder {
+			writeClusterFull(w, v.data.clusters[cname], v.data.age)
+		}
+	}
+	for _, v := range views {
+		if v.data == nil || v.data.kind == SourceGmond {
+			continue
+		}
+		if v.frag != nil {
+			w.Raw(v.frag.grids)
+			continue
+		}
+		g.countFallbackRender()
+		if g.cfg.Mode == NLevel {
+			writeSummaryGrid(w, v.data)
+		} else {
+			for _, child := range v.data.grids {
+				w.GridAged(child, v.data.age)
+			}
+		}
+	}
+	return buf.Bytes(), w.Flush()
+}
+
+// renderHealth streams the per-source SOURCE_HEALTH records.
+func (g *Gmetad) renderHealth(w *gxml.Writer, slots []*sourceSlot) {
+	if g.cfg.DisableHealthXML {
+		return
+	}
+	for _, sh := range collectHealth(slots) {
+		w.SourceHealthElem(sh)
+	}
+}
+
+// renderSource answers depth-1 queries: /source. Clusters and grids are
+// streamed into separate buffers because the DOM serialized all of a
+// response's CLUSTER elements before any GRID element, regardless of
+// the order selections were made in; the two buffers are concatenated
+// at the end to preserve that document order.
+func (g *Gmetad) renderSource(q *query.Query) ([]byte, error) {
+	m := q.Segments[0]
+	var cbuf, gbuf bytes.Buffer
+	wc := gxml.NewWriter(&cbuf) // CLUSTER elements
+	wg := gxml.NewWriter(&gbuf) // GRID elements
+	found := false
+
+	emitSource := func(slot *sourceSlot) {
+		data, frag := slot.view()
+		if data == nil {
+			return
+		}
+		switch {
+		case data.kind == SourceGmond:
+			if len(data.clusterOrder) == 0 {
+				return
+			}
+			switch {
+			case q.Filter == query.FilterSummary:
+				for _, cname := range data.clusterOrder {
+					writeSummaryCluster(wc, data.clusters[cname])
+				}
+			case frag != nil:
+				// All the source's clusters at once: exactly the
+				// fragment's cluster section.
+				wc.Raw(frag.clusters)
+			default:
+				g.countFallbackRender()
+				for _, cname := range data.clusterOrder {
+					writeClusterFull(wc, data.clusters[cname], data.age)
+				}
+			}
+			found = true
+		case g.cfg.Mode == NLevel || q.Filter == query.FilterSummary:
+			if g.cfg.Mode == NLevel && frag != nil {
+				wg.Raw(frag.grids)
+			} else {
+				writeSummaryGrid(wg, data)
+			}
+			found = true
+		default:
+			if len(data.grids) == 0 {
+				return
+			}
+			if frag != nil {
+				wg.Raw(frag.grids)
+			} else {
+				g.countFallbackRender()
+				for _, child := range data.grids {
+					wg.GridAged(child, data.age)
+				}
+			}
+			found = true
+		}
+	}
+
+	emitCluster := func(data *sourceData, c *clusterData) {
+		if q.Filter == query.FilterSummary {
+			writeSummaryCluster(wc, c)
+		} else {
+			writeClusterFull(wc, c, data.age)
+		}
+		found = true
+	}
+
+	if !m.IsRegex() {
+		// Literal: one hash lookup at the source level; if the name is
+		// not a direct source, fall back to the flattened cluster
+		// index (clusters nested inside 1-level child grids).
+		g.mu.RLock()
+		slot, ok := g.slots[m.Name()]
+		g.mu.RUnlock()
+		if ok {
+			emitSource(slot)
+		} else if data, c := g.findCluster(m.Name()); c != nil {
+			emitCluster(data, c)
+		}
+	} else {
+		slots := g.snapshotOrder()
+		seen := map[string]bool{}
+		for _, slot := range slots {
+			if m.Match(slot.cfg.Name) {
+				emitSource(slot)
+				data, _ := slot.snapshot()
+				if data != nil {
+					for _, cname := range data.clusterOrder {
+						seen[cname] = true
+					}
+				}
+				seen[slot.cfg.Name] = true
+			}
+		}
+		// Also match nested clusters not already covered.
+		for _, slot := range slots {
+			data, _ := slot.snapshot()
+			if data == nil {
+				continue
+			}
+			for _, cname := range data.clusterOrder {
+				if seen[cname] || !m.Match(cname) {
+					continue
+				}
+				seen[cname] = true
+				emitCluster(data, data.clusters[cname])
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, q.String())
+	}
+	if err := wc.Flush(); err != nil {
+		return nil, err
+	}
+	if err := wg.Flush(); err != nil {
+		return nil, err
+	}
+	if gbuf.Len() == 0 {
+		return cbuf.Bytes(), nil
+	}
+	cbuf.Grow(gbuf.Len())
+	_, _ = cbuf.Write(gbuf.Bytes())
+	return cbuf.Bytes(), nil
+}
+
+// renderHost answers depth-2 and depth-3 queries: /cluster/host[/metric].
+// Unlike the DOM pipeline, which could abort a half-built tree, the
+// streaming form validates each selection before emitting it — a host
+// is opened only after its metric filter is known to keep something.
+func (g *Gmetad) renderHost(q *query.Query) ([]byte, error) {
+	cm, hm := q.Segments[0], q.Segments[1]
+	if cm.IsRegex() {
+		return nil, fmt.Errorf("%w: regex cluster segments are only supported at depth 1", ErrNotFound)
+	}
+	data, c := g.findCluster(cm.Name())
+	if c == nil {
+		return nil, fmt.Errorf("%w: cluster %s", ErrNotFound, cm.Name())
+	}
+	age := data.age
+
+	var mm *query.Matcher
+	if q.Depth() == 3 {
+		mm = &q.Segments[2]
+	}
+	countMetrics := func(h *gxml.Host) int {
+		if mm == nil {
+			return len(h.Metrics)
+		}
+		n := 0
+		for i := range h.Metrics {
+			if mm.Match(h.Metrics[i].Name) {
+				n++
+			}
+		}
+		return n
+	}
+
+	var buf bytes.Buffer
+	w := gxml.NewWriter(&buf)
+	opened := false
+	emitHost := func(h *gxml.Host) {
+		if !opened {
+			w.OpenCluster(c.meta.Name, c.meta.Owner, c.meta.URL, c.meta.LocalTime)
+			opened = true
+		}
+		if mm == nil {
+			w.HostAged(h, age)
+			return
+		}
+		w.OpenHostAged(h, age)
+		for i := range h.Metrics {
+			if mm.Match(h.Metrics[i].Name) {
+				w.MetricAged(&h.Metrics[i], age)
+			}
+		}
+		w.CloseHost()
+	}
+
+	if !hm.IsRegex() {
+		h, ok := c.hosts[hm.Name()]
+		if !ok {
+			return nil, fmt.Errorf("%w: host %s in %s", ErrNotFound, hm.Name(), cm.Name())
+		}
+		if mm != nil && countMetrics(h) == 0 {
+			return nil, fmt.Errorf("%w: metric %s on %s", ErrNotFound, mm.Name(), h.Name)
+		}
+		emitHost(h)
+	} else {
+		for _, name := range c.order {
+			if !hm.Match(name) {
+				continue
+			}
+			h := c.hosts[name]
+			// At depth 3 a missing metric on one regex-matched host is
+			// not an error; just omit the host.
+			if mm != nil && countMetrics(h) == 0 {
+				continue
+			}
+			emitHost(h)
+		}
+		if !opened {
+			return nil, fmt.Errorf("%w: no host matches %s in %s", ErrNotFound, hm.Name(), cm.Name())
+		}
+	}
+	w.CloseCluster()
+	return buf.Bytes(), w.Flush()
+}
+
+// countFallbackRender accounts a serve-path render that could not
+// splice a fragment (the reader caught the window between a snapshot
+// publish and its fragment publish).
+func (g *Gmetad) countFallbackRender() {
+	g.acct.fragmentFallbacks.Add(1)
+}
+
+// writeAnswer resolves q through the response cache (when enabled),
+// rendering on a miss, and writes header + body + footer to w. A
+// non-nil error means nothing was written and the caller should emit
+// an error comment instead; write failures past the first byte are the
+// connection's problem, not the query's.
+func (g *Gmetad) writeAnswer(w io.Writer, q *query.Query) error {
+	var body []byte
+	if g.cache != nil {
+		// The epoch is read before the snapshots: a body can only ever
+		// be stamped with an epoch at or below its data's freshness — a
+		// racing re-poll invalidates it, never the reverse.
+		epoch := g.epoch.Load()
+		key := q.Key()
+		if b, ok := g.cache.get(epoch, key); ok {
+			g.acct.cacheHits.Add(1)
+			body = b
+		} else {
+			g.acct.cacheMisses.Add(1)
+			var err error
+			body, err = g.renderBody(q)
+			if err != nil {
+				return err
+			}
+			g.acct.cacheEvictedBytes.Add(g.cache.put(epoch, key, body))
+		}
+	} else {
+		var err error
+		body, err = g.renderBody(q)
+		if err != nil {
+			return err
+		}
+	}
+
+	hp := headerPool.Get().(*[]byte)
+	hdr := append((*hp)[:0], g.hdrPrefix...)
+	hdr = strconv.AppendInt(hdr, g.cfg.Clock.Now().Unix(), 10)
+	hdr = append(hdr, '"', '>', '\n')
+	_, err := w.Write(hdr)
+	*hp = hdr
+	headerPool.Put(hp)
+	if err != nil {
+		return nil
+	}
+	if _, err := w.Write(body); err != nil {
+		return nil
+	}
+	_, _ = w.Write(footerBytes)
+	return nil
+}
+
+var footerBytes = []byte(respFooter)
+
+// WriteAnswer renders the full response to a non-history query into w —
+// the serve path without the socket. Benchmarks and tools use it to
+// measure the render pipeline in isolation; history queries must go
+// through Report, which owns the archive-pool contract.
+func (g *Gmetad) WriteAnswer(w io.Writer, q *query.Query) error {
+	if q.Filter == query.FilterHistory {
+		return fmt.Errorf("gmetad: WriteAnswer does not serve history queries")
+	}
+	return g.writeAnswer(w, q)
+}

@@ -2,7 +2,6 @@ package gmetad
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
 	"ganglia/internal/gxml"
@@ -15,54 +14,27 @@ import (
 var ErrNotFound = errors.New("gmetad: query path not found")
 
 // Report answers one query from the in-memory hash DOM — the paper's
-// §2.3 query engine. Resolution cost is one hash lookup per literal
-// path segment; serialization cost is proportional to the subtree
-// selected: O(m) for summaries and single hosts, O(H·m) for a
-// full-resolution cluster. The snapshot-per-source locking means a
-// query never waits on an in-progress poll.
+// §2.3 query engine — as a mutable gxml.Report tree. History queries
+// read the round-robin archives; everything else goes through the DOM
+// reference pipeline. The serve path does not come here for live
+// queries: it streams cached per-source fragments instead (render.go),
+// which this API remains the equivalence oracle for.
 func (g *Gmetad) Report(q *query.Query) (*gxml.Report, error) {
-	now := g.cfg.Clock.Now()
 	if q.Filter == query.FilterHistory {
 		return g.historyReport(q)
 	}
-	rep := &gxml.Report{Version: gxml.Version, Source: "gmetad"}
-
-	self := &gxml.Grid{
-		Name:      g.cfg.GridName,
-		Authority: g.cfg.Authority,
-		LocalTime: now.Unix(),
-	}
-	rep.Grids = []*gxml.Grid{self}
-
-	switch q.Depth() {
-	case 0:
-		g.fillHealth(self)
-		if q.Filter == query.FilterSummary {
-			self.Summary = g.treeSummary()
-			return rep, nil
-		}
-		g.fillRoot(self, now)
-		return rep, nil
-	case 1:
-		return rep, g.fillSource(self, q, now)
-	case 2, 3:
-		return rep, g.fillHost(self, q, now)
-	}
-	return nil, fmt.Errorf("gmetad: unsupported query depth %d", q.Depth())
+	return g.ReferenceReport(q) //lint:allow nocopyserve Report is the public DOM API, not the serve path
 }
 
-// fillHealth attaches per-source degradation records to the root grid.
-// Depth-0 responses — the whole-tree dumps parents and dashboards poll —
-// carry one SOURCE_HEALTH element per source, so "this branch is dark
-// and has been since 14:02, via this replica, for this reason" travels
-// with the data instead of hiding in the daemon's logs. Health
-// transitions bump the poll epoch, so the response cache never serves a
-// stale status.
-func (g *Gmetad) fillHealth(self *gxml.Grid) {
-	if g.cfg.DisableHealthXML {
-		return
-	}
-	for _, slot := range g.snapshotOrder() {
+// collectHealth reads each slot's health state under its lock: one
+// SOURCE_HEALTH record per source, so "this branch is dark and has been
+// since 14:02, via this replica, for this reason" travels with depth-0
+// responses instead of hiding in the daemon's logs. Health transitions
+// bump the poll epoch, so the response cache never serves a stale
+// status.
+func collectHealth(slots []*sourceSlot) []*gxml.SourceHealth {
+	out := make([]*gxml.SourceHealth, 0, len(slots))
+	for _, slot := range slots {
 		slot.mu.RLock()
 		sh := &gxml.SourceHealth{
 			Name:       slot.cfg.Name,
@@ -79,13 +51,24 @@ func (g *Gmetad) fillHealth(self *gxml.Grid) {
 			}
 		}
 		slot.mu.RUnlock()
-		self.Health = append(self.Health, sh)
+		out = append(out, sh)
 	}
+	return out
 }
 
-// treeSummary merges every source's reduction: the O(m) answer this
-// node gives its own parent in the N-level design.
+// treeSummary returns the whole-tree reduction: the O(m) answer this
+// node gives its own parent in the N-level design. In N-level mode it
+// is maintained incrementally — each snapshot publish folds its delta
+// into the tracker — so a query reads a shared immutable total instead
+// of re-merging every source. One-level mode keeps the legacy scratch
+// merge (the mode exists to measure the legacy design's costs, and its
+// sources skip poll-time summarization, so there is no per-source
+// reduction to track). The returned summary is shared; callers must
+// not modify it.
 func (g *Gmetad) treeSummary() *summary.Summary {
+	if g.tracker != nil {
+		return g.tracker.Total()
+	}
 	total := summary.New()
 	for _, slot := range g.snapshotOrder() {
 		data, _ := slot.snapshot()
@@ -96,188 +79,9 @@ func (g *Gmetad) treeSummary() *summary.Summary {
 	return total
 }
 
-// Summary exposes the whole-tree reduction for tools and tests.
-func (g *Gmetad) Summary() *summary.Summary { return g.treeSummary() }
-
-// fillRoot builds the full root report. Its shape is the heart of the
-// two designs: local clusters appear at full resolution in both, but
-// remote grids appear as O(m) summaries in N-level mode versus full
-// recursive detail in 1-level mode.
-func (g *Gmetad) fillRoot(self *gxml.Grid, now time.Time) {
-	for _, slot := range g.snapshotOrder() {
-		data, _ := slot.snapshot()
-		if data == nil {
-			continue
-		}
-		age := ageSince(now, data.polled)
-		switch {
-		case data.kind == SourceGmond:
-			for _, cname := range data.clusterOrder {
-				self.Clusters = append(self.Clusters, agedCluster(data.clusters[cname], age))
-			}
-		case g.cfg.Mode == NLevel:
-			self.Grids = append(self.Grids, summaryGrid(data))
-		default: // OneLevel: the union of the child's data, full detail
-			for _, child := range data.grids {
-				self.Grids = append(self.Grids, agedGrid(child, age))
-			}
-		}
-	}
-}
-
-// fillSource answers depth-1 queries: /source.
-func (g *Gmetad) fillSource(self *gxml.Grid, q *query.Query, now time.Time) error {
-	m := q.Segments[0]
-	found := false
-
-	appendSource := func(slot *sourceSlot) {
-		data, _ := slot.snapshot()
-		if data == nil {
-			return
-		}
-		age := ageSince(now, data.polled)
-		switch {
-		case data.kind == SourceGmond:
-			for _, cname := range data.clusterOrder {
-				c := data.clusters[cname]
-				if q.Filter == query.FilterSummary {
-					self.Clusters = append(self.Clusters, summaryCluster(c, now))
-				} else {
-					self.Clusters = append(self.Clusters, agedCluster(c, age))
-				}
-				found = true
-			}
-		case g.cfg.Mode == NLevel || q.Filter == query.FilterSummary:
-			self.Grids = append(self.Grids, summaryGrid(data))
-			found = true
-		default:
-			for _, child := range data.grids {
-				self.Grids = append(self.Grids, agedGrid(child, age))
-				found = true
-			}
-		}
-	}
-
-	appendCluster := func(data *sourceData, c *clusterData) {
-		age := ageSince(now, data.polled)
-		if q.Filter == query.FilterSummary {
-			self.Clusters = append(self.Clusters, summaryCluster(c, now))
-		} else {
-			self.Clusters = append(self.Clusters, agedCluster(c, age))
-		}
-		found = true
-	}
-
-	if !m.IsRegex() {
-		// Literal: one hash lookup at the source level; if the name is
-		// not a direct source, fall back to the flattened cluster
-		// index (clusters nested inside 1-level child grids).
-		g.mu.RLock()
-		slot, ok := g.slots[m.Name()]
-		g.mu.RUnlock()
-		if ok {
-			appendSource(slot)
-		} else if data, c := g.findCluster(m.Name()); c != nil {
-			appendCluster(data, c)
-		}
-	} else {
-		slots := g.snapshotOrder()
-		seen := map[string]bool{}
-		for _, slot := range slots {
-			if m.Match(slot.cfg.Name) {
-				appendSource(slot)
-				data, _ := slot.snapshot()
-				if data != nil {
-					for _, cname := range data.clusterOrder {
-						seen[cname] = true
-					}
-				}
-				seen[slot.cfg.Name] = true
-			}
-		}
-		// Also match nested clusters not already covered.
-		for _, slot := range slots {
-			data, _ := slot.snapshot()
-			if data == nil {
-				continue
-			}
-			for _, cname := range data.clusterOrder {
-				if seen[cname] || !m.Match(cname) {
-					continue
-				}
-				seen[cname] = true
-				appendCluster(data, data.clusters[cname])
-			}
-		}
-	}
-	if !found {
-		return fmt.Errorf("%w: %s", ErrNotFound, q.String())
-	}
-	return nil
-}
-
-// fillHost answers depth-2 and depth-3 queries: /cluster/host[/metric].
-func (g *Gmetad) fillHost(self *gxml.Grid, q *query.Query, now time.Time) error {
-	cm, hm := q.Segments[0], q.Segments[1]
-	if cm.IsRegex() {
-		return fmt.Errorf("%w: regex cluster segments are only supported at depth 1", ErrNotFound)
-	}
-	data, c := g.findCluster(cm.Name())
-	if c == nil {
-		return fmt.Errorf("%w: cluster %s", ErrNotFound, cm.Name())
-	}
-	age := ageSince(now, data.polled)
-
-	out := &gxml.Cluster{
-		Name:      c.meta.Name,
-		Owner:     c.meta.Owner,
-		URL:       c.meta.URL,
-		LocalTime: c.meta.LocalTime,
-	}
-	appendHost := func(h *gxml.Host) error {
-		ah := agedHost(h, age)
-		if q.Depth() == 3 {
-			mm := q.Segments[2]
-			kept := ah.Metrics[:0]
-			for _, m := range ah.Metrics {
-				if mm.Match(m.Name) {
-					kept = append(kept, m)
-				}
-			}
-			ah.Metrics = kept
-			if len(kept) == 0 {
-				return fmt.Errorf("%w: metric %s on %s", ErrNotFound, mm.Name(), h.Name)
-			}
-		}
-		out.Hosts = append(out.Hosts, ah)
-		return nil
-	}
-
-	if !hm.IsRegex() {
-		h, ok := c.hosts[hm.Name()]
-		if !ok {
-			return fmt.Errorf("%w: host %s in %s", ErrNotFound, hm.Name(), cm.Name())
-		}
-		if err := appendHost(h); err != nil {
-			return err
-		}
-	} else {
-		for _, name := range c.order {
-			if hm.Match(name) {
-				// At depth 3 a missing metric on one regex-matched
-				// host is not an error; just omit the host.
-				if err := appendHost(c.hosts[name]); err != nil && q.Depth() != 3 {
-					return err
-				}
-			}
-		}
-		if len(out.Hosts) == 0 {
-			return fmt.Errorf("%w: no host matches %s in %s", ErrNotFound, hm.Name(), cm.Name())
-		}
-	}
-	self.Clusters = append(self.Clusters, out)
-	return nil
-}
+// Summary exposes the whole-tree reduction for tools and tests. The
+// returned summary is the caller's to keep.
+func (g *Gmetad) Summary() *summary.Summary { return g.treeSummary().Clone() }
 
 // findCluster resolves a cluster name through the per-source flattened
 // indexes, in source order.
@@ -294,108 +98,12 @@ func (g *Gmetad) findCluster(name string) (*sourceData, *clusterData) {
 	return nil, nil
 }
 
-// summaryGrid re-reports a remote source as its O(m) summary plus the
-// authority pointer to the child holding full resolution.
-func summaryGrid(data *sourceData) *gxml.Grid {
-	name := data.name
-	authority := data.authority
-	if len(data.grids) > 0 {
-		if data.grids[0].Name != "" {
-			name = data.grids[0].Name
-		}
-		if data.grids[0].Authority != "" {
-			authority = data.grids[0].Authority
-		}
-	}
-	return &gxml.Grid{
-		Name:      name,
-		Authority: authority,
-		LocalTime: data.localtime,
-		Summary:   data.summaryOf().Clone(),
-	}
-}
-
-// summaryCluster serves the local cluster-summary filter (§2.3.2), the
-// optimization that lets a viewer switch between a high-level overview
-// and the full-resolution view of a very large cluster.
-func summaryCluster(c *clusterData, now time.Time) *gxml.Cluster {
-	return &gxml.Cluster{
-		Name:      c.meta.Name,
-		Owner:     c.meta.Owner,
-		URL:       c.meta.URL,
-		LocalTime: c.meta.LocalTime,
-		Summary:   c.summaryOf().Clone(),
-	}
-}
-
-// ageSince converts the gap between serialization time and poll time to
-// whole seconds.
+// ageSince converts the gap between re-age time and poll time to whole
+// seconds — the value baked into a re-published snapshot's age.
 func ageSince(now, polled time.Time) uint32 {
 	d := now.Sub(polled)
 	if d < 0 {
 		return 0
 	}
 	return uint32(d / time.Second)
-}
-
-// agedCluster deep-copies a cluster with TN values advanced by age, so
-// a stale snapshot (e.g. an unreachable source) presents honestly old
-// data instead of eternally fresh values.
-func agedCluster(c *clusterData, age uint32) *gxml.Cluster {
-	out := &gxml.Cluster{
-		Name:      c.meta.Name,
-		Owner:     c.meta.Owner,
-		URL:       c.meta.URL,
-		LocalTime: c.meta.LocalTime,
-		Hosts:     make([]*gxml.Host, 0, len(c.order)),
-	}
-	for _, name := range c.order {
-		out.Hosts = append(out.Hosts, agedHost(c.hosts[name], age))
-	}
-	return out
-}
-
-func agedHost(h *gxml.Host, age uint32) *gxml.Host {
-	out := &gxml.Host{
-		Name:     h.Name,
-		IP:       h.IP,
-		Reported: h.Reported,
-		TN:       h.TN + age,
-		TMAX:     h.TMAX,
-		DMAX:     h.DMAX,
-		Metrics:  append(h.Metrics[:0:0], h.Metrics...),
-	}
-	for i := range out.Metrics {
-		out.Metrics[i].TN += age
-	}
-	return out
-}
-
-// agedGrid deep-copies a grid subtree with TN aging (1-level mode
-// re-serves entire child trees).
-func agedGrid(g *gxml.Grid, age uint32) *gxml.Grid {
-	out := &gxml.Grid{
-		Name:      g.Name,
-		Authority: g.Authority,
-		LocalTime: g.LocalTime,
-	}
-	if g.Summary != nil {
-		out.Summary = g.Summary.Clone()
-	}
-	for _, c := range g.Clusters {
-		cd := &gxml.Cluster{
-			Name: c.Name, Owner: c.Owner, URL: c.URL, LocalTime: c.LocalTime,
-		}
-		if c.Summary != nil && len(c.Hosts) == 0 {
-			cd.Summary = c.Summary.Clone()
-		}
-		for _, h := range c.Hosts {
-			cd.Hosts = append(cd.Hosts, agedHost(h, age))
-		}
-		out.Clusters = append(out.Clusters, cd)
-	}
-	for _, child := range g.Grids {
-		out.Grids = append(out.Grids, agedGrid(child, age))
-	}
-	return out
 }

@@ -198,7 +198,10 @@ func (g *Gmetad) ServeQuery(l net.Listener) {
 
 // answer builds and writes one query response, accounting the work as
 // serve time. The write deadline disconnects clients that stop reading
-// mid-response.
+// mid-response. Live queries go through the zero-copy pipeline
+// (render.go): cached body splice on a hit, fragment splicing on a
+// miss. History answers read the mutable archive pool, which the epoch
+// does not version, so they are never cached and keep the DOM path.
 func (g *Gmetad) answer(c net.Conn, q *query.Query) {
 	g.acct.queries.Add(1)
 	timed(&g.acct.serve, func() {
@@ -206,56 +209,23 @@ func (g *Gmetad) answer(c net.Conn, q *query.Query) {
 			// A dead conn cannot carry the response; skip the render.
 			return
 		}
-		if g.cache == nil || q.Filter == query.FilterHistory {
-			// Uncached path: stream straight to the connection.
-			// History answers read the mutable archive pool, which the
-			// epoch does not version, so they are never cached.
-			rep, err := g.Report(q)
-			if err != nil {
-				fmt.Fprintf(c, "<!-- ERROR %s -->\n", xmlCommentSafe(err.Error()))
-				return
+		cw := &countingWriter{w: c}
+		var err error
+		if q.Filter == query.FilterHistory {
+			var rep *gxml.Report
+			rep, err = g.Report(q)
+			if err == nil {
+				_ = gxml.WriteReport(cw, rep) //lint:allow nocopyserve history answers read the mutable archive pool; the DOM path is their contract
 			}
-			cw := &countingWriter{w: c}
-			_ = gxml.WriteReport(cw, rep)
-			g.acct.bytesOut.Add(cw.n)
-			return
+		} else {
+			err = g.writeAnswer(cw, q)
 		}
-		body, err := g.respond(q)
 		if err != nil {
 			fmt.Fprintf(c, "<!-- ERROR %s -->\n", xmlCommentSafe(err.Error()))
 			return
 		}
-		n, _ := c.Write(body)
-		g.acct.bytesOut.Add(int64(n))
+		g.acct.bytesOut.Add(cw.n)
 	})
-}
-
-// respond returns the rendered XML answer for q, serving repeats of
-// the same canonical query from one rendering. A cached body is valid
-// only for the exact (epoch, second) it was rendered at: a re-poll
-// bumps the epoch (no response ever spans a snapshot swap), and the
-// second granularity keeps TN soft-state aging identical to a fresh
-// rendering. The epoch is read before the DOM snapshots, so a body can
-// only ever be stamped with an epoch at or below its data's freshness
-// — a racing re-poll invalidates it, never the reverse.
-func (g *Gmetad) respond(q *query.Query) ([]byte, error) {
-	gen := generation{epoch: g.epoch.Load(), unix: g.cfg.Clock.Now().Unix()}
-	key := q.Key()
-	if body, ok := g.cache.get(gen, key); ok {
-		g.acct.cacheHits.Add(1)
-		return body, nil
-	}
-	g.acct.cacheMisses.Add(1)
-	rep, err := g.Report(q)
-	if err != nil {
-		return nil, err
-	}
-	body, err := gxml.RenderReport(rep)
-	if err != nil {
-		return nil, err
-	}
-	g.cache.put(gen, key, body)
-	return body, nil
 }
 
 // recoverServePanic is the serve-path panic isolation (the poll path's

@@ -46,6 +46,8 @@ func (g *Gmetad) breakerDefers(slot *sourceSlot, now time.Time) bool {
 		return false
 	}
 	g.acct.breakerSkips.Add(1)
+	// The retained snapshot keeps aging while the breaker holds.
+	g.reAge(slot, now)
 	if g.pool != nil && data != nil {
 		timed(&g.acct.archive, func() {
 			g.zeroFill(data, now)
@@ -165,10 +167,13 @@ func (g *Gmetad) pollSource(slot *sourceSlot, now time.Time) {
 		g.acct.failovers.Add(1)
 	}
 
-	// The new snapshot is visible; retire every cached response built
-	// from the previous epoch. Ordering matters: publish first, bump
-	// second, so a query that observes the new epoch always renders
-	// from (at least) the new snapshot.
+	// Render the snapshot's fragment and fold its summary delta into
+	// the tree tracker, off the slot lock. The new snapshot is then
+	// visible; retire every cached response built from the previous
+	// epoch. Ordering matters: publish first, bump second, so a query
+	// that observes the new epoch always renders from (at least) the
+	// new snapshot.
+	g.publishRendered(slot, data)
 	g.bumpEpoch()
 
 	if breakerClosed {
@@ -179,6 +184,54 @@ func (g *Gmetad) pollSource(slot *sourceSlot, now time.Time) {
 	} else if movedFrom != "" {
 		g.logf("source %s failed over %s -> %s", slot.cfg.Name, movedFrom, addr)
 	}
+}
+
+// publishRendered completes a snapshot publication off the slot lock:
+// the source's XML fragment is rendered once — every response of this
+// generation splices it instead of re-serializing the subtree — and in
+// N-level mode the snapshot's reduction is folded into the incremental
+// tree summary. Readers that catch the window before the fragment
+// store see an epoch mismatch and render from the snapshot directly;
+// the tracker rejects stale generations on its own.
+func (g *Gmetad) publishRendered(slot *sourceSlot, data *sourceData) {
+	timed(&g.acct.render, func() {
+		slot.frag.Store(renderFragment(data, g.cfg.Mode))
+	})
+	g.acct.fragmentRenders.Add(1)
+	if g.tracker != nil {
+		g.tracker.Publish(slot.cfg.Name, data.epoch, data.summaryOf())
+	}
+}
+
+// reAge republishes the slot's snapshot with its soft-state age
+// re-baked: failed and breaker-deferred rounds advance the age the
+// serialized TN values carry, so stale data keeps presenting as stale
+// without a per-request deep copy. The republished snapshot shares the
+// old one's maps and slices (they are immutable after publication);
+// only the top-level struct, its epoch, its fragment and the epoch bump
+// are new. A round where the whole-second age is unchanged republishes
+// nothing, so an idle clock does not churn the cache.
+func (g *Gmetad) reAge(slot *sourceSlot, now time.Time) {
+	slot.mu.Lock()
+	data := slot.data
+	if data == nil {
+		slot.mu.Unlock()
+		return
+	}
+	age := ageSince(now, data.polled)
+	if age == data.age {
+		slot.mu.Unlock()
+		return
+	}
+	aged := *data
+	aged.age = age
+	slot.version++
+	aged.epoch = slot.version
+	slot.data = &aged
+	slot.mu.Unlock()
+
+	g.publishRendered(slot, &aged)
+	g.bumpEpoch()
 }
 
 // dialFailover walks the source's address list and returns the first
@@ -306,6 +359,10 @@ func (g *Gmetad) sourceFailed(slot *sourceSlot, now time.Time, err error) {
 	}
 	data := slot.data
 	slot.mu.Unlock()
+
+	// The retained snapshot's data is now one round older; republish it
+	// re-aged so responses carry honest TN values.
+	g.reAge(slot, now)
 
 	if firstFailure {
 		// The source's health state changed; cached responses carrying

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ganglia/internal/gxml"
@@ -55,6 +56,37 @@ type sourceSlot struct {
 	// rng drives backoff jitter; seeded per slot so chaos runs are
 	// reproducible. Guarded by mu like the rest of the slot.
 	rng *rand.Rand
+
+	// frag is the source's rendered XML fragment, published after the
+	// snapshot it was rendered from. It is read without the slot lock;
+	// the epoch tag ties it to exactly one snapshot generation, so a
+	// reader that catches the window between a snapshot publish and its
+	// fragment publish detects the mismatch and renders from the
+	// snapshot directly instead of splicing withdrawn bytes.
+	frag atomic.Pointer[sourceFragment]
+}
+
+// sourceFragment is one source's subtree rendered to XML, valid for
+// exactly one snapshot generation.
+type sourceFragment struct {
+	// epoch is the sourceData.epoch the fragment was rendered from.
+	epoch uint64
+	// clusters holds the rendered CLUSTER elements of a gmond source in
+	// clusterOrder; grids holds the rendered GRID elements of a gmetad
+	// source (the O(m) summary grid in N-level mode, the child's full
+	// grid trees in 1-level mode). The split mirrors document order:
+	// depth-0 responses emit every source's clusters before any grids.
+	clusters []byte
+	grids    []byte
+}
+
+// size returns the fragment's rendered byte length, used to presize
+// response buffers so splicing does not reallocate per source.
+func (f *sourceFragment) size() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.clusters) + len(f.grids)
 }
 
 // healthOf returns the slot's health record for addr, creating it on
@@ -78,6 +110,23 @@ func (s *sourceSlot) snapshot() (*sourceData, bool) {
 	return s.data, s.failed
 }
 
+// view returns the current snapshot together with its fragment, when
+// the published fragment matches the snapshot's generation. A nil
+// fragment (none rendered yet, or one from a withdrawn generation)
+// tells the caller to render from the snapshot directly.
+func (s *sourceSlot) view() (*sourceData, *sourceFragment) {
+	s.mu.RLock()
+	data := s.data
+	s.mu.RUnlock()
+	if data == nil {
+		return nil, nil
+	}
+	if f := s.frag.Load(); f != nil && f.epoch == data.epoch {
+		return data, f
+	}
+	return data, nil
+}
+
 // sourceData is one immutable poll result.
 type sourceData struct {
 	name      string
@@ -88,6 +137,14 @@ type sourceData struct {
 	// epoch is the slot version this snapshot was published at (the
 	// per-source poll epoch). Set once at publication, then read-only.
 	epoch uint64
+	// age is the soft-state age baked into this snapshot at publish
+	// time: zero for a fresh poll, now−polled for the re-aged snapshots
+	// failed and breaker-deferred rounds publish. Serialization adds it
+	// to every TN, so responses present honestly old data without a
+	// per-request deep copy — ages advance on the polling time scale,
+	// which is the freshness the paper's §2.3.1 snapshot trade already
+	// grants the query engine.
+	age uint32
 
 	// clusters indexes every full-resolution cluster found in the
 	// report, including clusters nested in child grids (1-level mode).

@@ -1,0 +1,243 @@
+package gmetad
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ganglia/internal/gxml"
+	"ganglia/internal/metric"
+	"ganglia/internal/query"
+)
+
+// genGmond is a generation-stamped cluster emulator: every connection
+// serves a report in which ALL hosts carry the same gauge value — the
+// connection's generation number. Any response in which two hosts of
+// one cluster disagree, or a summary that isn't a whole multiple of the
+// host count, can only come from mixing two snapshot generations.
+type genGmond struct {
+	cluster string
+	hosts   int
+	gen     atomic.Uint64
+	clk     interface{ Now() time.Time }
+}
+
+func (p *genGmond) serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			gen := p.gen.Add(1)
+			now := p.clk.Now()
+			cl := &gxml.Cluster{
+				Name:      p.cluster,
+				Owner:     "stress",
+				URL:       "http://" + p.cluster + ".example/",
+				LocalTime: now.Unix(),
+			}
+			for i := 0; i < p.hosts; i++ {
+				cl.Hosts = append(cl.Hosts, &gxml.Host{
+					Name:     fmt.Sprintf("compute-%s-%d", p.cluster, i),
+					IP:       fmt.Sprintf("10.0.0.%d", i),
+					TMAX:     20,
+					Reported: now.Unix(),
+					Metrics: []metric.Metric{{
+						Name:   "gen_val",
+						Val:    metric.NewDouble(float64(gen)),
+						TMAX:   60,
+						Source: "gmond",
+					}},
+				})
+			}
+			_ = gxml.WriteReport(c, &gxml.Report{
+				Version:  gxml.Version,
+				Source:   "gmond",
+				Clusters: []*gxml.Cluster{cl},
+			})
+		}(conn)
+	}
+}
+
+// checkUntorn verifies the per-generation invariant on a full report:
+// within each cluster, every host's gen_val is identical.
+func checkUntorn(rep *gxml.Report) error {
+	var walk func(g *gxml.Grid) error
+	check := func(c *gxml.Cluster) error {
+		want := math.NaN()
+		for _, h := range c.Hosts {
+			for _, m := range h.Metrics {
+				if m.Name != "gen_val" {
+					continue
+				}
+				v, ok := m.Val.Float64()
+				if !ok {
+					return fmt.Errorf("cluster %s host %s: non-numeric gen_val", c.Name, h.Name)
+				}
+				if math.IsNaN(want) {
+					want = v
+				} else if v != want {
+					return fmt.Errorf("cluster %s torn: host %s has gen %v, first host had %v",
+						c.Name, h.Name, v, want)
+				}
+			}
+		}
+		return nil
+	}
+	walk = func(g *gxml.Grid) error {
+		for _, c := range g.Clusters {
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+		for _, child := range g.Grids {
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, g := range rep.Grids {
+		if err := walk(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestZeroCopyStress races pollers (including failure-driven re-aging
+// republishes) against query traffic and asserts no response ever
+// observes a fragment or tree-summary delta from a withdrawn snapshot
+// generation. Run with -race; the data-race detector covers the
+// publication discipline, these invariants cover the splice logic.
+func TestZeroCopyStress(t *testing.T) {
+	r := newRig(t)
+	const hosts = 8
+	sources := []*genGmond{
+		{cluster: "alpha", hosts: hosts, clk: r.clk},
+		{cluster: "beta", hosts: hosts, clk: r.clk},
+	}
+	for _, p := range sources {
+		l, err := r.net.Listen(p.cluster + ":8649")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go p.serve(l)
+		t.Cleanup(func() { _ = l.Close() })
+	}
+	g := r.gmetad(Config{
+		GridName:  "root",
+		Authority: "http://root/",
+		Mode:      NLevel,
+		Sources: []DataSource{
+			{Name: "alpha", Kind: SourceGmond, Addrs: []string{"alpha:8649"}},
+			{Name: "beta", Kind: SourceGmond, Addrs: []string{"beta:8649"}},
+		},
+	}, "stress:8652")
+	g.PollOnce(r.clk.Now())
+
+	stop := make(chan struct{})
+	var pollerWG, querierWG sync.WaitGroup
+
+	// Poller: republishes generations as fast as it can, with periodic
+	// failure windows on alpha so re-aged (shallow-copy) snapshots and
+	// same-pointer tracker republishes are part of the mix.
+	pollerWG.Add(1)
+	go func() {
+		defer pollerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				r.net.Recover("alpha:8649")
+				return
+			default:
+			}
+			switch i % 7 {
+			case 3:
+				r.net.Fail("alpha:8649")
+			case 5:
+				r.net.Recover("alpha:8649")
+			}
+			g.PollOnce(r.clk.Advance(time.Second))
+		}
+	}()
+
+	errc := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		querierWG.Add(1)
+		go func(w int) {
+			defer querierWG.Done()
+			for n := 0; n < 150; n++ {
+				rep, err := r.ask("stress:8652", "/")
+				if err != nil {
+					errc <- fmt.Errorf("querier %d: %v", w, err)
+					return
+				}
+				if err := checkUntorn(rep); err != nil {
+					errc <- fmt.Errorf("querier %d iter %d: %v", w, n, err)
+					return
+				}
+				rep, err = r.ask("stress:8652", "/?filter=summary")
+				if err != nil {
+					errc <- fmt.Errorf("querier %d summary: %v", w, err)
+					return
+				}
+				sum := rep.Grids[0].Summary
+				if sum == nil {
+					errc <- fmt.Errorf("querier %d: summary response without summary", w)
+					return
+				}
+				if m := sum.Metrics["gen_val"]; m != nil {
+					// Each live source contributes hosts × (one whole
+					// generation); a torn tracker delta breaks the
+					// divisibility.
+					if rem := math.Mod(m.Sum, hosts); rem != 0 {
+						errc <- fmt.Errorf("querier %d: torn tree summary: gen_val sum %v not a multiple of %d hosts",
+							w, m.Sum, hosts)
+						return
+					}
+					if m.Num%hosts != 0 {
+						errc <- fmt.Errorf("querier %d: gen_val num %d not a multiple of %d", w, m.Num, hosts)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Queriers run a fixed number of iterations; the poller churns until
+	// they are done. A hang in either trips the timeout.
+	queriersDone := make(chan struct{})
+	go func() {
+		querierWG.Wait()
+		close(queriersDone)
+	}()
+	select {
+	case <-queriersDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress test hung")
+	}
+	close(stop)
+	pollerWG.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	// The depth-1 literal and regex paths see the same discipline.
+	for _, q := range []string{"/alpha", "/~.*"} {
+		rep, err := g.Report(query.MustParse(q))
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if err := checkUntorn(rep); err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+	}
+}

@@ -10,17 +10,36 @@ import (
 	"ganglia/internal/summary"
 )
 
-// Writer serializes report trees and subtrees. It wraps the destination
-// in a buffered writer and latches the first error, so callers emit a
-// whole document and check once.
+// XMLDecl is the declaration opening every Ganglia XML document.
+const XMLDecl = `<?xml version="1.0" encoding="ISO-8859-1" standalone="yes"?>` + "\n"
+
+// sink is the writer contract the serializer needs. *bufio.Writer and
+// *bytes.Buffer both satisfy it; the latter lets render-to-memory
+// callers (fragment caches, response caches) skip the bufio layer and
+// its final copy entirely.
+type sink interface {
+	Write([]byte) (int, error)
+	WriteString(string) (int, error)
+}
+
+// Writer serializes report trees and subtrees. Destinations that are
+// already in-memory buffers are written directly; anything else is
+// wrapped in a buffered writer. The first error is latched, so callers
+// emit a whole document and check once.
 type Writer struct {
-	bw  *bufio.Writer
+	out sink
+	bw  *bufio.Writer // non-nil when out buffers an underlying io.Writer
 	err error
 }
 
-// NewWriter returns a Writer on w.
+// NewWriter returns a Writer on w. A *bytes.Buffer destination is
+// written without intermediate buffering.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{bw: bufio.NewWriterSize(w, 32*1024)}
+	if buf, ok := w.(*bytes.Buffer); ok {
+		return &Writer{out: buf}
+	}
+	bw := bufio.NewWriterSize(w, 32*1024)
+	return &Writer{out: bw, bw: bw}
 }
 
 // Flush drains the buffer and returns the first error encountered.
@@ -28,12 +47,24 @@ func (w *Writer) Flush() error {
 	if w.err != nil {
 		return w.err
 	}
-	return w.bw.Flush()
+	if w.bw != nil {
+		return w.bw.Flush()
+	}
+	return nil
+}
+
+// Raw writes pre-serialized bytes verbatim: the splice operation behind
+// gmetad's fragment cache, where a source's subtree is rendered once
+// per poll generation and stitched into many responses.
+func (w *Writer) Raw(b []byte) {
+	if w.err == nil {
+		_, w.err = w.out.Write(b)
+	}
 }
 
 func (w *Writer) str(s string) {
 	if w.err == nil {
-		_, w.err = w.bw.WriteString(s)
+		_, w.err = w.out.WriteString(s)
 	}
 }
 
@@ -51,7 +82,7 @@ func (w *Writer) attrInt(name string, v int64) {
 	w.str(`="`)
 	if w.err == nil {
 		var buf [20]byte
-		_, w.err = w.bw.Write(strconv.AppendInt(buf[:0], v, 10))
+		_, w.err = w.out.Write(strconv.AppendInt(buf[:0], v, 10))
 	}
 	w.str(`"`)
 }
@@ -62,7 +93,7 @@ func (w *Writer) attrFloat(name string, v float64) {
 	w.str(`="`)
 	if w.err == nil {
 		var buf [32]byte
-		_, w.err = w.bw.Write(strconv.AppendFloat(buf[:0], v, 'f', -1, 64))
+		_, w.err = w.out.Write(strconv.AppendFloat(buf[:0], v, 'f', -1, 64))
 	}
 	w.str(`"`)
 }
@@ -78,25 +109,8 @@ func (w *Writer) escaped(s string) {
 	}
 	last := 0
 	for i := 0; i < len(s); i++ {
-		var esc string
-		switch s[i] {
-		case '&':
-			esc = "&amp;"
-		case '<':
-			esc = "&lt;"
-		case '>':
-			esc = "&gt;"
-		case '"':
-			esc = "&quot;"
-		case '\'':
-			esc = "&apos;"
-		case '\n':
-			esc = "&#10;"
-		case '\r':
-			esc = "&#13;"
-		case '\t':
-			esc = "&#9;"
-		default:
+		esc := escapeOf(s[i])
+		if esc == "" {
 			continue
 		}
 		w.str(s[last:i])
@@ -104,6 +118,46 @@ func (w *Writer) escaped(s string) {
 		last = i + 1
 	}
 	w.str(s[last:])
+}
+
+// escapeOf returns the character reference for b, or "" when b passes
+// through unescaped.
+func escapeOf(b byte) string {
+	switch b {
+	case '&':
+		return "&amp;"
+	case '<':
+		return "&lt;"
+	case '>':
+		return "&gt;"
+	case '"':
+		return "&quot;"
+	case '\'':
+		return "&apos;"
+	case '\n':
+		return "&#10;"
+	case '\r':
+		return "&#13;"
+	case '\t':
+		return "&#9;"
+	}
+	return ""
+}
+
+// AppendEscaped appends s to dst with the attribute escaping the Writer
+// applies, for callers that precompute header bytes.
+func AppendEscaped(dst []byte, s string) []byte {
+	last := 0
+	for i := 0; i < len(s); i++ {
+		esc := escapeOf(s[i])
+		if esc == "" {
+			continue
+		}
+		dst = append(dst, s[last:i]...)
+		dst = append(dst, esc...)
+		last = i + 1
+	}
+	return append(dst, s[last:]...)
 }
 
 // WriteReport serializes a complete GANGLIA_XML document.
@@ -131,7 +185,7 @@ func (w *Writer) Report(r *Report) {
 	if version == "" {
 		version = Version
 	}
-	w.str(`<?xml version="1.0" encoding="ISO-8859-1" standalone="yes"?>` + "\n")
+	w.str(XMLDecl)
 	w.str("<GANGLIA_XML")
 	w.attr("VERSION", version)
 	w.attr("SOURCE", r.Source)
@@ -148,15 +202,24 @@ func (w *Writer) Report(r *Report) {
 	w.str("</GANGLIA_XML>\n")
 }
 
+// OpenGrid emits a GRID element's open tag. Callers emit the body
+// (health, summary, or children) and balance with CloseGrid.
+func (w *Writer) OpenGrid(name, authority string, localtime int64) {
+	w.str("<GRID")
+	w.attr("NAME", name)
+	w.attr("AUTHORITY", authority)
+	w.attrInt("LOCALTIME", localtime)
+	w.str(">\n")
+}
+
+// CloseGrid emits a GRID element's close tag.
+func (w *Writer) CloseGrid() { w.str("</GRID>\n") }
+
 // Grid emits a GRID element. A grid with a non-nil Summary and no
 // children is written in summary form; otherwise its clusters and
 // nested grids are written recursively.
 func (w *Writer) Grid(g *Grid) {
-	w.str("<GRID")
-	w.attr("NAME", g.Name)
-	w.attr("AUTHORITY", g.Authority)
-	w.attrInt("LOCALTIME", g.LocalTime)
-	w.str(">\n")
+	w.OpenGrid(g.Name, g.Authority, g.LocalTime)
 	for _, sh := range g.Health {
 		w.SourceHealthElem(sh)
 	}
@@ -170,18 +233,55 @@ func (w *Writer) Grid(g *Grid) {
 			w.Grid(child)
 		}
 	}
-	w.str("</GRID>\n")
+	w.CloseGrid()
 }
+
+// GridAged emits a grid subtree with every host's soft-state TN values
+// advanced by age, directly from the shared tree — the streaming
+// equivalent of deep-copying the subtree through an aged clone and
+// serializing the copy. Health records are not emitted: they belong to
+// the serving daemon's own grid, not to re-served child trees.
+func (w *Writer) GridAged(g *Grid, age uint32) {
+	w.OpenGrid(g.Name, g.Authority, g.LocalTime)
+	if g.Summary != nil && len(g.Clusters) == 0 && len(g.Grids) == 0 {
+		w.SummaryBody(g.Summary)
+	} else {
+		for _, c := range g.Clusters {
+			if len(c.Hosts) == 0 && c.Summary != nil {
+				w.Cluster(c)
+				continue
+			}
+			w.OpenCluster(c.Name, c.Owner, c.URL, c.LocalTime)
+			for _, h := range c.Hosts {
+				w.HostAged(h, age)
+			}
+			w.CloseCluster()
+		}
+		for _, child := range g.Grids {
+			w.GridAged(child, age)
+		}
+	}
+	w.CloseGrid()
+}
+
+// OpenCluster emits a CLUSTER element's open tag; balance with
+// CloseCluster.
+func (w *Writer) OpenCluster(name, owner, url string, localtime int64) {
+	w.str("<CLUSTER")
+	w.attr("NAME", name)
+	w.attr("OWNER", owner)
+	w.attr("URL", url)
+	w.attrInt("LOCALTIME", localtime)
+	w.str(">\n")
+}
+
+// CloseCluster emits a CLUSTER element's close tag.
+func (w *Writer) CloseCluster() { w.str("</CLUSTER>\n") }
 
 // Cluster emits a CLUSTER element, in full-resolution form when Hosts
 // is populated and summary form when only Summary is set.
 func (w *Writer) Cluster(c *Cluster) {
-	w.str("<CLUSTER")
-	w.attr("NAME", c.Name)
-	w.attr("OWNER", c.Owner)
-	w.attr("URL", c.URL)
-	w.attrInt("LOCALTIME", c.LocalTime)
-	w.str(">\n")
+	w.OpenCluster(c.Name, c.Owner, c.URL, c.LocalTime)
 	if len(c.Hosts) == 0 && c.Summary != nil {
 		w.SummaryBody(c.Summary)
 	} else {
@@ -189,33 +289,51 @@ func (w *Writer) Cluster(c *Cluster) {
 			w.Host(h)
 		}
 	}
-	w.str("</CLUSTER>\n")
+	w.CloseCluster()
 }
 
 // Host emits a HOST element with its metrics.
-func (w *Writer) Host(h *Host) {
+func (w *Writer) Host(h *Host) { w.HostAged(h, 0) }
+
+// HostAged emits a HOST element with its metrics, the host's and every
+// metric's TN advanced by age — soft-state aging applied during
+// serialization instead of through a deep copy.
+func (w *Writer) HostAged(h *Host, age uint32) {
+	w.OpenHostAged(h, age)
+	for i := range h.Metrics {
+		w.MetricAged(&h.Metrics[i], age)
+	}
+	w.CloseHost()
+}
+
+// OpenHostAged emits a HOST open tag with TN advanced by age; balance
+// with CloseHost. Callers that filter metrics (depth-3 queries) emit
+// their own MetricAged selection between the two.
+func (w *Writer) OpenHostAged(h *Host, age uint32) {
 	w.str("<HOST")
 	w.attr("NAME", h.Name)
 	w.attr("IP", h.IP)
 	w.attrInt("REPORTED", h.Reported)
-	w.attrInt("TN", int64(h.TN))
+	w.attrInt("TN", int64(h.TN+age))
 	w.attrInt("TMAX", int64(h.TMAX))
 	w.attrInt("DMAX", int64(h.DMAX))
 	w.str(">\n")
-	for i := range h.Metrics {
-		w.Metric(&h.Metrics[i])
-	}
-	w.str("</HOST>\n")
 }
 
+// CloseHost emits a HOST element's close tag.
+func (w *Writer) CloseHost() { w.str("</HOST>\n") }
+
 // Metric emits a METRIC element.
-func (w *Writer) Metric(m *metric.Metric) {
+func (w *Writer) Metric(m *metric.Metric) { w.MetricAged(m, 0) }
+
+// MetricAged emits a METRIC element with TN advanced by age.
+func (w *Writer) MetricAged(m *metric.Metric, age uint32) {
 	w.str("<METRIC")
 	w.attr("NAME", m.Name)
 	w.attr("VAL", m.Val.Text())
 	w.attr("TYPE", m.Val.Type().String())
 	w.attr("UNITS", m.Units)
-	w.attrInt("TN", int64(m.TN))
+	w.attrInt("TN", int64(m.TN+age))
 	w.attrInt("TMAX", int64(m.TMAX))
 	w.attrInt("DMAX", int64(m.DMAX))
 	w.attr("SLOPE", m.Slope.String())

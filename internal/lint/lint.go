@@ -86,6 +86,7 @@ func Analyzers() []*Analyzer {
 		ErrCheckAnalyzer,
 		GoroutineAnalyzer,
 		SyncRenameAnalyzer,
+		NoCopyServeAnalyzer,
 	}
 }
 

@@ -1,0 +1,17 @@
+package nocopyservedata
+
+import "ganglia/internal/gxml"
+
+// This file is named reference.go: the one place the DOM pipeline
+// belongs. Nothing here may be flagged — the analyzer exempts the
+// oracle by basename.
+func oracleUsesEverything(c *gxml.Cluster, g *gxml.Grid, h *gxml.Host) (*gxml.Report, error) {
+	_ = agedCluster(c, 9)
+	_ = agedGrid(g, 9)
+	_ = agedHost(h, 9)
+	rep := &gxml.Report{Version: gxml.Version}
+	if _, err := gxml.RenderReport(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
