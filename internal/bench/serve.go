@@ -79,14 +79,22 @@ func (r *ServeResult) MinSpeedup() float64 {
 // microsecond-scale leaf paths are noise-dominated, so only a loose
 // lower bound applies to them; the benchmark in the repo root measures
 // the real magnitude.
+//
+// Since the zero-copy render pipeline landed, the "uncached" side of
+// this experiment already splices pre-rendered per-source fragments,
+// so the response cache's remaining win on the root dump is skipping
+// the splice — both sides still pay connection setup and the wire
+// copy. The root threshold is therefore 1.5x, not the 10x+ the cache
+// bought over the old DOM renderer; BENCH_render.json records the
+// render-layer magnitudes in isolation.
 func (r *ServeResult) ShapeErrors() []string {
 	var errs []string
 	if r.CacheHits == 0 {
 		errs = append(errs, "repeat queries never hit the response cache")
 	}
 	for _, p := range r.Paths {
-		if p.Query == "/" && p.Speedup() < 2 {
-			errs = append(errs, fmt.Sprintf("root dump barely sped up (%.2fx, want >=2x)", p.Speedup()))
+		if p.Query == "/" && p.Speedup() < 1.5 {
+			errs = append(errs, fmt.Sprintf("root dump barely sped up (%.2fx, want >=1.5x)", p.Speedup()))
 		}
 	}
 	if s := r.MinSpeedup(); s < 0.5 {
@@ -152,17 +160,29 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 				inst.Close()
 				return nil, nil, nil, fmt.Errorf("serve %s: %w", q, err)
 			}
-			start := time.Now() //lint:allow clock bench measures real serve latency
-			for i := 0; i < cfg.Queries; i++ {
-				if _, err := askBytes(inst, addr, q); err != nil {
-					inst.Close()
-					return nil, nil, nil, fmt.Errorf("serve %s: %w", q, err)
+			// Best of three passes: these are wall-clock measurements,
+			// and a scheduling spike from an unrelated concurrently
+			// running test would otherwise distort one side of the
+			// before/after comparison. The minimum is the least-noise
+			// estimate of the path's intrinsic latency.
+			best := 0.0
+			for pass := 0; pass < 3; pass++ {
+				start := time.Now() //lint:allow clock bench measures real serve latency
+				for i := 0; i < cfg.Queries; i++ {
+					if _, err := askBytes(inst, addr, q); err != nil {
+						inst.Close()
+						return nil, nil, nil, fmt.Errorf("serve %s: %w", q, err)
+					}
+				}
+				avg := float64(time.Since(start).Nanoseconds()) / float64(cfg.Queries) //lint:allow clock bench measures real serve latency
+				if pass == 0 || avg < best {
+					best = avg
 				}
 			}
 			paths = append(paths, ServePath{
 				Query:      q,
 				Bytes:      n,
-				UncachedNs: float64(time.Since(start).Nanoseconds()) / float64(cfg.Queries), //lint:allow clock bench measures real serve latency
+				UncachedNs: best,
 			})
 		}
 		return paths, inst.Gmetads["root"], inst.Close, nil
