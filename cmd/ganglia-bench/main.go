@@ -14,6 +14,7 @@
 //	ganglia-bench -experiment render -hosts 100 -json BENCH_render.json
 //	ganglia-bench -experiment chaos -seed 7
 //	ganglia-bench -experiment checkpoint -hosts 100
+//	ganglia-bench -experiment fabric -json BENCH_fabric.json
 //
 // Each experiment prints the regenerated table or figure series, then
 // re-checks the paper's qualitative claims and reports any violations.
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint or all")
+		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint, fabric or all")
 		hosts      = flag.Int("hosts", 100, "hosts per cluster (fig5, table1, serve)")
 		rounds     = flag.Int("rounds", 8, "measured polling rounds (fig5, fig6)")
 		samples    = flag.Int("samples", 5, "samples per view (table1)")
@@ -41,7 +42,7 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory to write fig5.csv/fig6.csv/table1.csv into (optional)")
 		detail     = flag.Bool("detail", false, "also print the fig5 per-phase work breakdown")
 		seed       = flag.Int64("seed", 1, "fault-plan and jitter seed (chaos)")
-		jsonOut    = flag.String("json", "", "file to write the render result into as a regression baseline (render)")
+		jsonOut    = flag.String("json", "", "file to write the result into as a regression baseline (render, fabric)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,24 @@ func main() {
 			log.Fatalf("csv %s: %v", path, err)
 		}
 		fmt.Printf("  wrote %s\n\n", path)
+	}
+
+	writeJSON := func(emit func(w io.Writer) error) {
+		if *jsonOut == "" {
+			return
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatalf("json: %v", err)
+		}
+		if err := emit(f); err != nil {
+			_ = f.Close()
+			log.Fatalf("json %s: %v", *jsonOut, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("json %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("  wrote %s\n\n", *jsonOut)
 	}
 
 	failed := false
@@ -151,20 +170,7 @@ func main() {
 			}
 			fmt.Println(res.Table())
 			check("render", res.ShapeErrors())
-			if *jsonOut != "" {
-				f, err := os.Create(*jsonOut)
-				if err != nil {
-					log.Fatalf("json: %v", err)
-				}
-				if err := res.WriteJSON(f); err != nil {
-					_ = f.Close()
-					log.Fatalf("json %s: %v", *jsonOut, err)
-				}
-				if err := f.Close(); err != nil {
-					log.Fatalf("json %s: %v", *jsonOut, err)
-				}
-				fmt.Printf("  wrote %s\n\n", *jsonOut)
-			}
+			writeJSON(res.WriteJSON)
 		},
 		"chaos": func() {
 			res, err := bench.RunChaos(bench.ChaosConfig{Rounds: *rounds * 5, Seed: *seed})
@@ -182,17 +188,26 @@ func main() {
 			fmt.Println(res.Table())
 			check("checkpoint", res.ShapeErrors())
 		},
+		"fabric": func() {
+			res, err := bench.RunFabric(bench.FabricConfig{})
+			if err != nil {
+				log.Fatalf("fabric: %v", err)
+			}
+			fmt.Println(res.Table())
+			check("fabric", res.ShapeErrors())
+			writeJSON(res.WriteJSON)
+		},
 	}
 
 	switch *experiment {
 	case "all":
-		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve", "render", "chaos", "checkpoint"} {
+		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve", "render", "chaos", "checkpoint", "fabric"} {
 			run[name]()
 		}
 	default:
 		f, ok := run[*experiment]
 		if !ok {
-			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint or all)", *experiment)
+			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint, fabric or all)", *experiment)
 		}
 		f()
 	}

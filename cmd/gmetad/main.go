@@ -12,18 +12,33 @@
 //
 // Each -source flag is "name|kind|addr[,addr...]"; additional addresses
 // are failover targets tried in order.
+//
+// The metrics-hub fabric opens the closed XML-over-TCP stack at both
+// ends. Receivers admit foreign producers into a synthetic cluster this
+// daemon polls like any other gmond:
+//
+//	gmetad ... -statsd-listen :8125 -push-listen :8126 \
+//	    [-fabric-cluster fabric] [-fabric-host HOSTNAME]
+//
+// Sinks re-export every polled numeric metric to foreign consumers:
+//
+//	gmetad ... -carbon-target carbon.example:2003 [-carbon-prefix ganglia] \
+//	    -prom-listen :9090
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"ganglia/internal/fabric"
 	"ganglia/internal/gmetad"
 	"ganglia/internal/transport"
 )
@@ -81,6 +96,14 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 1024, "max distinct query responses cached per poll epoch")
 		cacheBytes   = flag.Int64("cache-bytes", gmetad.DefaultCacheMaxBytes, "max total bytes of cached response bodies per epoch (negative = unbounded)")
 		emitDTD      = flag.Bool("emit-dtd", false, "include the Ganglia DTD in every response, as classic gmetad did")
+
+		statsdAddr    = flag.String("statsd-listen", "", "UDP address of the statsd line-protocol receiver (empty to disable)")
+		pushAddr      = flag.String("push-listen", "", "TCP address of the HTTP/JSON push receiver (empty to disable)")
+		fabricCluster = flag.String("fabric-cluster", "fabric", "cluster name of the synthetic cluster fabric receivers feed")
+		fabricHost    = flag.String("fabric-host", "", "default host fabric metrics are attributed to (default: this machine's hostname)")
+		carbonTarget  = flag.String("carbon-target", "", "address of a Graphite/Carbon plaintext relay to stream samples to (empty to disable)")
+		carbonPrefix  = flag.String("carbon-prefix", "ganglia", "path prefix for Carbon datapoints")
+		promAddr      = flag.String("prom-listen", "", "TCP address of the Prometheus /metrics exposition endpoint (empty to disable)")
 	)
 	flag.Var(&sources, "source", "data source as name|kind|addr[,addr...] (repeatable)")
 	flag.Parse()
@@ -94,15 +117,95 @@ func main() {
 	default:
 		log.Fatalf("gmetad: unknown -mode %q", *modeStr)
 	}
+	tcp := &transport.TCPNetwork{}
+
+	// Receivers: a hub fed by statsd/push traffic, served over loopback
+	// and polled as an ordinary gmond source — the fabric's metrics
+	// flow through the same parse/summarize/archive/serve pipeline as
+	// every native cluster.
+	var hub *fabric.Hub
+	if *statsdAddr != "" || *pushAddr != "" {
+		host := *fabricHost
+		if host == "" {
+			if h, err := os.Hostname(); err == nil {
+				host = h
+			} else {
+				host = "localhost"
+			}
+		}
+		var err error
+		hub, err = fabric.NewHub(fabric.Config{
+			Cluster: *fabricCluster,
+			Owner:   *grid,
+			Host:    host,
+		})
+		if err != nil {
+			log.Fatalf("gmetad: fabric hub: %v", err)
+		}
+		defer hub.Close()
+		hl, err := tcp.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("gmetad: fabric hub listen: %v", err)
+		}
+		go hub.Serve(hl)
+		sources = append(sources, gmetad.DataSource{
+			Name: *fabricCluster, Kind: gmetad.SourceGmond,
+			Addrs: []string{hl.Addr().String()},
+		})
+		if *statsdAddr != "" {
+			pc, err := net.ListenPacket("udp", *statsdAddr)
+			if err != nil {
+				log.Fatalf("gmetad: statsd listen %s: %v", *statsdAddr, err)
+			}
+			hub.ListenStatsd(pc)
+			fmt.Printf("gmetad: statsd on %s\n", pc.LocalAddr())
+		}
+		if *pushAddr != "" {
+			pl, err := tcp.Listen(*pushAddr)
+			if err != nil {
+				log.Fatalf("gmetad: push listen %s: %v", *pushAddr, err)
+			}
+			go func() {
+				if err := hub.ServePush(pl); err != nil && !errors.Is(err, net.ErrClosed) {
+					log.Printf("gmetad: push server: %v", err)
+				}
+			}()
+			fmt.Printf("gmetad: push on %s\n", pl.Addr())
+		}
+	}
 	if len(sources) == 0 {
 		log.Fatal("gmetad: at least one -source is required")
 	}
 
-	net := &transport.TCPNetwork{}
-	g, err := gmetad.New(gmetad.Config{
+	// Sinks: re-export every polled numeric metric, each consumer
+	// behind its own bounded drop-oldest queue.
+	var sinks *fabric.SinkManager
+	if *carbonTarget != "" || *promAddr != "" {
+		sinks = fabric.NewSinkManager(fabric.SinkConfig{})
+		if *carbonTarget != "" {
+			sinks.Add(fabric.NewCarbonSink(tcp, *carbonTarget, *carbonPrefix, 0))
+			fmt.Printf("gmetad: carbon sink -> %s\n", *carbonTarget)
+		}
+		if *promAddr != "" {
+			prom := &fabric.PromSink{}
+			sinks.Add(prom)
+			pl, err := tcp.Listen(*promAddr)
+			if err != nil {
+				log.Fatalf("gmetad: prometheus listen %s: %v", *promAddr, err)
+			}
+			go func() {
+				if err := prom.ServeMetrics(pl); err != nil && !errors.Is(err, net.ErrClosed) {
+					log.Printf("gmetad: prometheus server: %v", err)
+				}
+			}()
+			fmt.Printf("gmetad: prometheus metrics on %s\n", pl.Addr())
+		}
+	}
+
+	cfg := gmetad.Config{
 		GridName:     *grid,
 		Authority:    *authority,
-		Network:      net,
+		Network:      tcp,
 		Sources:      sources,
 		Mode:         mode,
 		PollInterval: *poll,
@@ -129,14 +232,18 @@ func main() {
 		EmitDTD:              *emitDTD,
 
 		Logger: log.Default(),
-	})
+	}
+	if sinks != nil {
+		cfg.FabricSink = sinks
+	}
+	g, err := gmetad.New(cfg)
 	if err != nil {
 		log.Fatalf("gmetad: %v", err)
 	}
 	defer g.Close()
 
 	if *xmlAddr != "" {
-		l, err := net.Listen(*xmlAddr)
+		l, err := tcp.Listen(*xmlAddr)
 		if err != nil {
 			log.Fatalf("gmetad: listen %s: %v", *xmlAddr, err)
 		}
@@ -144,7 +251,7 @@ func main() {
 		fmt.Printf("gmetad: full XML on %s\n", l.Addr())
 	}
 	if *queryAddr != "" {
-		l, err := net.Listen(*queryAddr)
+		l, err := tcp.Listen(*queryAddr)
 		if err != nil {
 			log.Fatalf("gmetad: listen %s: %v", *queryAddr, err)
 		}
@@ -156,6 +263,9 @@ func main() {
 
 	done := make(chan struct{})
 	go g.Run(done)
+	if hub != nil {
+		go hub.Run(done)
+	}
 
 	status := time.NewTicker(time.Minute)
 	defer status.Stop()
@@ -193,6 +303,16 @@ func main() {
 				}
 				fmt.Printf("gmetad: source %-20s %s\n", st.Name, state)
 			}
+			if hub != nil {
+				fs := hub.Accounting().Snapshot()
+				fmt.Printf("gmetad: fabric ingest: %d statsd lines (%d parse errors), %d push metrics (%d rejects), %d announcements\n",
+					fs.ReceivedLines, fs.ParseErrors, fs.PushMetrics, fs.PushRejects, fs.Announcements)
+			}
+			if sinks != nil {
+				ss := sinks.Accounting().Snapshot()
+				fmt.Printf("gmetad: fabric egress: %d offered, %d flushes (%d failed), %d dropped, queue high water %d\n",
+					ss.Offered, ss.SinkFlushes, ss.SinkFlushFails, ss.SinkDrops, ss.QueueHighWater)
+			}
 		case <-sig:
 			// Graceful drain: stop polling, stop accepting, let
 			// in-flight responses finish (bounded), then take a final
@@ -202,6 +322,9 @@ func main() {
 			fmt.Println("gmetad: draining")
 			if !g.Drain(*drainWait) {
 				fmt.Printf("gmetad: drain timed out after %v; abandoning stragglers\n", *drainWait)
+			}
+			if sinks != nil && !sinks.Drain(*drainWait) {
+				fmt.Printf("gmetad: sink drain timed out after %v; dropping queued samples\n", *drainWait)
 			}
 			if *archive && *archivePath != "" {
 				if err := g.Checkpoint(); err != nil {

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	fn()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestQuickstartSmoke runs the whole example: it must complete without
+// log.Fatal and print the leaderless-discovery line, the path-query
+// answer and the grid summary. The run is fully deterministic (virtual
+// clock, in-memory transports, seeded simulators).
+func TestQuickstartSmoke(t *testing.T) {
+	out := captureStdout(t, main)
+	for _, want := range []string{
+		"each agent now knows 3 hosts",
+		"query /meteor/compute-0-1/load_one ->",
+		"grid summary: 3 hosts up, 0 down",
+		"load_one",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q\noutput:\n%s", want, out)
+		}
+	}
+}

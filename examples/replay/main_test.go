@@ -1,0 +1,49 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	fn()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestReplaySmoke runs the trace-replay example end to end: the
+// recorded batch job must drive the monitor deterministically, fire
+// the sustained-load alarm while the job runs, and clear it after.
+func TestReplaySmoke(t *testing.T) {
+	out := captureStdout(t, main)
+	if !strings.Contains(out, "trace: 6m0s long") {
+		t.Errorf("replay output missing trace header\noutput:\n%s", out)
+	}
+	if !strings.Contains(out, "BUSY") {
+		t.Errorf("replay run never fired the batch-busy alarm\noutput:\n%s", out)
+	}
+	// The job ends at +6m; the final sampled rows must have gone quiet.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if strings.Contains(last, "BUSY") {
+		t.Errorf("alarm still firing after the job ended: %q", last)
+	}
+}

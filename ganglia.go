@@ -36,6 +36,7 @@ import (
 
 	"ganglia/internal/alarm"
 	"ganglia/internal/clock"
+	"ganglia/internal/fabric"
 	"ganglia/internal/gmetad"
 	"ganglia/internal/gmond"
 	"ganglia/internal/gxml"
@@ -161,6 +162,42 @@ func NewInMemNetwork() *InMemNetwork { return transport.NewInMemNetwork() }
 // NewUDPBus joins a real multicast group (see
 // transport.DefaultMulticastGroup).
 func NewUDPBus(group string) (*UDPBus, error) { return transport.NewUDPBus(group, nil) }
+
+// Multi-protocol ingest/egress fabric.
+type (
+	// FabricHub admits statsd and HTTP/JSON push metrics and serves
+	// them as an ordinary gmond cluster.
+	FabricHub = fabric.Hub
+	// FabricHubConfig configures a FabricHub.
+	FabricHubConfig = fabric.Config
+	// PushMetric is one metric admitted through the push endpoint.
+	PushMetric = fabric.PushMetric
+	// FabricSample is one flattened observation on its way to a sink.
+	FabricSample = fabric.Sample
+	// FabricSink delivers sample batches to one foreign consumer.
+	FabricSink = fabric.Sink
+	// SinkManager fans samples out to sinks with bounded queues and
+	// drop-oldest backpressure.
+	SinkManager = fabric.SinkManager
+	// SinkConfig configures a SinkManager.
+	SinkConfig = fabric.SinkConfig
+	// CarbonSink re-exports samples as Graphite/Carbon plaintext.
+	CarbonSink = fabric.CarbonSink
+	// PromSink serves the latest samples as Prometheus text exposition.
+	PromSink = fabric.PromSink
+)
+
+// NewFabricHub creates an ingest hub; poll it like any gmond source.
+func NewFabricHub(cfg FabricHubConfig) (*FabricHub, error) { return fabric.NewHub(cfg) }
+
+// NewSinkManager creates an empty sink manager; Add attaches sinks.
+func NewSinkManager(cfg SinkConfig) *SinkManager { return fabric.NewSinkManager(cfg) }
+
+// NewCarbonSink creates a Graphite/Carbon plaintext sink dialing addr
+// over network. A writeTimeout of 0 selects the default.
+func NewCarbonSink(network Network, addr, prefix string, writeTimeout time.Duration) *CarbonSink {
+	return fabric.NewCarbonSink(network, addr, prefix, writeTimeout)
+}
 
 // Clocks.
 type (

@@ -1,0 +1,321 @@
+// Fabric experiment: the ingest/egress hub measured end to end — statsd
+// line throughput through the receiver, carbon flush latency through a
+// healthy sink, and the drop accounting when the consumer refuses
+// connections (the chaos scenario the sink manager exists to survive).
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/fabric"
+	"ganglia/internal/transport"
+)
+
+// FabricConfig parameterizes the fabric experiment.
+type FabricConfig struct {
+	// Lines is how many statsd lines one ingested datagram carries.
+	Lines int
+	// BatchSize is the carbon batch measured per flush.
+	BatchSize int
+	// ChaosSamples is how many samples each chaos phase offers.
+	ChaosSamples int
+}
+
+func (c *FabricConfig) defaults() {
+	if c.Lines == 0 {
+		c.Lines = 16
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = fabric.DefaultBatchSize
+	}
+	if c.ChaosSamples == 0 {
+		c.ChaosSamples = 4096
+	}
+}
+
+// FabricIngest is the statsd receiver throughput measurement.
+type FabricIngest struct {
+	NsPerPacket float64 `json:"ns_per_packet"`
+	LinesPerSec float64 `json:"lines_per_sec"`
+	ParseErrors int64   `json:"parse_errors"`
+}
+
+// FabricFlush is the carbon sink latency measurement over a healthy
+// in-memory consumer.
+type FabricFlush struct {
+	BatchSize     int     `json:"batch_size"`
+	NsPerBatch    float64 `json:"ns_per_batch"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+// FabricChaos is the refusing-consumer scenario: half the offered
+// samples arrive while the consumer refuses every dial, half after it
+// recovers. The sink manager must drop the first half (counted) and
+// deliver the second.
+type FabricChaos struct {
+	Offered    int64   `json:"offered"`
+	Delivered  int64   `json:"delivered"`
+	Dropped    int64   `json:"dropped"`
+	FlushFails int64   `json:"flush_fails"`
+	DropRate   float64 `json:"drop_rate"`
+}
+
+// FabricResult is the regenerated fabric experiment.
+type FabricResult struct {
+	Config FabricConfig `json:"config"`
+	Ingest FabricIngest `json:"ingest"`
+	Flush  FabricFlush  `json:"flush"`
+	Chaos  FabricChaos  `json:"chaos"`
+}
+
+// ShapeErrors re-checks the fabric's quantitative claims: the receiver
+// must sustain statsd ingest well past any realistic monitoring load, a
+// healthy carbon flush must stay cheap, and the chaos scenario must
+// show a non-zero, non-total drop rate with exact conservation.
+func (r *FabricResult) ShapeErrors() []string {
+	var errs []string
+	if r.Ingest.LinesPerSec < 100_000 {
+		errs = append(errs, fmt.Sprintf("statsd ingest too slow (%.0f lines/s, want >=100k)", r.Ingest.LinesPerSec))
+	}
+	if r.Ingest.ParseErrors != 0 {
+		errs = append(errs, fmt.Sprintf("benchmark corpus misparsed (%d parse errors)", r.Ingest.ParseErrors))
+	}
+	if r.Flush.NsPerBatch > float64(50*time.Millisecond) {
+		errs = append(errs, fmt.Sprintf("carbon flush latency excessive (%.2f ms/batch, want <=50ms)", r.Flush.NsPerBatch/1e6))
+	}
+	if r.Chaos.DropRate <= 0 {
+		errs = append(errs, "chaos scenario dropped nothing — the refusing consumer was not exercised")
+	}
+	if r.Chaos.DropRate >= 1 {
+		errs = append(errs, "chaos scenario dropped everything — the recovered consumer received nothing")
+	}
+	if r.Chaos.FlushFails == 0 {
+		errs = append(errs, "chaos scenario recorded no failed flushes")
+	}
+	if r.Chaos.Delivered+r.Chaos.Dropped != r.Chaos.Offered {
+		errs = append(errs, fmt.Sprintf("sample conservation violated (%d delivered + %d dropped != %d offered)",
+			r.Chaos.Delivered, r.Chaos.Dropped, r.Chaos.Offered))
+	}
+	return errs
+}
+
+// Table renders the result for terminals, in the repo's experiment
+// style.
+func (r *FabricResult) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fabric — statsd ingest, carbon egress, refusing-consumer chaos\n")
+	fmt.Fprintf(&sb, "%-28s %14.0f lines/s  (%.0f ns per %d-line packet)\n",
+		"statsd ingest", r.Ingest.LinesPerSec, r.Ingest.NsPerPacket, r.Config.Lines)
+	fmt.Fprintf(&sb, "%-28s %14.0f samples/s (%.2f ms per %d-sample batch)\n",
+		"carbon flush", r.Flush.SamplesPerSec, r.Flush.NsPerBatch/1e6, r.Flush.BatchSize)
+	fmt.Fprintf(&sb, "%-28s %5.1f%% dropped (%d of %d offered, %d failed flushes, %d delivered)\n",
+		"chaos (refusing consumer)", 100*r.Chaos.DropRate, r.Chaos.Dropped, r.Chaos.Offered,
+		r.Chaos.FlushFails, r.Chaos.Delivered)
+	return sb.String()
+}
+
+// WriteJSON writes the result as the committed regression baseline.
+func (r *FabricResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// benchPacket builds one statsd datagram of n lines cycling through the
+// three metric kinds over a handful of buckets.
+func benchPacket(n int) []byte {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&sb, "bench.req.%d:1|c\n", i%5)
+		case 1:
+			fmt.Fprintf(&sb, "bench.mem.%d:%d|g\n", i%5, 1024+i)
+		default:
+			fmt.Fprintf(&sb, "bench.rpc.%d:%d|ms\n", i%5, 10+i)
+		}
+	}
+	return []byte(sb.String())
+}
+
+// lineCollector counts carbon plaintext lines arriving at a listener.
+type lineCollector struct {
+	lines atomic.Int64
+}
+
+func (c *lineCollector) serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer func() { recover() }()
+			defer func() { _ = conn.Close() }()
+			sc := bufio.NewScanner(conn)
+			for sc.Scan() {
+				c.lines.Add(1)
+			}
+		}()
+	}
+}
+
+// awaitCounter polls read until it reports at least want, giving up
+// after a generous wall-clock budget.
+func awaitCounter(read func() int64, want int64) error {
+	for i := 0; i < 10_000; i++ {
+		if read() >= want {
+			return nil
+		}
+		clock.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("counter stalled at %d, want >=%d", read(), want)
+}
+
+// RunFabric measures the three fabric scenarios. Everything runs over
+// in-memory transports; the only real time spent is the measured work
+// itself and the chaos scenario's flusher scheduling.
+func RunFabric(cfg FabricConfig) (*FabricResult, error) {
+	cfg.defaults()
+	res := &FabricResult{Config: cfg}
+
+	// Scenario 1: statsd ingest throughput. The hub parses and
+	// aggregates every line; flushing to the bus is not in the loop, as
+	// in production it rides a slower periodic cadence.
+	hub, err := fabric.NewHub(fabric.Config{
+		Cluster: "bench", Owner: "bench", Host: "hub-0", IP: "127.0.0.1",
+		Clock: clock.NewVirtual(t0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkt := benchPacket(cfg.Lines)
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hub.IngestStatsd(pkt)
+		}
+	})
+	snap := hub.Accounting().Snapshot()
+	hub.Close()
+	res.Ingest = FabricIngest{
+		NsPerPacket: float64(br.NsPerOp()),
+		LinesPerSec: float64(cfg.Lines) / (float64(br.NsPerOp()) / 1e9),
+		ParseErrors: snap.ParseErrors,
+	}
+
+	// Scenario 2: carbon flush latency against a healthy in-memory
+	// consumer, measured at the sink itself (one connection reused
+	// across flushes, exactly the manager's call pattern).
+	netw := transport.NewInMemNetwork()
+	l, err := netw.Listen("carbon:2003")
+	if err != nil {
+		return nil, err
+	}
+	col := &lineCollector{}
+	go col.serve(l)
+	sink := fabric.NewCarbonSink(netw, "carbon:2003", "ganglia", 0)
+	batch := make([]fabric.Sample, cfg.BatchSize)
+	for i := range batch {
+		batch[i] = fabric.Sample{
+			Grid: "root", Cluster: "bench", Host: fmt.Sprintf("node-%d", i%32),
+			Metric: "load_one", Value: float64(i), When: t0,
+		}
+	}
+	var flushErr error
+	br = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := sink.Flush(batch); err != nil {
+				flushErr = err
+				b.FailNow()
+			}
+		}
+	})
+	sink.Close()
+	_ = l.Close()
+	if flushErr != nil {
+		return nil, fmt.Errorf("carbon flush: %w", flushErr)
+	}
+	res.Flush = FabricFlush{
+		BatchSize:     cfg.BatchSize,
+		NsPerBatch:    float64(br.NsPerOp()),
+		SamplesPerSec: float64(cfg.BatchSize) / (float64(br.NsPerOp()) / 1e9),
+	}
+
+	// Scenario 3: the refusing consumer. Phase one offers half the
+	// samples while every dial is refused — the manager must burn them
+	// as counted drops. Phase two clears the fault and offers the rest,
+	// which must all arrive.
+	inner := transport.NewInMemNetwork()
+	l2, err := inner.Listen("carbon:2003")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = l2.Close() }()
+	col2 := &lineCollector{}
+	go col2.serve(l2)
+	faulty := transport.NewFaultNetwork(inner, 1, clock.NewVirtual(t0))
+	mgr := fabric.NewSinkManager(fabric.SinkConfig{})
+	mgr.Add(fabric.NewCarbonSink(faulty, "carbon:2003", "ganglia", 0))
+	defer mgr.Close()
+
+	half := cfg.ChaosSamples / 2
+	sample := func(i int) fabric.Sample {
+		return fabric.Sample{
+			Grid: "root", Cluster: "bench", Host: fmt.Sprintf("node-%d", i%32),
+			Metric: "load_one", Value: float64(i), When: t0,
+		}
+	}
+	faulty.SetPlan("carbon:2003", transport.FaultPlan{Mode: transport.FaultRefuse})
+	for i := 0; i < half; i += cfg.BatchSize {
+		n := cfg.BatchSize
+		if i+n > half {
+			n = half - i
+		}
+		b := make([]fabric.Sample, n)
+		for j := range b {
+			b[j] = sample(i + j)
+		}
+		mgr.Offer(b)
+	}
+	// Every phase-one sample must burn off as a counted drop before the
+	// consumer recovers, or it would be delivered late instead.
+	if err := awaitCounter(func() int64 { return mgr.Accounting().Snapshot().SinkDrops }, int64(half)); err != nil {
+		return nil, fmt.Errorf("chaos phase 1: %w", err)
+	}
+	faulty.ClearPlan("carbon:2003")
+	for i := half; i < cfg.ChaosSamples; i += cfg.BatchSize {
+		n := cfg.BatchSize
+		if i+n > cfg.ChaosSamples {
+			n = cfg.ChaosSamples - i
+		}
+		b := make([]fabric.Sample, n)
+		for j := range b {
+			b[j] = sample(i + j)
+		}
+		mgr.Offer(b)
+	}
+	if !mgr.Drain(30 * time.Second) {
+		return nil, fmt.Errorf("chaos: sink manager failed to drain")
+	}
+	if err := awaitCounter(col2.lines.Load, int64(cfg.ChaosSamples-half)); err != nil {
+		return nil, fmt.Errorf("chaos phase 2: %w", err)
+	}
+	chaos := mgr.Accounting().Snapshot()
+	res.Chaos = FabricChaos{
+		Offered:    chaos.Offered,
+		Delivered:  col2.lines.Load(),
+		Dropped:    chaos.SinkDrops,
+		FlushFails: chaos.SinkFlushFails,
+		DropRate:   float64(chaos.SinkDrops) / float64(chaos.Offered),
+	}
+	return res, nil
+}

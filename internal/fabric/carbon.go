@@ -1,0 +1,244 @@
+package fabric
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ganglia/internal/transport"
+)
+
+// The Graphite/Carbon plaintext protocol: one datapoint per line,
+//
+//	<dotted.path> <value> <unix-seconds>\n
+//
+// written over a long-lived TCP connection. Carbon never answers, so
+// delivery is fire-and-forget; the sink's only feedback is the write
+// succeeding or the connection dying.
+
+// CarbonPoint is one plaintext-protocol datapoint. It is the unit the
+// codec round-trips: ParseCarbon(AppendCarbon(nil, p)) == p for every
+// valid point, which the fuzz battery holds it to.
+type CarbonPoint struct {
+	Path  string
+	Value float64
+	Unix  int64
+}
+
+// maxCarbonLine bounds one plaintext line, path included.
+const maxCarbonLine = 1024
+
+// ErrCarbon is the base error of every Carbon parse failure.
+var ErrCarbon = fmt.Errorf("fabric: bad carbon line")
+
+// AppendCarbon appends p's plaintext line (with trailing newline) to
+// dst and returns the extended slice.
+func AppendCarbon(dst []byte, p CarbonPoint) []byte {
+	dst = append(dst, p.Path...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendFloat(dst, p.Value, 'g', -1, 64)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, p.Unix, 10)
+	dst = append(dst, '\n')
+	return dst
+}
+
+// carbonPathByteOK admits the bytes a sanitized Carbon path component
+// may carry: the statsd bucket alphabet plus the '.' separator.
+func carbonPathByteOK(b byte) bool {
+	return bucketByteOK(b) || b == '.'
+}
+
+// ParseCarbon parses one plaintext line (trailing newline optional).
+// The parser is strict — a point it accepts re-encodes to an equivalent
+// point — and never panics on arbitrary input.
+func ParseCarbon(line []byte) (CarbonPoint, error) {
+	var p CarbonPoint
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+	}
+	if len(line) == 0 {
+		return p, fmt.Errorf("%w: empty line", ErrCarbon)
+	}
+	if len(line) > maxCarbonLine {
+		return p, fmt.Errorf("%w: line exceeds %d bytes", ErrCarbon, maxCarbonLine)
+	}
+	fields := strings.Fields(string(line))
+	if len(fields) != 3 {
+		return p, fmt.Errorf("%w: %d fields, want 3", ErrCarbon, len(fields))
+	}
+	path := fields[0]
+	for i := 0; i < len(path); i++ {
+		if !carbonPathByteOK(path[i]) {
+			return p, fmt.Errorf("%w: path byte %q", ErrCarbon, path[i])
+		}
+	}
+	if path[0] == '.' || path[len(path)-1] == '.' || strings.Contains(path, "..") {
+		return p, fmt.Errorf("%w: empty path component in %q", ErrCarbon, path)
+	}
+	v, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return p, fmt.Errorf("%w: value %q", ErrCarbon, fields[1])
+	}
+	if v != v || v > 1e308 || v < -1e308 {
+		return p, fmt.Errorf("%w: non-finite value %q", ErrCarbon, fields[1])
+	}
+	ts, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || ts < 0 {
+		return p, fmt.Errorf("%w: timestamp %q", ErrCarbon, fields[2])
+	}
+	p.Path = path
+	p.Value = v
+	p.Unix = ts
+	return p, nil
+}
+
+// carbonComponent sanitizes one path component: disallowed bytes
+// (separators included — a '.' inside a host name must not split the
+// path) become '_', and an empty component becomes "_".
+func carbonComponent(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		// '.' is the path separator: one inside a component must not
+		// mint extra components, so it is replaced like any other
+		// disallowed byte.
+		if bucketByteOK(s[i]) && s[i] != '.' {
+			continue
+		}
+		if b == nil {
+			b = []byte(s)
+		}
+		b[i] = '_'
+	}
+	if b == nil {
+		return s
+	}
+	return string(b)
+}
+
+// CarbonPath flattens a sample's tree coordinates into a dotted path:
+// [prefix.][grid.]cluster.host.metric, each component sanitized. The
+// metric name keeps its own dots (statsd buckets are already dotted
+// paths).
+func CarbonPath(prefix string, s Sample) string {
+	parts := make([]string, 0, 5)
+	if prefix != "" {
+		parts = append(parts, carbonComponent(prefix))
+	}
+	if s.Grid != "" {
+		parts = append(parts, carbonComponent(s.Grid))
+	}
+	parts = append(parts, carbonComponent(s.Cluster), carbonComponent(s.Host))
+	metric := s.Metric
+	if metric == "" {
+		metric = "_"
+	}
+	mparts := strings.Split(metric, ".")
+	for _, mp := range mparts {
+		parts = append(parts, carbonComponent(mp))
+	}
+	return strings.Join(parts, ".")
+}
+
+// DefaultCarbonWriteTimeout bounds one batch write to Carbon.
+const DefaultCarbonWriteTimeout = 5 * time.Second
+
+// CarbonSink streams samples to a Graphite/Carbon relay as plaintext
+// datapoints over a lazily-dialed, reused TCP connection. A failed dial
+// or write fails the Flush (the manager counts the batch as dropped)
+// and discards the connection so the next flush re-dials.
+type CarbonSink struct {
+	network transport.Network
+	addr    string
+	// Prefix, when non-empty, roots every path ("<prefix>.<grid>...").
+	prefix string
+	// writeTimeout bounds one batch write; the deadline is what turns a
+	// hung relay into a counted drop instead of a stuck flusher.
+	writeTimeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+// NewCarbonSink returns a sink that writes to addr over network.
+// prefix optionally roots every emitted path; writeTimeout <= 0 means
+// DefaultCarbonWriteTimeout.
+func NewCarbonSink(network transport.Network, addr, prefix string, writeTimeout time.Duration) *CarbonSink {
+	if writeTimeout <= 0 {
+		writeTimeout = DefaultCarbonWriteTimeout
+	}
+	return &CarbonSink{network: network, addr: addr, prefix: prefix, writeTimeout: writeTimeout}
+}
+
+// Name implements Sink.
+func (c *CarbonSink) Name() string { return "carbon(" + c.addr + ")" }
+
+// Flush implements Sink: encode the batch and write it in one call.
+// The cached connection is taken out of the sink for the duration of
+// the write — the lock only guards the handoff, never the I/O.
+func (c *CarbonSink) Flush(batch []Sample) error {
+	buf := make([]byte, 0, 64*len(batch))
+	for _, s := range batch {
+		buf = AppendCarbon(buf, CarbonPoint{
+			Path:  CarbonPath(c.prefix, s),
+			Value: s.Value,
+			Unix:  s.When.Unix(),
+		})
+	}
+	c.mu.Lock()
+	conn, closed := c.conn, c.closed
+	c.conn = nil
+	c.mu.Unlock()
+	if closed {
+		if conn != nil {
+			_ = conn.Close()
+		}
+		return fmt.Errorf("fabric: carbon sink %s closed", c.addr)
+	}
+	if conn == nil {
+		var err error
+		conn, err = c.network.Dial(c.addr)
+		if err != nil {
+			return fmt.Errorf("fabric: carbon dial %s: %w", c.addr, err)
+		}
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("fabric: carbon deadline %s: %w", c.addr, err)
+	}
+	if _, err := conn.Write(buf); err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("fabric: carbon write %s: %w", c.addr, err)
+	}
+	c.mu.Lock()
+	if c.closed || c.conn != nil {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	c.conn = conn
+	c.mu.Unlock()
+	return nil
+}
+
+// Close drops the current connection, if any, and fails future flushes.
+func (c *CarbonSink) Close() {
+	c.mu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.closed = true
+	c.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}

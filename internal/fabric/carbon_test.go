@@ -1,0 +1,186 @@
+package fabric
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ganglia/internal/transport"
+)
+
+func TestCarbonRoundTrip(t *testing.T) {
+	points := []CarbonPoint{
+		{Path: "a", Value: 0, Unix: 0},
+		{Path: "meteor.compute-0-0.load_one", Value: 0.25, Unix: 1_057_000_000},
+		{Path: "g.c.h.m", Value: -12345.6789, Unix: 42},
+		{Path: "x.y", Value: 1e300, Unix: 9_999_999_999},
+	}
+	for _, p := range points {
+		line := AppendCarbon(nil, p)
+		got, err := ParseCarbon(line)
+		if err != nil {
+			t.Errorf("ParseCarbon(%q): %v", line, err)
+			continue
+		}
+		if got != p {
+			t.Errorf("round trip %q: got %+v, want %+v", line, got, p)
+		}
+	}
+}
+
+func TestParseCarbonInvalid(t *testing.T) {
+	cases := []string{
+		"",                                 // empty
+		"a 1",                              // missing timestamp
+		"a 1 2 3",                          // extra field
+		"a b 2",                            // non-numeric value
+		"a NaN 2",                          // non-finite value
+		"a 1 -5",                           // negative timestamp
+		"a 1 b",                            // non-numeric timestamp
+		".a 1 2",                           // leading separator
+		"a. 1 2",                           // trailing separator
+		"a..b 1 2",                         // empty component
+		"a b 1 2",                          // space splits the path
+		"p\x01q 1 2",                       // control byte in path
+		strings.Repeat("a", 1030) + " 1 2", // over maxCarbonLine
+	}
+	for _, line := range cases {
+		if _, err := ParseCarbon([]byte(line)); err == nil {
+			t.Errorf("ParseCarbon(%q): want error", line)
+		} else if !errors.Is(err, ErrCarbon) {
+			t.Errorf("ParseCarbon(%q): error %v does not wrap ErrCarbon", line, err)
+		}
+	}
+}
+
+func TestCarbonPath(t *testing.T) {
+	cases := []struct {
+		prefix string
+		s      Sample
+		want   string
+	}{
+		{"", Sample{Cluster: "meteor", Host: "compute-0-0", Metric: "load_one"},
+			"meteor.compute-0-0.load_one"},
+		{"ganglia", Sample{Grid: "SDSC", Cluster: "meteor", Host: "n0", Metric: "req.count"},
+			"ganglia.SDSC.meteor.n0.req.count"},
+		// A dot inside a host name must not mint extra path components.
+		{"", Sample{Cluster: "lab cluster", Host: "node.sub.example", Metric: "cpu"},
+			"lab_cluster.node_sub_example.cpu"},
+		{"", Sample{Cluster: "", Host: "", Metric: ""}, "_._._"},
+	}
+	for _, c := range cases {
+		if got := CarbonPath(c.prefix, c.s); got != c.want {
+			t.Errorf("CarbonPath(%q, %+v) = %q, want %q", c.prefix, c.s, got, c.want)
+		}
+		// Every path the flattener emits must survive the codec.
+		line := AppendCarbon(nil, CarbonPoint{Path: CarbonPath(c.prefix, c.s), Value: 1, Unix: 2})
+		if _, err := ParseCarbon(line); err != nil {
+			t.Errorf("emitted path %q does not reparse: %v", line, err)
+		}
+	}
+}
+
+// carbonCollector accepts connections on l and collects every line
+// written to them.
+type carbonCollector struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (cc *carbonCollector) serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer func() { recover() }()
+			defer conn.Close()
+			r := bufio.NewReader(io.LimitReader(conn, 1<<20))
+			for {
+				line, err := r.ReadString('\n')
+				if line != "" {
+					cc.mu.Lock()
+					cc.lines = append(cc.lines, strings.TrimSuffix(line, "\n"))
+					cc.mu.Unlock()
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (cc *carbonCollector) snapshot() []string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return append([]string(nil), cc.lines...)
+}
+
+func TestCarbonSinkFlush(t *testing.T) {
+	netw := transport.NewInMemNetwork()
+	l, err := netw.Listen("carbon:2003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cc := &carbonCollector{}
+	go cc.serve(l)
+
+	sink := NewCarbonSink(netw, "carbon:2003", "ganglia", time.Second)
+	defer sink.Close()
+	when := time.Unix(1_057_000_000, 0)
+	batch := []Sample{
+		{Cluster: "meteor", Host: "n0", Metric: "load_one", Value: 0.25, When: when},
+		{Grid: "SDSC", Cluster: "meteor", Host: "n1", Metric: "req.count", Value: 42, When: when},
+	}
+	if err := sink.Flush(batch); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	want := []string{
+		"ganglia.meteor.n0.load_one 0.25 1057000000",
+		"ganglia.SDSC.meteor.n1.req.count 42 1057000000",
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := cc.snapshot()
+		if len(got) >= len(want) {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("line %d = %q, want %q", i, got[i], want[i])
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("collector got %q, want %q", got, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCarbonSinkDialFailure(t *testing.T) {
+	netw := transport.NewInMemNetwork()
+	sink := NewCarbonSink(netw, "nowhere:2003", "", time.Second)
+	defer sink.Close()
+	err := sink.Flush([]Sample{{Cluster: "c", Host: "h", Metric: "m", Value: 1}})
+	if err == nil {
+		t.Fatal("Flush to an unlistened address: want error")
+	}
+}
+
+func TestCarbonSinkClosedFails(t *testing.T) {
+	netw := transport.NewInMemNetwork()
+	sink := NewCarbonSink(netw, "carbon:2003", "", time.Second)
+	sink.Close()
+	if err := sink.Flush([]Sample{{Cluster: "c", Host: "h", Metric: "m"}}); err == nil {
+		t.Fatal("Flush after Close: want error")
+	}
+}

@@ -1,0 +1,156 @@
+// Package fabric is the multi-protocol ingest/egress layer of the
+// monitoring hub: receivers admit metrics that never touched a gmond
+// multicast channel, sinks re-export the aggregation tree to foreign
+// consumers.
+//
+// The paper's federation model assumes exactly one wire format — XML
+// over TCP between gmond and gmetad. That is the right spine for a
+// monitoring *tree*, but it shuts out two workload shapes the related
+// work cares about: high-rate push producers (statsd-style counters and
+// timers, the radiotelescope workload of Barnes/Armitage) and foreign
+// time-series consumers (Graphite/Carbon, Prometheus). This package
+// opens both doors without inventing a second metric pool:
+//
+//   - Receivers (Hub): a statsd UDP line-protocol listener and an
+//     HTTP/JSON push endpoint. Everything they admit is translated into
+//     ordinary gmond announcements — the XDR packets of
+//     metric.Announcement — and delivered through an in-process bus
+//     into a mute gmond agent. The hub therefore *is* a cluster, with
+//     soft-state lifetimes, heartbeats and deterministic XML identical
+//     to a native one; a gmetad polls it over the unchanged gmond TCP
+//     contract, and the equivalence tests hold the two paths to
+//     byte-identical served XML.
+//   - Sinks (SinkManager): Graphite/Carbon plaintext over TCP and a
+//     Prometheus text-exposition endpoint. The gmetad poll path offers
+//     every numeric metric it publishes as a flattened Sample; each
+//     sink gets its own bounded queue with drop-oldest backpressure and
+//     a panic-isolated flusher goroutine, so a slow or dead consumer
+//     costs bounded memory and counted drops, never daemon health.
+//
+// All I/O obeys the repository's lint invariants: time comes from an
+// injected clock (deadline arguments excepted), every goroutine is
+// panic-isolated, and every reader rooted in a connection is capped.
+package fabric
+
+import (
+	"sync/atomic"
+)
+
+// Accounting tracks the fabric's ingest and egress work, in the same
+// style as gmetad.Accounting: lock-free counters a status loop or test
+// snapshots and subtracts.
+type Accounting struct {
+	receivedLines  atomic.Int64
+	parseErrors    atomic.Int64
+	statsdPackets  atomic.Int64
+	pushRequests   atomic.Int64
+	pushRejects    atomic.Int64
+	pushMetrics    atomic.Int64
+	flushes        atomic.Int64
+	announcements  atomic.Int64
+	receiverPanics atomic.Int64
+
+	sinkFlushes    atomic.Int64
+	sinkFlushFails atomic.Int64
+	sinkDrops      atomic.Int64
+	queueHighWater atomic.Int64
+	sinkPanics     atomic.Int64
+	offered        atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	// ReceivedLines counts statsd lines accepted by the parser;
+	// ParseErrors lines rejected by it; StatsdPackets whole datagrams
+	// ingested (one packet carries one or more lines).
+	ReceivedLines int64
+	ParseErrors   int64
+	StatsdPackets int64
+
+	// PushRequests counts HTTP push requests accepted, PushRejects
+	// requests refused (bad method, body or JSON), and PushMetrics
+	// individual metrics admitted through the push endpoint.
+	PushRequests int64
+	PushRejects  int64
+	PushMetrics  int64
+
+	// Flushes counts hub aggregation flushes and Announcements the
+	// bus packets they emitted (heartbeats included). ReceiverPanics
+	// counts receiver goroutines recovered from a panic.
+	Flushes        int64
+	Announcements  int64
+	ReceiverPanics int64
+
+	// SinkFlushes counts successful sink batch deliveries and
+	// SinkFlushFails failed ones (their samples are dropped and counted
+	// in SinkDrops — a failed delivery is never silent). SinkDrops
+	// totals samples lost to backpressure or failed flushes.
+	// QueueHighWater is the deepest any sink queue has been;
+	// SinkPanics counts flusher goroutines recovered from a panic, and
+	// Offered the samples handed to the manager before any dropping.
+	SinkFlushes    int64
+	SinkFlushFails int64
+	SinkDrops      int64
+	QueueHighWater int64
+	SinkPanics     int64
+	Offered        int64
+}
+
+// Snapshot returns a copy of the current counters.
+func (a *Accounting) Snapshot() Snapshot {
+	return Snapshot{
+		ReceivedLines: a.receivedLines.Load(),
+		ParseErrors:   a.parseErrors.Load(),
+		StatsdPackets: a.statsdPackets.Load(),
+
+		PushRequests: a.pushRequests.Load(),
+		PushRejects:  a.pushRejects.Load(),
+		PushMetrics:  a.pushMetrics.Load(),
+
+		Flushes:        a.flushes.Load(),
+		Announcements:  a.announcements.Load(),
+		ReceiverPanics: a.receiverPanics.Load(),
+
+		SinkFlushes:    a.sinkFlushes.Load(),
+		SinkFlushFails: a.sinkFlushFails.Load(),
+		SinkDrops:      a.sinkDrops.Load(),
+		QueueHighWater: a.queueHighWater.Load(),
+		SinkPanics:     a.sinkPanics.Load(),
+		Offered:        a.offered.Load(),
+	}
+}
+
+// Sub returns s - o, the work done between two snapshots. High-water
+// marks are not differenced: the later mark stands.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		ReceivedLines: s.ReceivedLines - o.ReceivedLines,
+		ParseErrors:   s.ParseErrors - o.ParseErrors,
+		StatsdPackets: s.StatsdPackets - o.StatsdPackets,
+
+		PushRequests: s.PushRequests - o.PushRequests,
+		PushRejects:  s.PushRejects - o.PushRejects,
+		PushMetrics:  s.PushMetrics - o.PushMetrics,
+
+		Flushes:        s.Flushes - o.Flushes,
+		Announcements:  s.Announcements - o.Announcements,
+		ReceiverPanics: s.ReceiverPanics - o.ReceiverPanics,
+
+		SinkFlushes:    s.SinkFlushes - o.SinkFlushes,
+		SinkFlushFails: s.SinkFlushFails - o.SinkFlushFails,
+		SinkDrops:      s.SinkDrops - o.SinkDrops,
+		QueueHighWater: s.QueueHighWater,
+		SinkPanics:     s.SinkPanics - o.SinkPanics,
+		Offered:        s.Offered - o.Offered,
+	}
+}
+
+// raiseHighWater lifts the high-water mark to at least depth.
+func (a *Accounting) raiseHighWater(depth int64) {
+	for {
+		cur := a.queueHighWater.Load()
+		if depth <= cur || a.queueHighWater.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}

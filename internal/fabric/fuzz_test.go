@@ -1,0 +1,134 @@
+package fabric
+
+import (
+	"strconv"
+	"testing"
+)
+
+// canonicalStatsd re-serializes a parsed stat into the canonical line
+// form. It is the inverse the fuzzer holds ParseStatsd to: parse →
+// serialize → parse must be a fixed point.
+func canonicalStatsd(s Stat) []byte {
+	out := []byte(s.Bucket)
+	out = append(out, ':')
+	if s.GaugeDelta && s.Value >= 0 {
+		out = append(out, '+')
+	}
+	out = strconv.AppendFloat(out, s.Value, 'g', -1, 64)
+	out = append(out, '|')
+	out = append(out, s.Kind.String()...)
+	if s.SampleRate != 1 {
+		out = append(out, '|', '@')
+		out = strconv.AppendFloat(out, s.SampleRate, 'g', -1, 64)
+	}
+	return out
+}
+
+func FuzzParseStatsd(f *testing.F) {
+	seeds := []string{
+		"req.count:1|c",
+		"req.count:7|c|@0.1",
+		"mem_free:1024|g",
+		"mem_free:+5|g",
+		"mem_free:-3.5|g",
+		"rpc.latency:12.75|ms",
+		"a:1|c\nb:2|g",
+		// Truncated and garbled shapes, as chaos (FaultTruncate,
+		// FaultGarble) would leave them.
+		"req.cou",
+		"req.count:7|",
+		"req.count:7|c|@",
+		"req\x00count:1|c",
+		"req.count:1|\xffc",
+		":::|||@@@",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		s, err := ParseStatsd(line)
+		if err != nil {
+			return
+		}
+		// Accepted lines must be fully specified and re-serializable.
+		if s.Bucket == "" || s.SampleRate <= 0 || s.SampleRate > 1 {
+			t.Fatalf("accepted under-specified stat %+v from %q", s, line)
+		}
+		if s.Value != s.Value {
+			t.Fatalf("accepted NaN from %q", line)
+		}
+		again, err := ParseStatsd(canonicalStatsd(s))
+		if err != nil {
+			t.Fatalf("canonical form of %q (%q) does not reparse: %v",
+				line, canonicalStatsd(s), err)
+		}
+		if again != s {
+			t.Fatalf("parse(%q) = %+v, but canonical reparse = %+v", line, s, again)
+		}
+	})
+}
+
+func FuzzCarbonRoundTrip(f *testing.F) {
+	seeds := []string{
+		"meteor.n0.load_one 0.25 1057000000",
+		"ganglia.SDSC.meteor.n1.req.count 42 1057000000",
+		"a 0 0",
+		"x.y -12345.6789 42\n",
+		"p 1e300 9999999999",
+		// Truncated and garbled shapes.
+		"meteor.n0.load",
+		"meteor.n0.load_one 0.2",
+		"meteor.n0.load_one 0.25 1057000000 trailing",
+		"met\x7feor.n0 1 2",
+		"   ",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		p, err := ParseCarbon(line)
+		if err != nil {
+			return
+		}
+		if p.Path == "" || p.Unix < 0 || p.Value != p.Value {
+			t.Fatalf("accepted malformed point %+v from %q", p, line)
+		}
+		encoded := AppendCarbon(nil, p)
+		again, err := ParseCarbon(encoded)
+		if err != nil {
+			t.Fatalf("re-encoding of %q (%q) does not reparse: %v", line, encoded, err)
+		}
+		if again != p {
+			t.Fatalf("parse(%q) = %+v, but round trip = %+v", line, p, again)
+		}
+	})
+}
+
+// FuzzIngestStatsd drives whole hostile datagrams through the full
+// ingest path: the hub must neither panic nor lose count (every line is
+// either received or a parse error).
+func FuzzIngestStatsd(f *testing.F) {
+	f.Add([]byte("a:1|c\nb:2|g\nc:3|ms\n"))
+	f.Add([]byte("a:1|c\n<garbage>\r\nb:2|g"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("x\xff\x00y:1|c\na:2|c"))
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		h, clk := newTestHub(t)
+		h.IngestStatsd(pkt)
+		lines := 0
+		splitLines(pkt, func([]byte) { lines++ })
+		s := h.Accounting().Snapshot()
+		if s.ReceivedLines+s.ParseErrors != int64(lines) {
+			t.Fatalf("lines=%d but received=%d parseErrors=%d", lines, s.ReceivedLines, s.ParseErrors)
+		}
+		h.Flush(clk.Now())
+		var sink nullWriter
+		if err := h.WriteXML(&sink); err != nil {
+			t.Fatalf("WriteXML after hostile ingest: %v", err)
+		}
+	})
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,200 @@
+package fabric
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/transport"
+)
+
+var t0 = time.Unix(1_057_000_000, 0)
+
+func newTestHub(t *testing.T) (*Hub, *clock.Virtual) {
+	t.Helper()
+	clk := clock.NewVirtual(t0)
+	h, err := NewHub(Config{
+		Cluster: "meteor",
+		Owner:   "SDSC",
+		Host:    "hub-0",
+		IP:      "10.9.0.1",
+		Clock:   clk,
+	})
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	t.Cleanup(h.Close)
+	return h, clk
+}
+
+func hubXML(t *testing.T, h *Hub) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := h.WriteXML(&buf); err != nil {
+		t.Fatalf("WriteXML: %v", err)
+	}
+	return buf.String()
+}
+
+func TestHubConfigValidation(t *testing.T) {
+	if _, err := NewHub(Config{Host: "h"}); err == nil {
+		t.Error("NewHub without cluster: want error")
+	}
+	if _, err := NewHub(Config{Cluster: "c"}); err == nil {
+		t.Error("NewHub without host: want error")
+	}
+}
+
+func TestHubStatsdToXML(t *testing.T) {
+	h, clk := newTestHub(t)
+	h.IngestStatsd([]byte("req.count:40|c\nreq.count:2|c\nmem_free:1024|g\nrpc.latency:10|ms\nrpc.latency:20|ms\n"))
+	h.Flush(clk.Now())
+
+	xml := hubXML(t, h)
+	for _, want := range []string{
+		`<CLUSTER NAME="meteor" OWNER="SDSC"`,
+		`<HOST NAME="hub-0" IP="10.9.0.1"`,
+		`NAME="req.count" VAL="42.00" TYPE="double"`,
+		`SLOPE="positive" SOURCE="statsd"`,
+		`NAME="mem_free" VAL="1024.00"`,
+		`NAME="rpc.latency" VAL="15.00" TYPE="double" UNITS="ms"`,
+	} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("report missing %q:\n%s", want, xml)
+		}
+	}
+	s := h.Accounting().Snapshot()
+	if s.ReceivedLines != 5 || s.ParseErrors != 0 || s.StatsdPackets != 1 {
+		t.Errorf("accounting: %+v", s)
+	}
+}
+
+func TestHubCounterAccumulatesAcrossFlushes(t *testing.T) {
+	h, clk := newTestHub(t)
+	h.IngestStatsd([]byte("hits:1|c|@0.1")) // sampled at 0.1: counts ten-fold
+	h.Flush(clk.Now())
+	h.IngestStatsd([]byte("hits:5|c"))
+	h.Flush(clk.Advance(time.Second))
+	if xml := hubXML(t, h); !strings.Contains(xml, `NAME="hits" VAL="15.00"`) {
+		t.Errorf("counter total not cumulative:\n%s", xml)
+	}
+}
+
+func TestHubGaugeDelta(t *testing.T) {
+	h, clk := newTestHub(t)
+	h.IngestStatsd([]byte("depth:10|g\ndepth:+5|g\ndepth:-3|g"))
+	h.Flush(clk.Now())
+	if xml := hubXML(t, h); !strings.Contains(xml, `NAME="depth" VAL="12.00"`) {
+		t.Errorf("gauge deltas not applied:\n%s", xml)
+	}
+}
+
+func TestHubTimerWindowResets(t *testing.T) {
+	h, clk := newTestHub(t)
+	h.IngestStatsd([]byte("lat:100|ms"))
+	h.Flush(clk.Now())
+	// A flush with no new observations must not re-announce a stale
+	// mean of zero observations.
+	h.IngestStatsd([]byte("lat:10|ms\nlat:30|ms"))
+	h.Flush(clk.Advance(time.Second))
+	if xml := hubXML(t, h); !strings.Contains(xml, `NAME="lat" VAL="20.00"`) {
+		t.Errorf("timer window not reset:\n%s", xml)
+	}
+}
+
+func TestHubGarbledLinesDoNotCostNeighbors(t *testing.T) {
+	h, clk := newTestHub(t)
+	h.IngestStatsd([]byte("good:1|c\n<garbage>\nalso.good:2|g\n"))
+	h.Flush(clk.Now())
+	xml := hubXML(t, h)
+	if !strings.Contains(xml, `NAME="good"`) || !strings.Contains(xml, `NAME="also.good"`) {
+		t.Errorf("valid lines lost to a garbled neighbor:\n%s", xml)
+	}
+	s := h.Accounting().Snapshot()
+	if s.ReceivedLines != 2 || s.ParseErrors != 1 {
+		t.Errorf("accounting: %+v", s)
+	}
+}
+
+func TestHubHeartbeatCadence(t *testing.T) {
+	h, clk := newTestHub(t)
+	h.IngestStatsd([]byte("m:1|g"))
+	h.Flush(clk.Now())
+	base := h.Accounting().Snapshot()
+
+	// Within the heartbeat interval a flush announces only dirty
+	// metrics, no fresh heartbeat.
+	h.IngestStatsd([]byte("m:2|g"))
+	h.Flush(clk.Advance(time.Second))
+	mid := h.Accounting().Snapshot().Sub(base)
+	if mid.Announcements != 1 {
+		t.Errorf("announcements within heartbeat interval = %d, want 1", mid.Announcements)
+	}
+
+	// Past the interval the heartbeat refreshes even with nothing dirty.
+	clk.Advance(time.Duration(h.cfg.HeartbeatEvery) * time.Second)
+	h.Flush(clk.Now())
+	end := h.Accounting().Snapshot().Sub(base)
+	if end.Announcements != 2 {
+		t.Errorf("announcements after heartbeat interval = %d, want 2", end.Announcements)
+	}
+}
+
+func TestHubServeMatchesWriteXML(t *testing.T) {
+	h, clk := newTestHub(t)
+	h.IngestStatsd([]byte("load_one:0.25|g"))
+	h.Flush(clk.Now())
+
+	netw := transport.NewInMemNetwork()
+	l, err := netw.Listen("hub:8649")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go h.Serve(l)
+	defer l.Close()
+
+	conn, err := netw.Dial("hub:8649")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	served, err := io.ReadAll(io.LimitReader(conn, 1<<20))
+	if err != nil {
+		t.Fatalf("read served report: %v", err)
+	}
+	if want := hubXML(t, h); string(served) != want {
+		t.Errorf("served report differs from WriteXML:\n--- served ---\n%s\n--- local ---\n%s", served, want)
+	}
+}
+
+func TestHubListenStatsdUDP(t *testing.T) {
+	h, clk := newTestHub(t)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	h.ListenStatsd(pc)
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatalf("dial udp: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("udp.metric:7|g")); err != nil {
+		t.Fatalf("write datagram: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Accounting().Snapshot().ReceivedLines == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("statsd datagram never ingested")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.Flush(clk.Now())
+	if xml := hubXML(t, h); !strings.Contains(xml, `NAME="udp.metric"`) {
+		t.Errorf("udp metric missing:\n%s", xml)
+	}
+}

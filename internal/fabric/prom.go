@@ -1,0 +1,189 @@
+package fabric
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PromSink retains the latest value of every series it is offered and
+// exposes them in the Prometheus text exposition format. It is both a
+// Sink (the manager pushes samples in) and an http.Handler (a scraper
+// pulls the current state out), bridging the tree's push federation to
+// Prometheus's pull model.
+type PromSink struct {
+	// MaxSeries bounds retained series; past it, samples for new series
+	// fail the Flush (so the manager counts them as drops rather than
+	// the sink growing without bound). Zero means DefaultPromMaxSeries.
+	MaxSeries int
+
+	mu     sync.Mutex
+	series map[promKey]promPoint
+}
+
+// DefaultPromMaxSeries bounds a PromSink's retained series by default.
+const DefaultPromMaxSeries = 65536
+
+type promKey struct {
+	grid    string
+	cluster string
+	host    string
+	metric  string
+}
+
+type promPoint struct {
+	value float64
+	when  time.Time
+}
+
+// Name implements Sink.
+func (p *PromSink) Name() string { return "prometheus" }
+
+// Flush implements Sink: retain the latest point of each series. It
+// fails only when the series cap refuses new samples.
+func (p *PromSink) Flush(batch []Sample) error {
+	max := p.MaxSeries
+	if max <= 0 {
+		max = DefaultPromMaxSeries
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.series == nil {
+		p.series = make(map[promKey]promPoint, len(batch))
+	}
+	refused := 0
+	for _, s := range batch {
+		k := promKey{grid: s.Grid, cluster: s.Cluster, host: s.Host, metric: s.Metric}
+		if _, ok := p.series[k]; !ok && len(p.series) >= max {
+			refused++
+			continue
+		}
+		p.series[k] = promPoint{value: s.Value, when: s.When}
+	}
+	if refused > 0 {
+		return fmt.Errorf("fabric: prometheus sink full (%d series): refused %d samples", max, refused)
+	}
+	return nil
+}
+
+// promName turns a ganglia metric name into a legal Prometheus metric
+// name: a "ganglia_" prefix, with every byte outside [a-zA-Z0-9_:]
+// replaced by '_'.
+func promName(metric string) string {
+	var b strings.Builder
+	b.Grow(len("ganglia_") + len(metric))
+	b.WriteString("ganglia_")
+	for i := 0; i < len(metric); i++ {
+		c := metric[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func promLabel(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// ServeHTTP implements http.Handler: the /metrics endpoint. Output is
+// deterministic — series sorted by metric name, then grid, cluster and
+// host — so two scrapes of the same state are byte-identical.
+func (p *PromSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	keys := make([]promKey, 0, len(p.series))
+	for k := range p.series {
+		keys = append(keys, k)
+	}
+	points := make(map[promKey]promPoint, len(keys))
+	for _, k := range keys {
+		points[k] = p.series[k]
+	}
+	p.mu.Unlock()
+
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.metric != b.metric {
+			return a.metric < b.metric
+		}
+		if a.grid != b.grid {
+			return a.grid < b.grid
+		}
+		if a.cluster != b.cluster {
+			return a.cluster < b.cluster
+		}
+		return a.host < b.host
+	})
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var buf []byte
+	lastName := ""
+	for _, k := range keys {
+		name := promName(k.metric)
+		if name != lastName {
+			buf = append(buf, "# HELP "...)
+			buf = append(buf, name...)
+			buf = append(buf, " Ganglia metric "...)
+			buf = append(buf, k.metric...)
+			buf = append(buf, "\n# TYPE "...)
+			buf = append(buf, name...)
+			buf = append(buf, " untyped\n"...)
+			lastName = name
+		}
+		buf = append(buf, name...)
+		buf = append(buf, '{')
+		if k.grid != "" {
+			buf = append(buf, `grid="`...)
+			buf = append(buf, promLabel(k.grid)...)
+			buf = append(buf, `",`...)
+		}
+		buf = append(buf, `cluster="`...)
+		buf = append(buf, promLabel(k.cluster)...)
+		buf = append(buf, `",host="`...)
+		buf = append(buf, promLabel(k.host)...)
+		buf = append(buf, `"} `...)
+		pt := points[k]
+		buf = strconv.AppendFloat(buf, pt.value, 'g', -1, 64)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, pt.when.UnixMilli(), 10)
+		buf = append(buf, '\n')
+	}
+	_, _ = w.Write(buf)
+}
+
+// ServeMetrics serves the exposition endpoint on l until the listener
+// closes. The returned error is http.Server.Serve's.
+func (p *PromSink) ServeMetrics(l net.Listener) error {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", p)
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       time.Minute,
+	}
+	return srv.Serve(l)
+}

@@ -1,0 +1,96 @@
+package fabric
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromSinkExposition(t *testing.T) {
+	p := &PromSink{}
+	when := time.Unix(1_057_000_000, 0)
+	err := p.Flush([]Sample{
+		{Grid: "SDSC", Cluster: "meteor", Host: "n1", Metric: "load_one", Value: 0.5, When: when},
+		{Cluster: "meteor", Host: "n0", Metric: "load_one", Value: 0.25, When: when},
+		{Cluster: "meteor", Host: "n0", Metric: "disk.free", Value: 512, When: when},
+	})
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// A later flush overwrites a series in place.
+	if err := p.Flush([]Sample{
+		{Cluster: "meteor", Host: "n0", Metric: "load_one", Value: 0.75, When: when.Add(time.Second)},
+	}); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, req)
+	want := `# HELP ganglia_disk_free Ganglia metric disk.free
+# TYPE ganglia_disk_free untyped
+ganglia_disk_free{cluster="meteor",host="n0"} 512 1057000000000
+# HELP ganglia_load_one Ganglia metric load_one
+# TYPE ganglia_load_one untyped
+ganglia_load_one{cluster="meteor",host="n0"} 0.75 1057000001000
+ganglia_load_one{grid="SDSC",cluster="meteor",host="n1"} 0.5 1057000000000
+`
+	if got := rec.Body.String(); got != want {
+		t.Errorf("exposition:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	// Two scrapes of the same state are byte-identical.
+	rec2 := httptest.NewRecorder()
+	p.ServeHTTP(rec2, req)
+	if rec2.Body.String() != want {
+		t.Error("second scrape differs from the first")
+	}
+}
+
+func TestPromSinkLabelEscaping(t *testing.T) {
+	p := &PromSink{}
+	if err := p.Flush([]Sample{
+		{Cluster: `lab "west"` + "\n", Host: `a\b`, Metric: "m", Value: 1},
+	}); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `cluster="lab \"west\"\n"`) || !strings.Contains(body, `host="a\\b"`) {
+		t.Errorf("labels not escaped:\n%s", body)
+	}
+}
+
+func TestPromSinkSeriesCap(t *testing.T) {
+	p := &PromSink{MaxSeries: 2}
+	if err := p.Flush([]Sample{
+		{Cluster: "c", Host: "h1", Metric: "m"},
+		{Cluster: "c", Host: "h2", Metric: "m"},
+	}); err != nil {
+		t.Fatalf("Flush under cap: %v", err)
+	}
+	// A new series past the cap fails the flush (the manager counts the
+	// batch as dropped); existing series still update.
+	err := p.Flush([]Sample{
+		{Cluster: "c", Host: "h1", Metric: "m", Value: 9},
+		{Cluster: "c", Host: "h3", Metric: "m"},
+	})
+	if err == nil {
+		t.Fatal("Flush past series cap: want error")
+	}
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	if strings.Contains(body, `host="h3"`) {
+		t.Errorf("capped series leaked in:\n%s", body)
+	}
+	if !strings.Contains(body, `host="h1"} 9 `) {
+		t.Errorf("existing series not updated:\n%s", body)
+	}
+}

@@ -1,0 +1,172 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// MaxPushBytes bounds one push request body. A pusher that streams
+// forever is cut off and rejected, in the same spirit as gmetad's
+// MaxReportBytes.
+const MaxPushBytes = 1 << 20
+
+// PushMetric is one metric submitted through the HTTP/JSON push
+// endpoint. The body is either a single object or an array of them.
+type PushMetric struct {
+	// Host attributes the metric to a node; empty means the hub's own
+	// host. IP annotates the node's address on first sight.
+	Host string `json:"host,omitempty"`
+	IP   string `json:"ip,omitempty"`
+
+	// Name and Value are the measurement; Name obeys the statsd bucket
+	// alphabet (letters, digits, '.', '_', '-').
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+
+	// Units annotates the metric's UNITS attribute.
+	Units string `json:"units,omitempty"`
+}
+
+// validate rejects a metric the XML and Carbon layers could not carry
+// verbatim.
+func (p *PushMetric) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("fabric: push metric with empty name")
+	}
+	for i := 0; i < len(p.Name); i++ {
+		if !bucketByteOK(p.Name[i]) {
+			return fmt.Errorf("fabric: push metric name %q: byte %q", p.Name, p.Name[i])
+		}
+	}
+	for i := 0; i < len(p.Host); i++ {
+		if p.Host[i] < 0x20 || p.Host[i] == 0x7f {
+			return fmt.Errorf("fabric: push host %q: control byte", p.Host)
+		}
+	}
+	if p.Value != p.Value || p.Value > 1e308 || p.Value < -1e308 {
+		return fmt.Errorf("fabric: push metric %q: non-finite value", p.Name)
+	}
+	return nil
+}
+
+// IngestPush admits a batch of push metrics as gauge levels. The batch
+// is validated whole before any of it applies: a request either lands
+// completely or is rejected completely, so a pusher never has to guess
+// which half of its payload survived.
+func (h *Hub) IngestPush(ms []PushMetric) error {
+	for i := range ms {
+		if err := ms[i].validate(); err != nil {
+			return err
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range ms {
+		host, ip := p.Host, p.IP
+		if host == "" {
+			host, ip = h.cfg.Host, h.cfg.IP
+		}
+		h.touchHost(host, ip)
+		key := aggKey{host: host, bucket: p.Name}
+		a := h.aggs[key]
+		if a == nil || a.kind != KindGauge {
+			a = &agg{kind: KindGauge}
+			h.aggs[key] = a
+		}
+		a.level = p.Value
+		a.units = p.Units
+		a.source = pushSource
+		a.dirty = true
+	}
+	h.acct.pushMetrics.Add(int64(len(ms)))
+	return nil
+}
+
+// PushHandler returns the HTTP handler of the push endpoint: POST a
+// JSON object or array of objects ({"host","name","value","units"}),
+// get 202 with the accepted count. Admitted metrics surface in the
+// served cluster XML after the next flush.
+func (h *Hub) PushHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			h.acct.pushRejects.Add(1)
+			http.Error(w, "fabric: push requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxPushBytes+1))
+		if err != nil {
+			h.acct.pushRejects.Add(1)
+			http.Error(w, "fabric: read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > MaxPushBytes {
+			h.acct.pushRejects.Add(1)
+			http.Error(w, fmt.Sprintf("fabric: body exceeds %d bytes", MaxPushBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		ms, err := decodePush(body)
+		if err == nil {
+			err = h.IngestPush(ms)
+		}
+		if err != nil {
+			h.acct.pushRejects.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		h.acct.pushRequests.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "{\"accepted\":%d}\n", len(ms))
+	})
+}
+
+// decodePush parses a push body: a JSON array of metrics, or a single
+// metric object.
+func decodePush(body []byte) ([]PushMetric, error) {
+	i := 0
+	for i < len(body) && (body[i] == ' ' || body[i] == '\t' || body[i] == '\n' || body[i] == '\r') {
+		i++
+	}
+	if i == len(body) {
+		return nil, fmt.Errorf("fabric: empty push body")
+	}
+	if body[i] == '[' {
+		var ms []PushMetric
+		if err := json.Unmarshal(body, &ms); err != nil {
+			return nil, fmt.Errorf("fabric: push JSON: %w", err)
+		}
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("fabric: empty push array")
+		}
+		return ms, nil
+	}
+	var m PushMetric
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("fabric: push JSON: %w", err)
+	}
+	return []PushMetric{m}, nil
+}
+
+// ServePush serves the push endpoint on l until the listener closes
+// (Close closes it). The returned error is http.Server.Serve's.
+func (h *Hub) ServePush(l net.Listener) error {
+	h.lifeMu.Lock()
+	if h.closed {
+		h.lifeMu.Unlock()
+		_ = l.Close()
+		return nil
+	}
+	h.listeners = append(h.listeners, l)
+	h.lifeMu.Unlock()
+	srv := &http.Server{
+		Handler:           h.PushHandler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       time.Minute,
+	}
+	return srv.Serve(l)
+}

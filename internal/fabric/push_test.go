@@ -1,0 +1,98 @@
+package fabric
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postPush(t *testing.T, h *Hub, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/push", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.PushHandler().ServeHTTP(rec, req)
+	return rec
+}
+
+func TestPushSingleObject(t *testing.T) {
+	h, clk := newTestHub(t)
+	rec := postPush(t, h, `{"name":"disk_free","value":512.5,"units":"GB"}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, body %q", rec.Code, rec.Body.String())
+	}
+	if got := rec.Body.String(); got != "{\"accepted\":1}\n" {
+		t.Errorf("body = %q", got)
+	}
+	h.Flush(clk.Now())
+	xml := hubXML(t, h)
+	if !strings.Contains(xml, `NAME="disk_free" VAL="512.50" TYPE="double" UNITS="GB"`) ||
+		!strings.Contains(xml, `SOURCE="push"`) {
+		t.Errorf("push metric missing:\n%s", xml)
+	}
+}
+
+func TestPushArrayWithForeignHost(t *testing.T) {
+	h, clk := newTestHub(t)
+	rec := postPush(t, h,
+		`[{"host":"edge-0","ip":"10.9.0.2","name":"temp","value":40},
+		  {"name":"temp","value":41}]`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, body %q", rec.Code, rec.Body.String())
+	}
+	h.Flush(clk.Now())
+	xml := hubXML(t, h)
+	if !strings.Contains(xml, `<HOST NAME="edge-0" IP="10.9.0.2"`) {
+		t.Errorf("foreign host missing:\n%s", xml)
+	}
+	if !strings.Contains(xml, `<HOST NAME="hub-0"`) {
+		t.Errorf("default host missing:\n%s", xml)
+	}
+	s := h.Accounting().Snapshot()
+	if s.PushRequests != 1 || s.PushMetrics != 2 || s.PushRejects != 0 {
+		t.Errorf("accounting: %+v", s)
+	}
+}
+
+func TestPushRejections(t *testing.T) {
+	h, _ := newTestHub(t)
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		status int
+	}{
+		{"get", http.MethodGet, `{}`, http.StatusMethodNotAllowed},
+		{"empty", http.MethodPost, ``, http.StatusBadRequest},
+		{"bad json", http.MethodPost, `{`, http.StatusBadRequest},
+		{"empty array", http.MethodPost, `[]`, http.StatusBadRequest},
+		{"no name", http.MethodPost, `{"value":1}`, http.StatusBadRequest},
+		{"bad name", http.MethodPost, `{"name":"<x>","value":1}`, http.StatusBadRequest},
+		{"control host", http.MethodPost, `{"host":"a\u0001b","name":"m","value":1}`, http.StatusBadRequest},
+		{"oversize", http.MethodPost, `[` + strings.Repeat(" ", MaxPushBytes) + `]`, http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(c.method, "/push", strings.NewReader(c.body))
+		rec := httptest.NewRecorder()
+		h.PushHandler().ServeHTTP(rec, req)
+		if rec.Code != c.status {
+			t.Errorf("%s: status = %d, want %d", c.name, rec.Code, c.status)
+		}
+	}
+	s := h.Accounting().Snapshot()
+	if s.PushRejects != int64(len(cases)) || s.PushMetrics != 0 {
+		t.Errorf("accounting: %+v", s)
+	}
+}
+
+func TestPushBatchIsAllOrNothing(t *testing.T) {
+	h, clk := newTestHub(t)
+	rec := postPush(t, h, `[{"name":"ok","value":1},{"name":"bad name!","value":2}]`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	h.Flush(clk.Now())
+	if xml := hubXML(t, h); strings.Contains(xml, `NAME="ok"`) {
+		t.Errorf("half a rejected batch landed:\n%s", xml)
+	}
+}

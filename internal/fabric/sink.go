@@ -1,0 +1,227 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+
+	"ganglia/internal/clock"
+)
+
+// Sample is one flattened numeric observation on its way out of the
+// monitoring tree: the path coordinates a foreign time-series consumer
+// addresses, plus the value and the (injected-clock) observation time.
+type Sample struct {
+	Grid    string
+	Cluster string
+	Host    string
+	Metric  string
+	Value   float64
+	When    time.Time
+}
+
+// Sink delivers batches of samples to one foreign consumer. Flush is
+// called from the sink's own flusher goroutine, one batch at a time; a
+// returned error drops the batch (counted, never silent). Flush must
+// bound its own I/O with deadlines — a hung consumer is its problem to
+// detect, the manager's only to survive.
+type Sink interface {
+	Name() string
+	Flush(batch []Sample) error
+}
+
+// DefaultQueueCap bounds each sink's queue; DefaultBatchSize caps one
+// Flush call.
+const (
+	DefaultQueueCap  = 4096
+	DefaultBatchSize = 512
+)
+
+// SinkConfig configures a SinkManager.
+type SinkConfig struct {
+	// QueueCap bounds each sink's pending-sample queue. When an Offer
+	// would exceed it, the oldest samples are dropped first (and
+	// counted): fresh data is worth more than a backlog to a monitor.
+	// Defaults to DefaultQueueCap.
+	QueueCap int
+	// BatchSize caps how many samples one Flush call carries.
+	// Defaults to DefaultBatchSize.
+	BatchSize int
+}
+
+// sinkState is one sink's bounded queue and flusher bookkeeping.
+type sinkState struct {
+	sink Sink
+	mu   sync.Mutex
+	// queue is the pending window, oldest first; never longer than
+	// QueueCap outside Offer's own critical section.
+	queue []Sample
+	wake  chan struct{} // 1-buffered flusher doorbell
+	done  chan struct{}
+}
+
+// SinkManager fans samples out to a set of sinks, each with its own
+// bounded queue, drop-oldest backpressure and panic-isolated flusher
+// goroutine. Offer never blocks and never performs I/O: the poll path
+// that feeds the manager stays on its own time scale no matter how the
+// consumers behave.
+type SinkManager struct {
+	cfg  SinkConfig
+	acct Accounting
+
+	mu      sync.Mutex
+	sinks   []*sinkState
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// NewSinkManager returns an empty manager; Add attaches sinks.
+func NewSinkManager(cfg SinkConfig) *SinkManager {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	return &SinkManager{cfg: cfg}
+}
+
+// Accounting returns the live egress counters.
+func (m *SinkManager) Accounting() *Accounting { return &m.acct }
+
+// Add attaches a sink and starts its flusher goroutine. Adding to a
+// stopped manager is a no-op.
+func (m *SinkManager) Add(s Sink) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return
+	}
+	st := &sinkState{
+		sink: s,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	m.sinks = append(m.sinks, st)
+	m.wg.Add(1)
+	go m.flusher(st)
+}
+
+// Offer enqueues a batch for every sink, dropping each queue's oldest
+// samples when the cap would be exceeded. It never blocks.
+func (m *SinkManager) Offer(batch []Sample) {
+	if len(batch) == 0 {
+		return
+	}
+	m.acct.offered.Add(int64(len(batch)))
+	m.mu.Lock()
+	stopped := m.stopped
+	sinks := m.sinks
+	m.mu.Unlock()
+	if stopped || len(sinks) == 0 {
+		return
+	}
+	for _, st := range sinks {
+		st.mu.Lock()
+		st.queue = append(st.queue, batch...)
+		if over := len(st.queue) - m.cfg.QueueCap; over > 0 {
+			m.acct.sinkDrops.Add(int64(over))
+			st.queue = append(st.queue[:0], st.queue[over:]...)
+		}
+		m.acct.raiseHighWater(int64(len(st.queue)))
+		st.mu.Unlock()
+		select {
+		case st.wake <- struct{}{}:
+		default: // doorbell already rung
+		}
+	}
+}
+
+// recoverSinkPanic isolates one flusher goroutine: a panicking sink
+// implementation costs its own flusher, never the daemon.
+func (m *SinkManager) recoverSinkPanic() {
+	if r := recover(); r != nil {
+		m.acct.sinkPanics.Add(1)
+	}
+}
+
+// flusher drains one sink's queue in batches whenever the doorbell
+// rings, and attempts a final drain on shutdown.
+func (m *SinkManager) flusher(st *sinkState) {
+	defer m.wg.Done()
+	defer m.recoverSinkPanic()
+	for {
+		select {
+		case <-st.done:
+			m.drainQueue(st)
+			return
+		case <-st.wake:
+		}
+		m.drainQueue(st)
+	}
+}
+
+// drainQueue flushes st's queue in BatchSize batches. The sink's I/O
+// always runs off the queue lock, so producers keep enqueueing (and
+// drop-aging) while a flush is in flight.
+func (m *SinkManager) drainQueue(st *sinkState) {
+	for {
+		st.mu.Lock()
+		n := len(st.queue)
+		if n == 0 {
+			st.mu.Unlock()
+			return
+		}
+		if n > m.cfg.BatchSize {
+			n = m.cfg.BatchSize
+		}
+		batch := make([]Sample, n)
+		copy(batch, st.queue[:n])
+		st.queue = append(st.queue[:0], st.queue[n:]...)
+		st.mu.Unlock()
+
+		if err := st.sink.Flush(batch); err != nil {
+			m.acct.sinkFlushFails.Add(1)
+			m.acct.sinkDrops.Add(int64(len(batch)))
+		} else {
+			m.acct.sinkFlushes.Add(1)
+		}
+	}
+}
+
+// stop closes every flusher's done channel once.
+func (m *SinkManager) stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return
+	}
+	m.stopped = true
+	for _, st := range m.sinks {
+		close(st.done)
+	}
+}
+
+// Drain stops the manager and waits up to timeout (wall clock) for
+// every flusher to finish its final drain. It reports whether they all
+// exited; either way no further samples are accepted.
+func (m *SinkManager) Drain(timeout time.Duration) bool {
+	m.stop()
+	finished := make(chan struct{})
+	go func() {
+		defer m.recoverSinkPanic()
+		m.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return true
+	case <-clock.After(timeout):
+		return false
+	}
+}
+
+// Close stops the manager and waits for every flusher to exit.
+func (m *SinkManager) Close() {
+	m.stop()
+	m.wg.Wait()
+}

@@ -1,0 +1,200 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// The statsd line protocol, as spoken by Etsy's statsd and its many
+// clients:
+//
+//	<bucket>:<value>|<type>[|@<sample-rate>]
+//
+// where <type> is "c" (counter), "g" (gauge) or "ms" (timer). Gauges
+// accept a signed value ("+5", "-3") as a delta against the previous
+// gauge level. One UDP datagram may carry several lines separated by
+// newlines.
+
+// StatKind is the statsd metric type of one line.
+type StatKind int
+
+const (
+	// KindCounter accumulates; the announced value is the running
+	// total, scaled by the sample rate (a line sampled at @0.1 counts
+	// ten-fold).
+	KindCounter StatKind = iota
+	// KindGauge is a level; the announced value is the last one set
+	// (or the running level when deltas are used).
+	KindGauge
+	// KindTimer is an observation in milliseconds; the announced value
+	// is the mean over one flush window.
+	KindTimer
+)
+
+// String names the kind as the wire spells it.
+func (k StatKind) String() string {
+	switch k {
+	case KindCounter:
+		return "c"
+	case KindGauge:
+		return "g"
+	case KindTimer:
+		return "ms"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Stat is one parsed statsd line.
+type Stat struct {
+	// Bucket is the metric name.
+	Bucket string
+	// Value is the numeric payload.
+	Value float64
+	// Kind is the metric type.
+	Kind StatKind
+	// SampleRate is the client-side sampling probability in (0, 1];
+	// 1 when the line carried no @rate.
+	SampleRate float64
+	// GaugeDelta marks a sign-prefixed gauge value, which adjusts the
+	// previous level instead of replacing it.
+	GaugeDelta bool
+}
+
+// ErrStatsd is the base error of every statsd parse failure.
+var ErrStatsd = errors.New("fabric: bad statsd line")
+
+// maxStatsdLine bounds one line; anything longer is hostile or
+// corrupt, not a metric.
+const maxStatsdLine = 1024
+
+// ParseStatsd parses one statsd line (no trailing newline). The parser
+// is strict: it either returns a fully-specified Stat or an error, and
+// never panics on arbitrary input — the fuzz battery holds it to that.
+func ParseStatsd(line []byte) (Stat, error) {
+	var s Stat
+	if len(line) == 0 {
+		return s, fmt.Errorf("%w: empty line", ErrStatsd)
+	}
+	if len(line) > maxStatsdLine {
+		return s, fmt.Errorf("%w: line exceeds %d bytes", ErrStatsd, maxStatsdLine)
+	}
+	colon := -1
+	for i := 0; i < len(line); i++ {
+		if line[i] == ':' {
+			colon = i
+			break
+		}
+	}
+	if colon <= 0 {
+		return s, fmt.Errorf("%w: missing bucket or ':'", ErrStatsd)
+	}
+	bucket := line[:colon]
+	for _, b := range bucket {
+		if !bucketByteOK(b) {
+			return s, fmt.Errorf("%w: bucket byte %q", ErrStatsd, b)
+		}
+	}
+	rest := line[colon+1:]
+
+	pipe := -1
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '|' {
+			pipe = i
+			break
+		}
+	}
+	if pipe < 0 {
+		return s, fmt.Errorf("%w: missing '|type'", ErrStatsd)
+	}
+	valText := rest[:pipe]
+	spec := rest[pipe+1:]
+
+	// An optional "|@rate" suffix follows the type.
+	rate := 1.0
+	for i := 0; i < len(spec); i++ {
+		if spec[i] != '|' {
+			continue
+		}
+		if i+1 >= len(spec) || spec[i+1] != '@' {
+			return s, fmt.Errorf("%w: trailing field is not '|@rate'", ErrStatsd)
+		}
+		r, err := strconv.ParseFloat(string(spec[i+2:]), 64)
+		if err != nil || r <= 0 || r > 1 {
+			return s, fmt.Errorf("%w: sample rate %q", ErrStatsd, spec[i+2:])
+		}
+		rate = r
+		spec = spec[:i]
+		break
+	}
+
+	switch string(spec) {
+	case "c":
+		s.Kind = KindCounter
+	case "g":
+		s.Kind = KindGauge
+	case "ms":
+		s.Kind = KindTimer
+	default:
+		return s, fmt.Errorf("%w: unknown type %q", ErrStatsd, spec)
+	}
+	if s.Kind != KindCounter && rate != 1.0 {
+		return s, fmt.Errorf("%w: sample rate on a %s line", ErrStatsd, s.Kind)
+	}
+
+	if len(valText) == 0 {
+		return s, fmt.Errorf("%w: empty value", ErrStatsd)
+	}
+	if s.Kind == KindGauge && (valText[0] == '+' || valText[0] == '-') {
+		s.GaugeDelta = true
+	}
+	v, err := strconv.ParseFloat(string(valText), 64)
+	if err != nil {
+		return s, fmt.Errorf("%w: value %q", ErrStatsd, valText)
+	}
+	if v != v || v > 1e308 || v < -1e308 { // NaN and infinities poison aggregates
+		return s, fmt.Errorf("%w: non-finite value %q", ErrStatsd, valText)
+	}
+	if s.Kind == KindTimer && v < 0 {
+		return s, fmt.Errorf("%w: negative timer %q", ErrStatsd, valText)
+	}
+
+	s.Bucket = string(bucket)
+	s.Value = v
+	s.SampleRate = rate
+	return s, nil
+}
+
+// bucketByteOK admits the conventional statsd bucket alphabet. The
+// bucket becomes a metric NAME attribute and a Carbon path component,
+// so whitespace, XML metacharacters and control bytes are refused at
+// the door rather than escaped downstream.
+func bucketByteOK(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	case b == '.' || b == '_' || b == '-':
+		return true
+	}
+	return false
+}
+
+// splitLines cuts a datagram into lines, tolerating both \n and \r\n
+// and a trailing newline. Empty lines are skipped without error, per
+// statsd convention.
+func splitLines(pkt []byte, emit func(line []byte)) {
+	start := 0
+	for i := 0; i <= len(pkt); i++ {
+		if i != len(pkt) && pkt[i] != '\n' {
+			continue
+		}
+		line := pkt[start:i]
+		start = i + 1
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) > 0 {
+			emit(line)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package fabric
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseStatsdValid(t *testing.T) {
+	cases := []struct {
+		line string
+		want Stat
+	}{
+		{"req.count:1|c", Stat{Bucket: "req.count", Value: 1, Kind: KindCounter, SampleRate: 1}},
+		{"req.count:7|c|@0.1", Stat{Bucket: "req.count", Value: 7, Kind: KindCounter, SampleRate: 0.1}},
+		{"mem_free:1024|g", Stat{Bucket: "mem_free", Value: 1024, Kind: KindGauge, SampleRate: 1}},
+		{"mem_free:+5|g", Stat{Bucket: "mem_free", Value: 5, Kind: KindGauge, SampleRate: 1, GaugeDelta: true}},
+		{"mem_free:-3.5|g", Stat{Bucket: "mem_free", Value: -3.5, Kind: KindGauge, SampleRate: 1, GaugeDelta: true}},
+		{"rpc.latency:12.75|ms", Stat{Bucket: "rpc.latency", Value: 12.75, Kind: KindTimer, SampleRate: 1}},
+		{"a-b_c.d:0|c", Stat{Bucket: "a-b_c.d", Value: 0, Kind: KindCounter, SampleRate: 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseStatsd([]byte(c.line))
+		if err != nil {
+			t.Errorf("ParseStatsd(%q): %v", c.line, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseStatsd(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseStatsdInvalid(t *testing.T) {
+	cases := []string{
+		"",                                 // empty
+		":1|c",                             // empty bucket
+		"foo",                              // no colon
+		"foo:1",                            // no type
+		"foo:1|x",                          // unknown type
+		"foo:|c",                           // empty value
+		"foo:abc|c",                        // non-numeric value
+		"foo:NaN|g",                        // NaN poisons aggregates
+		"foo:Inf|g",                        // so does infinity
+		"foo:1e400|g",                      // overflows to +Inf
+		"foo:-5|ms",                        // negative timer
+		"foo:1|g|@0.5",                     // rate on a gauge
+		"foo:1|ms|@0.5",                    // rate on a timer
+		"foo:1|c|@0",                       // rate out of (0,1]
+		"foo:1|c|@1.5",                     // rate out of (0,1]
+		"foo:1|c|@",                        // empty rate
+		"foo:1|c|junk",                     // trailing field is not @rate
+		"foo bar:1|c",                      // space in bucket
+		"foo:1|c\x00",                      // control byte in spec
+		"b\x7fd:1|c",                       // control byte in bucket
+		"<x>:1|c",                          // XML metacharacters refused
+		strings.Repeat("a", 1030) + ":1|c", // over maxStatsdLine
+	}
+	for _, line := range cases {
+		if _, err := ParseStatsd([]byte(line)); err == nil {
+			t.Errorf("ParseStatsd(%q): want error", line)
+		} else if !errors.Is(err, ErrStatsd) {
+			t.Errorf("ParseStatsd(%q): error %v does not wrap ErrStatsd", line, err)
+		}
+	}
+}
+
+func TestSplitLines(t *testing.T) {
+	var got []string
+	splitLines([]byte("a:1|c\nb:2|g\r\n\n\nc:3|ms\n"), func(line []byte) {
+		got = append(got, string(line))
+	})
+	want := []string{"a:1|c", "b:2|g", "c:3|ms"}
+	if len(got) != len(want) {
+		t.Fatalf("lines = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitLinesNoTrailingNewline(t *testing.T) {
+	var got []string
+	splitLines([]byte("a:1|c"), func(line []byte) { got = append(got, string(line)) })
+	if len(got) != 1 || got[0] != "a:1|c" {
+		t.Fatalf("lines = %q", got)
+	}
+}

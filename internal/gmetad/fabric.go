@@ -1,0 +1,57 @@
+package gmetad
+
+import (
+	"time"
+
+	"ganglia/internal/fabric"
+)
+
+// SampleSink receives the numeric metrics of every freshly published
+// snapshot as flattened fabric samples. Offer must never block: it is
+// called on the poll path, and a slow egress consumer must not slow a
+// poll round (fabric.SinkManager's bounded drop-oldest queues satisfy
+// this).
+type SampleSink interface {
+	Offer(batch []fabric.Sample)
+}
+
+// emitFabricSamples flattens a freshly polled snapshot into samples and
+// offers them to the configured sink. Only full-resolution numeric
+// metrics are exported — summaries are derivable downstream, and
+// string-valued metrics have no place in a time-series store. The walk
+// follows the snapshot's deterministic serialization order so the
+// egress stream is reproducible for a given poll history.
+func (g *Gmetad) emitFabricSamples(data *sourceData, now time.Time) {
+	if g.cfg.FabricSink == nil {
+		return
+	}
+	var batch []fabric.Sample
+	for _, cname := range data.clusterOrder {
+		cd := data.clusters[cname]
+		if cd == nil {
+			continue
+		}
+		for _, hname := range cd.order {
+			h := cd.hosts[hname]
+			if h == nil {
+				continue
+			}
+			for i := range h.Metrics {
+				m := &h.Metrics[i]
+				v, ok := m.Val.Float64()
+				if !ok {
+					continue
+				}
+				batch = append(batch, fabric.Sample{
+					Grid:    g.cfg.GridName,
+					Cluster: cname,
+					Host:    hname,
+					Metric:  m.Name,
+					Value:   v,
+					When:    now,
+				})
+			}
+		}
+	}
+	g.cfg.FabricSink.Offer(batch)
+}

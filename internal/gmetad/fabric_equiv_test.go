@@ -1,0 +1,165 @@
+package gmetad
+
+import (
+	"testing"
+	"time"
+
+	"ganglia/internal/fabric"
+	"ganglia/internal/gmond"
+	"ganglia/internal/metric"
+	"ganglia/internal/transport"
+)
+
+// The fabric equivalence oracle: a metric ingested through the hub's
+// statsd/push receivers must produce byte-identical served XML to the
+// same metric announced over the native XDR/gmond path — across the
+// full golden query corpus. The hub claims to *be* a gmond cluster;
+// this test is what the claim means.
+
+// equivRig holds the two parallel federations: A is fed by hand-built
+// native announcements, B by statsd lines and push requests.
+type equivRig struct {
+	r      *rig
+	native *Gmetad
+	hub    *Gmetad
+}
+
+// buildEquivRig assembles both paths at the same virtual instant, on
+// the same in-memory network, with identical gmetad configurations.
+func buildEquivRig(t *testing.T) *equivRig {
+	t.Helper()
+	r := newRig(t)
+	now := r.clk.Now()
+
+	// Path B: the fabric hub, fed over its public receivers.
+	hub, err := fabric.NewHub(fabric.Config{
+		Cluster: "meteor",
+		Owner:   "SDSC",
+		URL:     "http://meteor/",
+		Host:    "compute-meteor-0",
+		IP:      "10.1.0.1",
+		Clock:   r.clk,
+	})
+	if err != nil {
+		t.Fatalf("NewHub: %v", err)
+	}
+	t.Cleanup(hub.Close)
+	hub.IngestStatsd([]byte("req.count:40|c\nreq.count:2|c\nmem_free:1024|g\nrpc.latency:10|ms\nrpc.latency:20|ms\n"))
+	if err := hub.IngestPush([]fabric.PushMetric{
+		{Host: "compute-meteor-1", IP: "10.1.0.2", Name: "disk_free", Value: 512.5, Units: "GB"},
+	}); err != nil {
+		t.Fatalf("IngestPush: %v", err)
+	}
+	hub.Flush(now)
+	// The hub listens on its own in-memory network under the same
+	// address the native pool uses on the rig's, so even the
+	// SOURCE_HEALTH ACTIVE attribute must match byte for byte.
+	hubNet := transport.NewInMemNetwork()
+	lb, err := hubNet.Listen("meteor:8649")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hub.Serve(lb)
+	t.Cleanup(func() { _ = lb.Close() })
+
+	// Path A: a mute gmond pool fed the same facts as hand-built XDR
+	// announcements, mirroring the hub's documented shaping: counters
+	// announce their running total with SLOPE="positive", gauges their
+	// level with SLOPE="both", timers their window mean in ms, push
+	// metrics land as gauges with SOURCE="push".
+	bus := transport.NewInMemBus()
+	pool, err := gmond.New(gmond.Config{
+		Cluster: "meteor",
+		Owner:   "SDSC",
+		URL:     "http://meteor/",
+		Host:    "compute-meteor-0",
+		IP:      "10.1.0.1",
+		Bus:     bus,
+		Clock:   r.clk,
+		Mute:    true,
+	})
+	if err != nil {
+		t.Fatalf("gmond.New: %v", err)
+	}
+	t.Cleanup(pool.Close)
+	anns := []metric.Announcement{
+		{Host: "compute-meteor-0", IP: "10.1.0.1",
+			Metric: metric.Heartbeat(now.Unix(), gmond.DefaultHeartbeatEvery)},
+		{Host: "compute-meteor-0", IP: "10.1.0.1", Metric: metric.Metric{
+			Name: "mem_free", Val: metric.NewDouble(1024),
+			Slope: metric.SlopeBoth, TMAX: 60, Source: "statsd"}},
+		{Host: "compute-meteor-0", IP: "10.1.0.1", Metric: metric.Metric{
+			Name: "req.count", Val: metric.NewDouble(42),
+			Slope: metric.SlopePositive, TMAX: 60, Source: "statsd"}},
+		{Host: "compute-meteor-0", IP: "10.1.0.1", Metric: metric.Metric{
+			Name: "rpc.latency", Val: metric.NewDouble(15), Units: "ms",
+			Slope: metric.SlopeBoth, TMAX: 60, Source: "statsd"}},
+		{Host: "compute-meteor-1", IP: "10.1.0.2",
+			Metric: metric.Heartbeat(now.Unix(), gmond.DefaultHeartbeatEvery)},
+		{Host: "compute-meteor-1", IP: "10.1.0.2", Metric: metric.Metric{
+			Name: "disk_free", Val: metric.NewDouble(512.5), Units: "GB",
+			Slope: metric.SlopeBoth, TMAX: 60, Source: "push"}},
+	}
+	for _, a := range anns {
+		if err := bus.Send(a.Encode()); err != nil {
+			t.Fatalf("announce %s/%s: %v", a.Host, a.Metric.Name, err)
+		}
+	}
+	la, err := r.net.Listen("meteor:8649")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go pool.Serve(la)
+	t.Cleanup(func() { _ = la.Close() })
+
+	mk := func(netw transport.Network) *Gmetad {
+		return r.gmetad(Config{
+			GridName:  "root",
+			Authority: "http://root/",
+			Network:   netw,
+			Sources:   []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+		}, "")
+	}
+	return &equivRig{r: r, native: mk(r.net), hub: mk(hubNet)}
+}
+
+// assertEquivalent polls both daemons at the same instant and requires
+// the full golden corpus to render byte-identically.
+func (e *equivRig) assertEquivalent(t *testing.T, label string) {
+	t.Helper()
+	now := e.r.clk.Now()
+	e.native.PollOnce(now)
+	e.hub.PollOnce(now)
+	for _, q := range goldenCorpus("compute-meteor-0") {
+		want, nativeErr := renderGolden(t, e.native, q)
+		got, hubErr := renderGolden(t, e.hub, q)
+		if (nativeErr == nil) != (hubErr == nil) {
+			t.Errorf("%s %q: native err=%v, hub err=%v", label, q, nativeErr, hubErr)
+			continue
+		}
+		if nativeErr != nil {
+			continue
+		}
+		if got != want {
+			t.Errorf("%s %q: hub-path output differs from native path\nhub:    %s\nnative: %s",
+				label, q, excerptDiff(got, want), excerptDiff(want, got))
+		}
+	}
+}
+
+func TestFabricEquivalence(t *testing.T) {
+	e := buildEquivRig(t)
+	e.r.clk.Advance(3 * time.Second)
+	e.assertEquivalent(t, "fresh")
+}
+
+// TestFabricEquivalenceAges re-polls both paths later in the metric
+// lifetime: TN advances identically on both sides because the receiver
+// stamps arrival, exactly as a native gmond does.
+func TestFabricEquivalenceAges(t *testing.T) {
+	e := buildEquivRig(t)
+	e.r.clk.Advance(3 * time.Second)
+	e.assertEquivalent(t, "fresh")
+	e.r.clk.Advance(45 * time.Second)
+	e.assertEquivalent(t, "aged")
+}

@@ -1,0 +1,57 @@
+package gmetad
+
+import (
+	"sync"
+	"testing"
+
+	"ganglia/internal/fabric"
+)
+
+// collectSink records every offered batch, standing in for a
+// fabric.SinkManager.
+type collectSink struct {
+	mu      sync.Mutex
+	samples []fabric.Sample
+}
+
+func (c *collectSink) Offer(batch []fabric.Sample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.samples = append(c.samples, batch...)
+}
+
+func TestPollEmitsFabricSamples(t *testing.T) {
+	r := newRig(t)
+	r.cluster("meteor", "meteor:8649", 3, 1)
+	sink := &collectSink{}
+	g := r.gmetad(Config{
+		GridName:   "root",
+		Authority:  "http://root/",
+		Sources:    []DataSource{{Name: "meteor", Kind: SourceGmond, Addrs: []string{"meteor:8649"}}},
+		FabricSink: sink,
+	}, "")
+	g.PollOnce(r.clk.Now())
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.samples) == 0 {
+		t.Fatal("poll emitted no fabric samples")
+	}
+	byMetric := map[string]int{}
+	for _, s := range sink.samples {
+		if s.Grid != "root" || s.Cluster != "meteor" {
+			t.Fatalf("sample coordinates: %+v", s)
+		}
+		if s.Host == "" || s.Metric == "" {
+			t.Fatalf("under-specified sample: %+v", s)
+		}
+		if !s.When.Equal(r.clk.Now()) {
+			t.Fatalf("sample not stamped with the poll instant: %+v", s)
+		}
+		byMetric[s.Metric]++
+	}
+	// Every host contributes the simulated numeric metrics.
+	if byMetric["load_one"] != 3 || byMetric["cpu_num"] != 3 {
+		t.Errorf("per-metric sample counts: %v", byMetric)
+	}
+}

@@ -247,6 +247,13 @@ type Config struct {
 	// declaration adds ~2 KiB to every answer.
 	EmitDTD bool
 
+	// FabricSink, when set, receives every numeric metric of each
+	// freshly published snapshot as flattened fabric samples (grid,
+	// cluster, host, metric, value, poll time) — the egress half of the
+	// metrics hub, feeding Carbon/Prometheus sinks. Offer must never
+	// block; fabric.SinkManager's bounded drop-oldest queues qualify.
+	FabricSink SampleSink
+
 	// Logger, if set, receives operational events: source failures,
 	// recoveries and failovers. Nil disables logging (tests and
 	// experiments run silent).

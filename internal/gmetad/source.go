@@ -175,6 +175,7 @@ func (g *Gmetad) pollSource(slot *sourceSlot, now time.Time) {
 	// new snapshot.
 	g.publishRendered(slot, data)
 	g.bumpEpoch()
+	g.emitFabricSamples(data, now)
 
 	if breakerClosed {
 		g.logf("source %s breaker closed", slot.cfg.Name)

@@ -33,6 +33,7 @@ with //lint:allow boundedread <reason>.`,
 
 // boundedReadScope is where the discipline applies inside this module.
 var boundedReadScope = []string{
+	"ganglia/internal/fabric",
 	"ganglia/internal/xdr",
 	"ganglia/internal/gxml",
 	"ganglia/internal/gmetad",

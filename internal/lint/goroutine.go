@@ -29,6 +29,7 @@ function. Annotate deliberate exceptions with
 
 // goroutineScope is where the discipline applies inside this module.
 var goroutineScope = []string{
+	"ganglia/internal/fabric",
 	"ganglia/internal/gmetad",
 	"ganglia/internal/gmond",
 }
