@@ -15,6 +15,7 @@
 //	ganglia-bench -experiment chaos -seed 7
 //	ganglia-bench -experiment checkpoint -hosts 100
 //	ganglia-bench -experiment fabric -json BENCH_fabric.json
+//	ganglia-bench -experiment stream -json BENCH_stream.json
 //
 // Each experiment prints the regenerated table or figure series, then
 // re-checks the paper's qualitative claims and reports any violations.
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint, fabric or all")
+		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint, fabric, stream or all")
 		hosts      = flag.Int("hosts", 100, "hosts per cluster (fig5, table1, serve)")
 		rounds     = flag.Int("rounds", 8, "measured polling rounds (fig5, fig6)")
 		samples    = flag.Int("samples", 5, "samples per view (table1)")
@@ -42,7 +43,7 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory to write fig5.csv/fig6.csv/table1.csv into (optional)")
 		detail     = flag.Bool("detail", false, "also print the fig5 per-phase work breakdown")
 		seed       = flag.Int64("seed", 1, "fault-plan and jitter seed (chaos)")
-		jsonOut    = flag.String("json", "", "file to write the result into as a regression baseline (render, fabric)")
+		jsonOut    = flag.String("json", "", "file to write the result into as a regression baseline (render, fabric, stream)")
 	)
 	flag.Parse()
 
@@ -197,17 +198,26 @@ func main() {
 			check("fabric", res.ShapeErrors())
 			writeJSON(res.WriteJSON)
 		},
+		"stream": func() {
+			res, err := bench.RunStream(bench.StreamConfig{Rounds: *rounds})
+			if err != nil {
+				log.Fatalf("stream: %v", err)
+			}
+			fmt.Println(res.Table())
+			check("stream", res.ShapeErrors())
+			writeJSON(res.WriteJSON)
+		},
 	}
 
 	switch *experiment {
 	case "all":
-		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve", "render", "chaos", "checkpoint", "fabric"} {
+		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve", "render", "chaos", "checkpoint", "fabric", "stream"} {
 			run[name]()
 		}
 	default:
 		f, ok := run[*experiment]
 		if !ok {
-			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint, fabric or all)", *experiment)
+			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint, fabric, stream or all)", *experiment)
 		}
 		f()
 	}

@@ -11,7 +11,13 @@
 //	    [-mode nlevel|onelevel] [-xml :8651] [-query :8652] [-poll 15s]
 //
 // Each -source flag is "name|kind|addr[,addr...]"; additional addresses
-// are failover targets tried in order.
+// are failover targets tried in order. The kind "gmetad-stream" names a
+// child gmetad consumed over a delta-subscription link instead of the
+// polling cadence — the slot falls back to polling whenever the stream
+// is down and resubscribes on jittered backoff:
+//
+//	gmetad ... -source "attic|gmetad-stream|attic.example:8652" \
+//	    [-stream-heartbeat 30s] [-stream-idle-timeout 2m]
 //
 // The metrics-hub fabric opens the closed XML-over-TCP stack at both
 // ends. Receivers admit foreign producers into a synthetic cluster this
@@ -54,16 +60,20 @@ func (s *sourceFlags) Set(v string) error {
 		return fmt.Errorf("want name|kind|addrs, got %q", v)
 	}
 	var kind gmetad.SourceKind
+	subscribe := false
 	switch parts[1] {
 	case "gmond":
 		kind = gmetad.SourceGmond
 	case "gmetad":
 		kind = gmetad.SourceGmetad
+	case "gmetad-stream":
+		kind = gmetad.SourceGmetad
+		subscribe = true
 	default:
-		return fmt.Errorf("unknown source kind %q (want gmond or gmetad)", parts[1])
+		return fmt.Errorf("unknown source kind %q (want gmond, gmetad or gmetad-stream)", parts[1])
 	}
 	addrs := strings.Split(parts[2], ",")
-	*s = append(*s, gmetad.DataSource{Name: parts[0], Kind: kind, Addrs: addrs})
+	*s = append(*s, gmetad.DataSource{Name: parts[0], Kind: kind, Addrs: addrs, Subscribe: subscribe})
 	return nil
 }
 
@@ -88,6 +98,10 @@ func main() {
 		saveEvery   = flag.Duration("save-every", 5*time.Minute, "archive checkpoint interval (with -archive-path)")
 		generations = flag.Int("generations", gmetad.DefaultCheckpointGenerations, "archive snapshot generations to retain")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM, how long to wait for in-flight responses before abandoning them")
+
+		streamHeartbeat = flag.Duration("stream-heartbeat", 0, "keepalive cadence on served subscription streams (0 = default)")
+		streamIdle      = flag.Duration("stream-idle-timeout", 0, "silence on a subscribed link before it is declared gapped and torn down (0 = default)")
+		watchTimeout    = flag.Duration("watch-timeout", 0, "how long a ?filter=watch long-poll waits for a change before answering anyway (0 = default)")
 
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "how long to wait for a client's query line before disconnecting")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "how long one response write may take before disconnecting")
@@ -223,6 +237,10 @@ func main() {
 		BreakerMaxStretch: *breakerMax,
 		DisableHealthXML:  *noHealth,
 
+		StreamHeartbeat:   *streamHeartbeat,
+		StreamIdleTimeout: *streamIdle,
+		WatchTimeout:      *watchTimeout,
+
 		QueryReadTimeout:     *queryTimeout,
 		WriteTimeout:         *writeTimeout,
 		MaxConns:             *maxConns,
@@ -283,6 +301,10 @@ func main() {
 				fmt.Printf("gmetad: %d poll failures, %d failovers, %d backoffs, %d breaker trips, %d oversize reports\n",
 					snap.PollFails, snap.Failovers, snap.Backoffs, snap.BreakerTrips, snap.OversizeReports)
 			}
+			if snap.StreamFrames+snap.StreamGaps+snap.StreamResyncs+snap.StreamFallbacks > 0 {
+				fmt.Printf("gmetad: %d stream frames applied, %d gaps detected, %d resyncs, %d poll fallbacks\n",
+					snap.StreamFrames, snap.StreamGaps, snap.StreamResyncs, snap.StreamFallbacks)
+			}
 			if snap.Checkpoints+snap.CheckpointFails+snap.QuarantinedSnapshots > 0 {
 				fmt.Printf("gmetad: %d checkpoints (%d failed), %d generations recovered, %d snapshots quarantined\n",
 					snap.Checkpoints, snap.CheckpointFails, snap.RecoveredGenerations, snap.QuarantinedSnapshots)
@@ -291,6 +313,12 @@ func main() {
 				state := "ok"
 				if st.ActiveAddr != "" {
 					state = "ok via " + st.ActiveAddr
+				}
+				if st.Streaming {
+					state = fmt.Sprintf("streaming at generation %d", st.StreamGen)
+					if st.ActiveAddr != "" {
+						state += " via " + st.ActiveAddr
+					}
 				}
 				if st.Failed {
 					state = "FAILED since " + st.DownSince.Format(time.RFC3339)

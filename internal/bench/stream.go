@@ -1,0 +1,240 @@
+// Stream experiment: bytes on the wire for the delta-subscription link
+// versus the classic poll path, across churn rates. The paper's §3 cost
+// model charges every polling round the full O(n) report whether or not
+// anything changed; the subscription feed charges only the changed host
+// elements plus a constant skeleton. This experiment stands both paths
+// up against the same controlled-churn child and measures what each
+// parent actually receives per round.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gmetad"
+	"ganglia/internal/pseudo"
+	"ganglia/internal/transport"
+)
+
+// StreamConfig parameterizes the stream experiment.
+type StreamConfig struct {
+	// Hosts is the child cluster's size.
+	Hosts int
+	// Rounds is the measured polling-round window per churn level.
+	Rounds int
+	// Churn is the per-round changed-host fractions measured.
+	Churn []float64
+}
+
+func (c *StreamConfig) defaults() {
+	if c.Hosts == 0 {
+		c.Hosts = 64
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 20
+	}
+	if len(c.Churn) == 0 {
+		c.Churn = []float64{0.01, 0.10, 0.50}
+	}
+}
+
+// StreamLevel is one churn rate's measurement: bytes received per round
+// by the polling parent and by the subscribed parent, over the same
+// child and the same rounds.
+type StreamLevel struct {
+	Churn          float64 `json:"churn"`
+	PollBytes      int64   `json:"poll_bytes_per_round"`
+	StreamBytes    int64   `json:"stream_bytes_per_round"`
+	Ratio          float64 `json:"stream_to_poll_ratio"`
+	Frames         int64   `json:"frames"`
+	Gaps           int64   `json:"gaps"`
+	Fallbacks      int64   `json:"fallbacks"`
+	RoundsMeasured int     `json:"rounds_measured"`
+}
+
+// StreamResult is the regenerated stream experiment.
+type StreamResult struct {
+	Config StreamConfig  `json:"config"`
+	Levels []StreamLevel `json:"levels"`
+}
+
+// ShapeErrors re-checks the experiment's quantitative claim: at low
+// churn (<=10%) the delta feed must ship less than half the poll path's
+// bytes, the link must have stayed up (no gaps, no fallbacks), and both
+// paths must actually have moved data.
+func (r *StreamResult) ShapeErrors() []string {
+	var errs []string
+	for _, lv := range r.Levels {
+		tag := fmt.Sprintf("churn %.0f%%", 100*lv.Churn)
+		if lv.PollBytes <= 0 || lv.StreamBytes <= 0 {
+			errs = append(errs, tag+": a parent received no bytes — the window measured nothing")
+			continue
+		}
+		if lv.Frames <= 0 {
+			errs = append(errs, tag+": no delta frames applied — the link never streamed")
+		}
+		if lv.Gaps != 0 || lv.Fallbacks != 0 {
+			errs = append(errs, fmt.Sprintf("%s: link degraded on a clean fabric (%d gaps, %d fallbacks)",
+				tag, lv.Gaps, lv.Fallbacks))
+		}
+		if lv.Churn <= 0.10 && lv.Ratio >= 0.5 {
+			errs = append(errs, fmt.Sprintf("%s: delta feed shipped %.0f%% of poll bytes, want <50%%",
+				tag, 100*lv.Ratio))
+		}
+	}
+	return errs
+}
+
+// Table renders the result for terminals, in the repo's experiment
+// style.
+func (r *StreamResult) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Stream — delta-subscription vs poll bytes per round (%d hosts, %d rounds)\n",
+		r.Config.Hosts, r.Config.Rounds)
+	rows := make([][]string, 0, len(r.Levels))
+	for _, lv := range r.Levels {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", 100*lv.Churn),
+			fmt.Sprintf("%d", lv.PollBytes),
+			fmt.Sprintf("%d", lv.StreamBytes),
+			fmt.Sprintf("%.1f%%", 100*lv.Ratio),
+			fmt.Sprintf("%d", lv.Frames),
+		})
+	}
+	sb.WriteString(formatTable([]string{"churn", "poll B/round", "stream B/round", "ratio", "frames"}, rows))
+	return sb.String()
+}
+
+// WriteJSON writes the result as the committed regression baseline.
+func (r *StreamResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// runStreamLevel measures one churn rate end to end.
+func runStreamLevel(cfg StreamConfig, churn float64) (StreamLevel, error) {
+	lv := StreamLevel{Churn: churn}
+	netw := transport.NewInMemNetwork()
+	clk := clock.NewVirtual(t0)
+	interval := 15 * time.Second
+
+	emu := pseudo.NewChurn("churn", cfg.Hosts, churn, interval, clk)
+	defer emu.Close()
+	l, err := netw.Listen("churn:8649")
+	if err != nil {
+		return lv, err
+	}
+	go emu.Serve(l)
+
+	child, err := gmetad.New(gmetad.Config{
+		GridName:  "sdsc",
+		Authority: "http://sdsc/",
+		Mode:      gmetad.OneLevel,
+		Network:   netw,
+		Clock:     clk,
+		Sources: []gmetad.DataSource{{
+			Name: "churn", Kind: gmetad.SourceGmond, Addrs: []string{"churn:8649"},
+		}},
+		// The measurement window is milliseconds of wall time; a long
+		// heartbeat keeps keepalive frames out of the byte counts.
+		StreamHeartbeat: time.Hour,
+	})
+	if err != nil {
+		return lv, err
+	}
+	defer child.Close()
+	ql, err := netw.Listen("sdsc:8651")
+	if err != nil {
+		return lv, err
+	}
+	go child.ServeQuery(ql)
+
+	parent := func(subscribe bool) (*gmetad.Gmetad, error) {
+		return gmetad.New(gmetad.Config{
+			GridName:  "earth",
+			Authority: "http://earth/",
+			Mode:      gmetad.OneLevel,
+			Network:   netw,
+			Clock:     clk,
+			Sources: []gmetad.DataSource{{
+				Name: "sdsc", Kind: gmetad.SourceGmetad,
+				Addrs: []string{"sdsc:8651"}, Subscribe: subscribe,
+			}},
+		})
+	}
+	sub, err := parent(true)
+	if err != nil {
+		return lv, err
+	}
+	defer sub.Close()
+	poll, err := parent(false)
+	if err != nil {
+		return lv, err
+	}
+	defer poll.Close()
+
+	round := func() {
+		now := clk.Advance(interval)
+		child.PollOnce(now)
+		// Let the subscriber drain the round's frames before the clock
+		// moves again, so every generation is applied at its own round.
+		for i := 0; i < 5000; i++ {
+			st := sub.Status()[0]
+			if st.Streaming && st.StreamGen == child.Epoch() {
+				break
+			}
+			clock.Sleep(time.Millisecond)
+		}
+		poll.PollOnce(now)
+		sub.PollOnce(now)
+	}
+
+	// Warm up until the subscription link is established and synced.
+	synced := false
+	for i := 0; i < 20 && !synced; i++ {
+		round()
+		st := sub.Status()[0]
+		synced = st.Streaming && st.StreamGen == child.Epoch()
+	}
+	if !synced {
+		return lv, fmt.Errorf("churn %.2f: subscription link never established", churn)
+	}
+
+	subBefore := sub.Accounting().Snapshot()
+	pollBefore := poll.Accounting().Snapshot()
+	for i := 0; i < cfg.Rounds; i++ {
+		round()
+	}
+	subAfter := sub.Accounting().Snapshot()
+	pollAfter := poll.Accounting().Snapshot()
+
+	lv.RoundsMeasured = cfg.Rounds
+	lv.PollBytes = (pollAfter.BytesIn - pollBefore.BytesIn) / int64(cfg.Rounds)
+	lv.StreamBytes = (subAfter.BytesIn - subBefore.BytesIn) / int64(cfg.Rounds)
+	if lv.PollBytes > 0 {
+		lv.Ratio = float64(lv.StreamBytes) / float64(lv.PollBytes)
+	}
+	lv.Frames = subAfter.StreamFrames - subBefore.StreamFrames
+	lv.Gaps = subAfter.StreamGaps - subBefore.StreamGaps
+	lv.Fallbacks = subAfter.StreamFallbacks - subBefore.StreamFallbacks
+	return lv, nil
+}
+
+// RunStream measures every configured churn level.
+func RunStream(cfg StreamConfig) (*StreamResult, error) {
+	cfg.defaults()
+	res := &StreamResult{Config: cfg}
+	for _, churn := range cfg.Churn {
+		lv, err := runStreamLevel(cfg, churn)
+		if err != nil {
+			return nil, err
+		}
+		res.Levels = append(res.Levels, lv)
+	}
+	return res, nil
+}

@@ -50,6 +50,11 @@ type Accounting struct {
 	checkpointFails      atomic.Int64
 	recoveredGenerations atomic.Int64
 	quarantinedSnapshots atomic.Int64
+
+	streamFrames    atomic.Int64
+	streamGaps      atomic.Int64
+	streamResyncs   atomic.Int64
+	streamFallbacks atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -115,6 +120,18 @@ type Snapshot struct {
 	CheckpointFails      int64
 	RecoveredGenerations int64
 	QuarantinedSnapshots int64
+
+	// StreamFrames counts subscription frames handled on either side of
+	// a tier link (served by the feed, applied by a subscriber);
+	// StreamGaps counts detected stream faults — generation gaps, frame
+	// corruption, idle timeouts, malformed or unappliable deltas;
+	// StreamResyncs counts FULL state syncs applied by subscribers (the
+	// clean recovery ending a divergence window); StreamFallbacks counts
+	// subscription teardowns that returned a source to the poll path.
+	StreamFrames    int64
+	StreamGaps      int64
+	StreamResyncs   int64
+	StreamFallbacks int64
 }
 
 // Work returns the total processing time across phases.
@@ -166,6 +183,11 @@ func (a *Accounting) Snapshot() Snapshot {
 		CheckpointFails:      a.checkpointFails.Load(),
 		RecoveredGenerations: a.recoveredGenerations.Load(),
 		QuarantinedSnapshots: a.quarantinedSnapshots.Load(),
+
+		StreamFrames:    a.streamFrames.Load(),
+		StreamGaps:      a.streamGaps.Load(),
+		StreamResyncs:   a.streamResyncs.Load(),
+		StreamFallbacks: a.streamFallbacks.Load(),
 	}
 }
 
@@ -204,6 +226,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		CheckpointFails:      s.CheckpointFails - o.CheckpointFails,
 		RecoveredGenerations: s.RecoveredGenerations - o.RecoveredGenerations,
 		QuarantinedSnapshots: s.QuarantinedSnapshots - o.QuarantinedSnapshots,
+
+		StreamFrames:    s.StreamFrames - o.StreamFrames,
+		StreamGaps:      s.StreamGaps - o.StreamGaps,
+		StreamResyncs:   s.StreamResyncs - o.StreamResyncs,
+		StreamFallbacks: s.StreamFallbacks - o.StreamFallbacks,
 	}
 }
 

@@ -104,6 +104,17 @@ type DataSource struct {
 	// complete cluster report; gmetad walks the list until one answers
 	// (paper fig 1) and retries failed sources every poll.
 	Addrs []string
+
+	// Subscribe selects the delta-subscription link for a child gmetad
+	// instead of the poll cadence: the child serves a persistent stream
+	// of generation-tagged delta frames (see internal/stream) and this
+	// daemon applies them as they arrive. Any stream fault — a
+	// generation gap, frame corruption, an idle timeout, a disconnect —
+	// tears the link down and the source falls back to the proven poll
+	// path until a clean resync succeeds. Only valid for SourceGmetad:
+	// gmond's dump-on-connect contract cannot carry the subscription
+	// handshake.
+	Subscribe bool
 }
 
 // Config configures a Gmetad.
@@ -217,6 +228,23 @@ type Config struct {
 	// (wall-clock).
 	WriteTimeout time.Duration
 
+	// StreamHeartbeat is how often an idle subscription feed emits a
+	// heartbeat frame, so subscribers can tell "no changes" from "dead
+	// peer". Defaults to 5 s (on the injected clock).
+	StreamHeartbeat time.Duration
+
+	// StreamIdleTimeout is how long a subscriber tolerates total
+	// silence on its link before declaring it dead and falling back to
+	// polling. Must exceed the producer's heartbeat cadence. Defaults
+	// to 6× StreamHeartbeat (wall-clock, like ReadTimeout — link
+	// liveness is a property of the real network).
+	StreamIdleTimeout time.Duration
+
+	// WatchTimeout bounds a ?filter=watch long-poll: if the tree does
+	// not change within it, the current answer is served anyway.
+	// Defaults to 30 s (on the injected clock).
+	WatchTimeout time.Duration
+
 	// MaxConns caps concurrent serve connections across both ports.
 	// Connections beyond the cap are answered with an error comment
 	// and closed immediately (counted as RejectedConns), so a
@@ -299,6 +327,17 @@ type Gmetad struct {
 	ckptRng  *rand.Rand // deterministic checkpoint jitter
 
 	listeners listenerSet
+	// streams tracks the long-lived subscription and watch connections
+	// this daemon is serving, so Drain can end them (their handlers are
+	// reaped through the ordinary listener WaitGroup).
+	streams streamSet
+	// notifyMu guards notify, the broadcast channel closed (and
+	// replaced) on every epoch bump; stream feeds and watch queries
+	// block on it instead of polling the epoch.
+	notifyMu sync.Mutex
+	notify   chan struct{}
+	// subWG tracks subscriber goroutines for leak-free shutdown.
+	subWG sync.WaitGroup
 }
 
 // Epoch returns the current poll epoch. It advances whenever a source
@@ -306,8 +345,30 @@ type Gmetad struct {
 // responses never cross an epoch boundary.
 func (g *Gmetad) Epoch() uint64 { return g.epoch.Load() }
 
-// bumpEpoch invalidates all cached query responses.
-func (g *Gmetad) bumpEpoch() { g.epoch.Add(1) }
+// bumpEpoch invalidates all cached query responses and wakes every
+// stream feed and watch query blocked on the change broadcast.
+func (g *Gmetad) bumpEpoch() {
+	g.epoch.Add(1)
+	g.notifyMu.Lock()
+	ch := g.notify
+	g.notify = nil
+	g.notifyMu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// epochChanged returns a channel closed by the next epoch bump. Waiters
+// must re-arm (call again) after each wake; arming before reading the
+// epoch closes the lost-wakeup window.
+func (g *Gmetad) epochChanged() <-chan struct{} {
+	g.notifyMu.Lock()
+	defer g.notifyMu.Unlock()
+	if g.notify == nil {
+		g.notify = make(chan struct{})
+	}
+	return g.notify
+}
 
 // New creates a Gmetad. It performs no I/O until PollOnce, Run or a
 // Serve method is invoked.
@@ -350,6 +411,15 @@ func New(cfg Config) (*Gmetad, error) {
 	}
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.StreamHeartbeat <= 0 {
+		cfg.StreamHeartbeat = 5 * time.Second
+	}
+	if cfg.StreamIdleTimeout <= 0 {
+		cfg.StreamIdleTimeout = 6 * cfg.StreamHeartbeat
+	}
+	if cfg.WatchTimeout <= 0 {
+		cfg.WatchTimeout = 30 * time.Second
 	}
 	if cfg.MaxConns == 0 {
 		cfg.MaxConns = 1024
@@ -403,10 +473,27 @@ func New(cfg Config) (*Gmetad, error) {
 		if _, dup := g.slots[src.Name]; dup {
 			return nil, fmt.Errorf("gmetad: duplicate data source %q", src.Name)
 		}
-		g.slots[src.Name] = &sourceSlot{cfg: src}
+		slot, err := newSourceSlot(src)
+		if err != nil {
+			return nil, err
+		}
+		g.slots[src.Name] = slot
 		g.order = append(g.order, src.Name)
 	}
 	return g, nil
+}
+
+// newSourceSlot builds one slot, validating the subscription option:
+// only a child gmetad speaks the stream handshake.
+func newSourceSlot(src DataSource) (*sourceSlot, error) {
+	slot := &sourceSlot{cfg: src}
+	if src.Subscribe {
+		if src.Kind != SourceGmetad {
+			return nil, fmt.Errorf("gmetad: data source %q: Subscribe requires a gmetad child", src.Name)
+		}
+		slot.sub = &subscriber{}
+	}
+	return slot, nil
 }
 
 // GridName returns the configured grid name.
@@ -441,12 +528,16 @@ func (g *Gmetad) AddSource(src DataSource) error {
 	if len(src.Addrs) == 0 {
 		return fmt.Errorf("gmetad: data source %q has no addresses", src.Name)
 	}
+	slot, err := newSourceSlot(src)
+	if err != nil {
+		return err
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if _, dup := g.slots[src.Name]; dup {
 		return fmt.Errorf("gmetad: duplicate data source %q", src.Name)
 	}
-	g.slots[src.Name] = &sourceSlot{cfg: src}
+	g.slots[src.Name] = slot
 	g.order = append(g.order, src.Name)
 	g.bumpEpoch()
 	return nil
@@ -457,8 +548,12 @@ func (g *Gmetad) AddSource(src DataSource) error {
 func (g *Gmetad) RemoveSource(name string) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if _, ok := g.slots[name]; !ok {
+	slot, ok := g.slots[name]
+	if !ok {
 		return false
+	}
+	if slot.sub != nil {
+		slot.sub.shut()
 	}
 	delete(g.slots, name)
 	for i, n := range g.order {
@@ -512,6 +607,12 @@ type SourceStatus struct {
 	NextPollAt time.Time
 	// Addrs reports per-address dial health in failover-list order.
 	Addrs []AddrStatus
+
+	// Streaming reports a live subscription link feeding this source
+	// (polling is suspended while it holds); StreamGen is the feed
+	// generation last applied over it.
+	Streaming bool
+	StreamGen uint64
 }
 
 // Status reports per-source health, for operators and tests.
@@ -541,6 +642,9 @@ func (g *Gmetad) Status() []SourceStatus {
 			st.LastError = s.lastErr.Error()
 		}
 		s.mu.RUnlock()
+		if s.sub != nil {
+			st.Streaming, st.StreamGen = s.sub.status()
+		}
 		out = append(out, st)
 	}
 	return out
@@ -594,17 +698,24 @@ func (g *Gmetad) Run(done <-chan struct{}) {
 // under Config.ArchivePath. It is Checkpoint under its historical name.
 func (g *Gmetad) SaveArchives() error { return g.Checkpoint() }
 
-// Drain performs the graceful half of shutdown: stop accepting new
+// Drain performs the graceful half of shutdown: end the long-lived
+// stream and watch connections (each subscription feed flushes a final
+// BYE resync marker so subscribers fall back to polling cleanly), stop
+// this daemon's own subscriber goroutines, stop accepting new
 // connections, then wait up to timeout (wall clock) for in-flight
 // responses to finish. It reports whether every handler completed;
 // either way the daemon no longer serves, and a final Checkpoint plus
 // Close may follow. Handlers still running after a false return are
 // abandoned — their deadlines will reap them.
 func (g *Gmetad) Drain(timeout time.Duration) bool {
+	g.streams.shutdown()
+	g.closeSubscribers()
 	return g.listeners.drainAll(timeout)
 }
 
-// Close stops all Serve loops.
+// Close stops all Serve loops, stream connections and subscribers.
 func (g *Gmetad) Close() {
+	g.streams.shutdown()
+	g.closeSubscribers()
 	g.listeners.closeAll()
 }

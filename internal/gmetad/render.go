@@ -72,8 +72,26 @@ func renderFragment(data *sourceData, mode Mode) *sourceFragment {
 	w := gxml.NewWriter(&buf)
 	switch {
 	case data.kind == SourceGmond:
+		// Record cluster and host byte spans as they are written: the
+		// writer has no internal buffering, so buf.Len() is exact after
+		// every element. The spans make this fragment diffable by the
+		// subscription feed at zero extra rendering cost.
+		f.spans = make([]clusterSpan, 0, len(data.clusterOrder))
 		for _, cname := range data.clusterOrder {
-			writeClusterFull(w, data.clusters[cname], data.age)
+			c := data.clusters[cname]
+			cs := clusterSpan{name: cname, hosts: make([]hostSpan, 0, len(c.order))}
+			cs.open.off = buf.Len()
+			w.OpenCluster(c.meta.Name, c.meta.Owner, c.meta.URL, c.meta.LocalTime)
+			cs.open.end = buf.Len()
+			for _, hname := range c.order {
+				hs := hostSpan{name: hname}
+				hs.b.off = buf.Len()
+				w.HostAged(c.hosts[hname], data.age)
+				hs.b.end = buf.Len()
+				cs.hosts = append(cs.hosts, hs)
+			}
+			w.CloseCluster()
+			f.spans = append(f.spans, cs)
 		}
 		f.clusters = buf.Bytes()
 	case mode == NLevel:
@@ -493,8 +511,13 @@ var footerBytes = []byte(respFooter)
 // measure the render pipeline in isolation; history queries must go
 // through Report, which owns the archive-pool contract.
 func (g *Gmetad) WriteAnswer(w io.Writer, q *query.Query) error {
-	if q.Filter == query.FilterHistory {
+	switch q.Filter {
+	case query.FilterHistory:
 		return fmt.Errorf("gmetad: WriteAnswer does not serve history queries")
+	case query.FilterStream, query.FilterStreamSummary, query.FilterWatch:
+		// Subscriptions and long-polls are connection protocols, not
+		// renderings; they only exist on the interactive port.
+		return fmt.Errorf("gmetad: WriteAnswer does not serve %s queries", q.Filter)
 	}
 	return g.writeAnswer(w, q)
 }

@@ -20,8 +20,13 @@ var ErrNotFound = errors.New("gmetad: query path not found")
 // queries: it streams cached per-source fragments instead (render.go),
 // which this API remains the equivalence oracle for.
 func (g *Gmetad) Report(q *query.Query) (*gxml.Report, error) {
-	if q.Filter == query.FilterHistory {
+	switch q.Filter {
+	case query.FilterHistory:
 		return g.historyReport(q)
+	case query.FilterStream, query.FilterStreamSummary, query.FilterWatch:
+		// Subscriptions and long-polls are connection protocols; there
+		// is no single Report tree to return for them.
+		return nil, errors.New("gmetad: Report does not serve " + q.Filter.String() + " queries")
 	}
 	return g.ReferenceReport(q) //lint:allow nocopyserve Report is the public DOM API, not the serve path
 }

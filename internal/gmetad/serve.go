@@ -191,7 +191,21 @@ func (g *Gmetad) ServeQuery(l net.Listener) {
 				fmt.Fprintf(c, "<!-- ERROR %s -->\n", xmlCommentSafe(err.Error()))
 				return
 			}
-			g.answer(c, q)
+			switch q.Filter {
+			case query.FilterStream, query.FilterStreamSummary:
+				if !q.Root() {
+					if err := c.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout)); err != nil {
+						return
+					}
+					fmt.Fprint(c, "<!-- ERROR stream subscriptions are root queries only -->\n")
+					return
+				}
+				g.serveStream(c, q.Filter == query.FilterStreamSummary)
+			case query.FilterWatch:
+				g.serveWatch(c, q)
+			default:
+				g.answer(c, q)
+			}
 		}(conn)
 	}
 }

@@ -28,6 +28,12 @@ func (g *Gmetad) safePoll(slot *sourceSlot, now time.Time) {
 			g.sourceFailed(slot, now, fmt.Errorf("poll panic: %v", r))
 		}
 	}()
+	if slot.sub != nil && g.streamCovers(slot, now) {
+		// A live subscription link feeds this slot continuously; polling
+		// it would duplicate work. The moment the link degrades, the
+		// cover lapses and the proven poll path resumes here.
+		return
+	}
 	if g.breakerDefers(slot, now) {
 		return
 	}
@@ -135,6 +141,17 @@ func (g *Gmetad) pollSource(slot *sourceSlot, now time.Time) {
 		})
 	}
 
+	g.publishData(slot, addr, data, now)
+}
+
+// publishData installs a freshly parsed snapshot and performs the
+// success bookkeeping both ingest paths share — the poll path and the
+// subscription link apply state through the same door, so health,
+// breaker and failover semantics cannot diverge between them: the
+// slate is cleared (address backoff, breaker streak, stretched
+// cadence), the rendered fragment and summary delta are published off
+// the slot lock, and the epoch bump retires stale cached responses.
+func (g *Gmetad) publishData(slot *sourceSlot, addr string, data *sourceData, now time.Time) {
 	slot.mu.Lock()
 	slot.version++
 	data.epoch = slot.version

@@ -64,6 +64,11 @@ type sourceSlot struct {
 	// fragment publish detects the mismatch and renders from the
 	// snapshot directly instead of splicing withdrawn bytes.
 	frag atomic.Pointer[sourceFragment]
+
+	// sub is the slot's subscription state machine when the source is
+	// configured with Subscribe; nil for polled sources. It carries its
+	// own lock — the poll gate consults it without the slot lock.
+	sub *subscriber
 }
 
 // sourceFragment is one source's subtree rendered to XML, valid for
@@ -78,6 +83,30 @@ type sourceFragment struct {
 	// depth-0 responses emit every source's clusters before any grids.
 	clusters []byte
 	grids    []byte
+
+	// spans indexes the clusters buffer at cluster and host granularity
+	// (gmond sources only). The stream feed producer diffs consecutive
+	// fragments host-by-host through these offsets, shipping only the
+	// bytes that changed — without ever reparsing its own output.
+	spans []clusterSpan
+}
+
+// span is a half-open byte range within a fragment buffer.
+type span struct{ off, end int }
+
+// clusterSpan locates one rendered CLUSTER section inside a fragment's
+// clusters buffer: the open tag, then each host element in order. The
+// close tag is constant (stream.ClusterClose) and is not recorded.
+type clusterSpan struct {
+	name  string
+	open  span
+	hosts []hostSpan
+}
+
+// hostSpan locates one rendered HOST element.
+type hostSpan struct {
+	name string
+	b    span
 }
 
 // size returns the fragment's rendered byte length, used to presize

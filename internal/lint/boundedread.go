@@ -38,6 +38,7 @@ var boundedReadScope = []string{
 	"ganglia/internal/gxml",
 	"ganglia/internal/gmetad",
 	"ganglia/internal/webfront",
+	"ganglia/internal/stream",
 }
 
 // cappedName matches functions and types that impose a size cap.

@@ -32,6 +32,7 @@ var goroutineScope = []string{
 	"ganglia/internal/fabric",
 	"ganglia/internal/gmetad",
 	"ganglia/internal/gmond",
+	"ganglia/internal/stream",
 }
 
 func runGoroutines(pass *Pass) {

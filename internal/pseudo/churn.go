@@ -1,0 +1,180 @@
+package pseudo
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ganglia/internal/clock"
+	"ganglia/internal/gxml"
+	"ganglia/internal/metric"
+)
+
+// ChurnGmond is a cluster emulator with a *controlled change rate*, the
+// workload generator for delta-subscription experiments. Where Gmond
+// redraws every value each second (the paper's §3 full-report cost
+// model), ChurnGmond changes exactly a configured fraction of its hosts
+// per reporting round and holds everything else — host heartbeats,
+// metric ages, the untouched hosts' values — bit-for-bit constant, so a
+// byte-level differ sees precisely the churn that was configured and
+// nothing else. Values are whole numbers, so summary reductions stay
+// exact no matter how many times they are recomputed along the way.
+type ChurnGmond struct {
+	cluster string
+	clk     clock.Clock
+	// period is the reporting round length in seconds; reports within
+	// one round are identical.
+	period int64
+	// modulus spreads changes: host i changes in round r iff
+	// (i+r) mod modulus == 0. Zero means no host ever changes.
+	modulus int
+	// metrics per host.
+	metrics int
+
+	mu    sync.Mutex
+	hosts int
+
+	listeners []net.Listener
+	closed    bool
+	serveWG   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// churnReported is the constant heartbeat timestamp every emulated host
+// reports. Real heartbeats advance; holding it (and TN) fixed keeps an
+// unchanged host's rendered bytes identical across rounds, which is the
+// property the delta experiments measure against.
+const churnReported int64 = 1_057_000_000
+
+// NewChurn returns an emulator whose per-round change fraction is
+// churn (clamped to [0,1]): churn 0.10 changes ~10% of hosts each
+// period. period is the reporting round; zero defaults to 15 s.
+func NewChurn(cluster string, hosts int, churn float64, period time.Duration, clk clock.Clock) *ChurnGmond {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if period <= 0 {
+		period = 15 * time.Second
+	}
+	modulus := 0
+	switch {
+	case churn >= 1:
+		modulus = 1
+	case churn > 0:
+		modulus = int(1/churn + 0.5)
+	}
+	return &ChurnGmond{
+		cluster: cluster,
+		clk:     clk,
+		period:  int64(period / time.Second),
+		modulus: modulus,
+		metrics: 8,
+		hosts:   hosts,
+	}
+}
+
+// Cluster returns the emulated cluster's name.
+func (p *ChurnGmond) Cluster() string { return p.cluster }
+
+// SetHosts changes the cluster size.
+func (p *ChurnGmond) SetHosts(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hosts = n
+}
+
+// Report builds the round's report. Host i's values are a pure function
+// of (i, the round it last changed), so every report of one round is
+// identical and an unchanged host is identical across rounds.
+func (p *ChurnGmond) Report(now time.Time) *gxml.Report {
+	p.mu.Lock()
+	hosts := p.hosts
+	p.mu.Unlock()
+
+	round := now.Unix() / p.period
+	c := &gxml.Cluster{
+		Name:      p.cluster,
+		Owner:     "pseudo",
+		URL:       "http://" + p.cluster + ".example/",
+		LocalTime: churnReported,
+	}
+	for i := 0; i < hosts; i++ {
+		last := int64(0)
+		if p.modulus > 0 {
+			last = round - (int64(i)+round)%int64(p.modulus)
+		}
+		h := &gxml.Host{
+			Name:     fmt.Sprintf("compute-%s-%d", p.cluster, i),
+			IP:       fmt.Sprintf("10.%d.%d.%d", (i/65536)%256, (i/256)%256, i%256),
+			TN:       5,
+			TMAX:     20,
+			DMAX:     0,
+			Reported: churnReported,
+		}
+		h.Metrics = make([]metric.Metric, 0, p.metrics)
+		for k := 0; k < p.metrics; k++ {
+			val := uint64(i*31+k*7)%1000 + uint64(last%100_000)*1000
+			h.Metrics = append(h.Metrics, metric.Metric{
+				Name:   fmt.Sprintf("churn_metric_%d", k),
+				Val:    metric.NewUint(val),
+				Units:  "count",
+				Slope:  metric.SlopeBoth,
+				TN:     5,
+				TMAX:   180,
+				DMAX:   0,
+				Source: "gmond",
+			})
+		}
+		c.Hosts = append(c.Hosts, h)
+	}
+	return &gxml.Report{Version: gxml.Version, Source: "gmond", Clusters: []*gxml.Cluster{c}}
+}
+
+// WriteXML writes the current round's report to w.
+func (p *ChurnGmond) WriteXML(w io.Writer) error {
+	return gxml.WriteReport(w, p.Report(p.clk.Now()))
+}
+
+// Serve accepts connections on l and writes one report per connection —
+// the gmond dump-on-connect TCP contract.
+func (p *ChurnGmond) Serve(l net.Listener) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = l.Close()
+		return
+	}
+	p.listeners = append(p.listeners, l)
+	p.mu.Unlock()
+	p.serveWG.Add(1)
+	defer p.serveWG.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		p.serveWG.Add(1)
+		go func(c net.Conn) {
+			defer p.serveWG.Done()
+			defer c.Close()
+			_ = p.WriteXML(c)
+		}(conn)
+	}
+}
+
+// Close stops all Serve loops.
+func (p *ChurnGmond) Close() {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		ls := p.listeners
+		p.listeners = nil
+		p.mu.Unlock()
+		for _, l := range ls {
+			_ = l.Close()
+		}
+	})
+	p.serveWG.Wait()
+}

@@ -38,6 +38,19 @@ const (
 	// metric histories of §2.1. Use the pseudo-host "__summary__" to
 	// address a cluster-summary series.
 	FilterHistory
+	// FilterStream upgrades the connection to a persistent delta
+	// subscription (root queries only): the server answers with a
+	// generation-tagged FULL frame followed by DELTA frames as the tree
+	// changes, instead of one XML document. See internal/stream.
+	FilterStream
+	// FilterStreamSummary is FilterStream for the O(m) summary form of
+	// the tree — the feed a parent running the paper's N-level design
+	// subscribes to.
+	FilterStreamSummary
+	// FilterWatch long-polls (root and subtree queries): the server
+	// withholds the answer until the tree changes (or a timeout
+	// passes), then reports the addressed subtree normally and closes.
+	FilterWatch
 )
 
 // String returns the filter's query spelling.
@@ -49,6 +62,12 @@ func (f Filter) String() string {
 		return "summary"
 	case FilterHistory:
 		return "history"
+	case FilterStream:
+		return "stream"
+	case FilterStreamSummary:
+		return "stream-summary"
+	case FilterWatch:
+		return "watch"
 	}
 	return fmt.Sprintf("filter(%d)", uint8(f))
 }
@@ -177,6 +196,12 @@ func parseFilter(s string) (Filter, error) {
 		return FilterSummary, nil
 	case "history":
 		return FilterHistory, nil
+	case "stream":
+		return FilterStream, nil
+	case "stream-summary":
+		return FilterStreamSummary, nil
+	case "watch":
+		return FilterWatch, nil
 	default:
 		return FilterNone, fmt.Errorf("%w: %q", ErrBadFilter, val)
 	}

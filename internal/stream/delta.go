@@ -1,0 +1,285 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Delta is one generation step of a report feed, carried as the payload
+// of a FULL or DELTA frame.
+//
+// The producer diffs two consecutive immutable render generations and
+// ships byte material, not re-interpreted values: section bytes are
+// lifted verbatim from the child's own per-source fragments, so a
+// subscriber that reassembles them holds exactly the document a poll of
+// the child would have returned. Equivalence with polling is therefore
+// a property of the protocol, not of a parallel re-implementation of
+// state application.
+//
+// A Delta lists the complete slot skeleton — every source, in document
+// order, and for cluster sources every cluster with its open tag and
+// every host by name. Absence is expiry: a host or slot not listed is
+// gone. Only entries marked changed carry bytes; the rest reference the
+// subscriber's replica of the previous generation.
+type Delta struct {
+	// Header is the response prologue: XML declaration through the root
+	// GRID open tag (whose LOCALTIME is the producer's serve time).
+	Header []byte
+	// Health carries the complete SOURCE_HEALTH section every frame —
+	// health transitions are small and must never lag the data they
+	// qualify.
+	Health []byte
+	// HasSummary marks the O(m) summary feed form: Summary replaces the
+	// slot sections entirely (it is the rendered summary body).
+	HasSummary bool
+	Summary    []byte
+	// Slots is the full ordered slot skeleton (full-resolution feeds).
+	Slots []SlotDelta
+}
+
+// SlotDelta is one data source's section of a generation.
+type SlotDelta struct {
+	Name string
+	// Grids marks a GRID section (a child gmetad source, serialized
+	// after every cluster section); false is a CLUSTER section (a gmond
+	// source).
+	Grids bool
+	// Unchanged references the subscriber's entire prior section for
+	// this slot; no other field is carried.
+	Unchanged bool
+	// Bytes is the whole rendered section (Grids form only).
+	Bytes []byte
+	// Clusters is the cluster skeleton (CLUSTER form only).
+	Clusters []ClusterDelta
+}
+
+// ClusterDelta is one cluster's skeleton: its rendered open tag and its
+// full host list in serialization order. The close tag is the constant
+// ClusterClose.
+type ClusterDelta struct {
+	Name string
+	Open []byte
+	// Hosts lists every host of the cluster; hosts absent from the list
+	// have expired.
+	Hosts []HostDelta
+}
+
+// HostDelta names one host; Bytes carries its rendered element only
+// when Changed, otherwise the subscriber's replica is referenced.
+type HostDelta struct {
+	Name    string
+	Changed bool
+	Bytes   []byte
+}
+
+// ClusterClose closes every reassembled CLUSTER section. It mirrors
+// gxml's serializer; gmetad's stream tests pin the two together.
+const ClusterClose = "</CLUSTER>\n"
+
+// ErrBadDelta marks a payload that does not decode as a Delta.
+var ErrBadDelta = errors.New("stream: malformed delta payload")
+
+// ErrUnknownRef marks a delta that references replica state the
+// subscriber does not hold — a missed generation or a divergent feed.
+// The subscriber must tear down and resync.
+var ErrUnknownRef = errors.New("stream: delta references unknown replica state")
+
+const (
+	slotFlagGrids     = 1 << 0
+	slotFlagUnchanged = 1 << 1
+)
+
+// AppendDelta appends d's binary encoding to dst.
+func AppendDelta(dst []byte, d *Delta) []byte {
+	dst = appendBlob(dst, d.Header)
+	dst = appendBlob(dst, d.Health)
+	if d.HasSummary {
+		dst = append(dst, 1)
+		dst = appendBlob(dst, d.Summary)
+		return dst
+	}
+	dst = append(dst, 0)
+	dst = binary.AppendUvarint(dst, uint64(len(d.Slots)))
+	for i := range d.Slots {
+		s := &d.Slots[i]
+		dst = appendBlob(dst, []byte(s.Name))
+		var flags byte
+		if s.Grids {
+			flags |= slotFlagGrids
+		}
+		if s.Unchanged {
+			flags |= slotFlagUnchanged
+		}
+		dst = append(dst, flags)
+		switch {
+		case s.Unchanged:
+		case s.Grids:
+			dst = appendBlob(dst, s.Bytes)
+		default:
+			dst = binary.AppendUvarint(dst, uint64(len(s.Clusters)))
+			for j := range s.Clusters {
+				c := &s.Clusters[j]
+				dst = appendBlob(dst, []byte(c.Name))
+				dst = appendBlob(dst, c.Open)
+				dst = binary.AppendUvarint(dst, uint64(len(c.Hosts)))
+				for k := range c.Hosts {
+					h := &c.Hosts[k]
+					dst = appendBlob(dst, []byte(h.Name))
+					if h.Changed {
+						dst = append(dst, 1)
+						dst = appendBlob(dst, h.Bytes)
+					} else {
+						dst = append(dst, 0)
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// DecodeDelta decodes a FULL or DELTA frame payload. Decoded byte
+// fields alias b — callers that retain them keep the payload alive,
+// which is the intent: most of a payload's bytes go straight into the
+// subscriber's replica. Every length and count is validated against the
+// remaining input before any allocation is sized from it, so a hostile
+// payload cannot balloon memory beyond its own length.
+func DecodeDelta(b []byte) (*Delta, error) {
+	dec := &decoder{b: b}
+	d := &Delta{}
+	d.Header = dec.blob()
+	d.Health = dec.blob()
+	if dec.byteVal() != 0 {
+		d.HasSummary = true
+		d.Summary = dec.blob()
+		if dec.err == nil && len(dec.b) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadDelta, len(dec.b))
+		}
+		if dec.err != nil {
+			return nil, dec.err
+		}
+		return d, nil
+	}
+	nslots := dec.count()
+	if dec.err == nil && nslots > 0 {
+		d.Slots = make([]SlotDelta, 0, nslots)
+	}
+	for i := 0; i < nslots && dec.err == nil; i++ {
+		var s SlotDelta
+		s.Name = string(dec.blob())
+		flags := dec.byteVal()
+		s.Grids = flags&slotFlagGrids != 0
+		s.Unchanged = flags&slotFlagUnchanged != 0
+		switch {
+		case s.Unchanged:
+		case s.Grids:
+			s.Bytes = dec.blob()
+		default:
+			nclu := dec.count()
+			if dec.err == nil && nclu > 0 {
+				s.Clusters = make([]ClusterDelta, 0, nclu)
+			}
+			for j := 0; j < nclu && dec.err == nil; j++ {
+				var c ClusterDelta
+				c.Name = string(dec.blob())
+				c.Open = dec.blob()
+				nhosts := dec.count()
+				if dec.err == nil && nhosts > 0 {
+					c.Hosts = make([]HostDelta, 0, nhosts)
+				}
+				for k := 0; k < nhosts && dec.err == nil; k++ {
+					var h HostDelta
+					h.Name = string(dec.blob())
+					h.Changed = dec.byteVal() != 0
+					if h.Changed {
+						h.Bytes = dec.blob()
+					}
+					c.Hosts = append(c.Hosts, h)
+				}
+				s.Clusters = append(s.Clusters, c)
+			}
+		}
+		d.Slots = append(d.Slots, s)
+	}
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	if len(dec.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadDelta, len(dec.b))
+	}
+	return d, nil
+}
+
+func appendBlob(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// decoder consumes the payload front-to-back with a latched error, so
+// decode loops stay flat and every exit path reports the first fault.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrBadDelta, what)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// count reads an element count and bounds it by the remaining input:
+// every encoded element costs at least one byte, so a count past the
+// remaining length is declared hostile before any slice is sized by it.
+func (d *decoder) count() int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b)) {
+		d.fail("count exceeds remaining input")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) blob() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("blob length exceeds remaining input")
+		return nil
+	}
+	b := d.b[:n:n]
+	d.b = d.b[n:]
+	return b
+}
+
+func (d *decoder) byteVal() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail("unexpected end of payload")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}

@@ -1,0 +1,182 @@
+package stream
+
+import "fmt"
+
+// Ledger is a subscriber's replica of one feed: the byte material
+// needed to reconstruct the producer's current report exactly. Applying
+// a FULL frame seeds it; applying each DELTA advances it one
+// generation. Assemble then yields the byte-identical document a poll
+// of the producer would have returned at that generation, which the
+// subscriber parses through the ordinary poll path — so subscribed
+// state can never diverge from polled state except between a detected
+// fault and the resync it forces.
+//
+// A Ledger is not safe for concurrent use; each subscription link owns
+// one.
+type Ledger struct {
+	synced     bool
+	header     []byte
+	health     []byte
+	hasSummary bool
+	summary    []byte
+	slots      []*slotEntry
+	index      map[string]*slotEntry
+}
+
+type slotEntry struct {
+	name     string
+	grids    bool
+	bytes    []byte // grids form: the whole rendered section
+	clusters []*clusterEntry
+	index    map[string]*clusterEntry
+}
+
+type clusterEntry struct {
+	name  string
+	open  []byte
+	hosts []hostEntry
+	index map[string][]byte
+}
+
+type hostEntry struct {
+	name  string
+	bytes []byte
+}
+
+// NewLedger returns an empty replica; the first Apply must be a full
+// sync.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Reset discards the replica, forcing the next Apply to be full.
+func (l *Ledger) Reset() { *l = Ledger{} }
+
+// Apply advances the replica by one decoded generation. full marks a
+// FULL frame: the prior replica is discarded first, so a full payload
+// that smuggles back-references fails with ErrUnknownRef instead of
+// silently depending on stale state. Any error leaves the ledger
+// unusable for further deltas — the caller must Reset and resync.
+func (l *Ledger) Apply(d *Delta, full bool) error {
+	if full {
+		l.Reset()
+		l.synced = true
+	} else if !l.synced {
+		return fmt.Errorf("%w: delta before full sync", ErrUnknownRef)
+	}
+	if d.HasSummary {
+		l.header, l.health = d.Header, d.Health
+		l.hasSummary, l.summary = true, d.Summary
+		l.slots, l.index = nil, nil
+		return nil
+	}
+
+	old := l.index
+	slots := make([]*slotEntry, 0, len(d.Slots))
+	index := make(map[string]*slotEntry, len(d.Slots))
+	for i := range d.Slots {
+		sd := &d.Slots[i]
+		if _, dup := index[sd.Name]; dup {
+			return fmt.Errorf("%w: duplicate slot %q", ErrBadDelta, sd.Name)
+		}
+		e, err := buildSlot(old, sd)
+		if err != nil {
+			l.synced = false
+			return err
+		}
+		slots = append(slots, e)
+		index[sd.Name] = e
+	}
+	l.header, l.health = d.Header, d.Health
+	l.hasSummary, l.summary = false, nil
+	l.slots, l.index = slots, index
+	return nil
+}
+
+func buildSlot(old map[string]*slotEntry, sd *SlotDelta) (*slotEntry, error) {
+	if sd.Unchanged {
+		prev := old[sd.Name]
+		if prev == nil || prev.grids != sd.Grids {
+			return nil, fmt.Errorf("%w: unchanged slot %q", ErrUnknownRef, sd.Name)
+		}
+		return prev, nil
+	}
+	if sd.Grids {
+		return &slotEntry{name: sd.Name, grids: true, bytes: sd.Bytes}, nil
+	}
+	e := &slotEntry{
+		name:     sd.Name,
+		clusters: make([]*clusterEntry, 0, len(sd.Clusters)),
+		index:    make(map[string]*clusterEntry, len(sd.Clusters)),
+	}
+	var prev *slotEntry
+	if p := old[sd.Name]; p != nil && !p.grids {
+		prev = p
+	}
+	for j := range sd.Clusters {
+		cd := &sd.Clusters[j]
+		if _, dup := e.index[cd.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate cluster %q in slot %q", ErrBadDelta, cd.Name, sd.Name)
+		}
+		var prevC *clusterEntry
+		if prev != nil {
+			prevC = prev.index[cd.Name]
+		}
+		ce := &clusterEntry{
+			name:  cd.Name,
+			open:  cd.Open,
+			hosts: make([]hostEntry, 0, len(cd.Hosts)),
+			index: make(map[string][]byte, len(cd.Hosts)),
+		}
+		for k := range cd.Hosts {
+			hd := &cd.Hosts[k]
+			b := hd.Bytes
+			if !hd.Changed {
+				if prevC == nil {
+					return nil, fmt.Errorf("%w: host %q in unknown cluster %q", ErrUnknownRef, hd.Name, cd.Name)
+				}
+				var ok bool
+				b, ok = prevC.index[hd.Name]
+				if !ok {
+					return nil, fmt.Errorf("%w: unchanged host %q in cluster %q", ErrUnknownRef, hd.Name, cd.Name)
+				}
+			}
+			ce.hosts = append(ce.hosts, hostEntry{name: hd.Name, bytes: b})
+			ce.index[hd.Name] = b
+		}
+		e.clusters = append(e.clusters, ce)
+		e.index[cd.Name] = ce
+	}
+	return e, nil
+}
+
+// Synced reports whether the replica holds an applied generation.
+func (l *Ledger) Synced() bool { return l.synced }
+
+// Assemble appends the replica's reconstructed report to dst: header,
+// health, every CLUSTER section in slot order, every GRID section in
+// slot order, then footer — the producer's depth-0 document order.
+func (l *Ledger) Assemble(dst, footer []byte) []byte {
+	dst = append(dst, l.header...)
+	dst = append(dst, l.health...)
+	if l.hasSummary {
+		dst = append(dst, l.summary...)
+		return append(dst, footer...)
+	}
+	for _, e := range l.slots {
+		if e.grids {
+			continue
+		}
+		for _, c := range e.clusters {
+			dst = append(dst, c.open...)
+			for i := range c.hosts {
+				dst = append(dst, c.hosts[i].bytes...)
+			}
+			dst = append(dst, ClusterClose...)
+		}
+	}
+	for _, e := range l.slots {
+		if e.grids {
+			dst = append(dst, e.bytes...)
+		}
+	}
+	return append(dst, footer...)
+}

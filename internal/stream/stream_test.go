@@ -1,0 +1,322 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameBytes encodes one frame; a bytes.Buffer destination cannot fail.
+func frameBytes(f *Frame) []byte {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Type: FrameFull, Gen: 7, Payload: []byte("full state")},
+		{Type: FrameDelta, Gen: 8, Prev: 7, Payload: []byte("one step")},
+		{Type: FrameHeartbeat, Gen: 8, Prev: 8},
+		{Type: FrameBye, Gen: 8},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("WriteFrame(%s): %v", f.Type, err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("ReadFrame(%s): %v", want.Type, err)
+		}
+		if got.Type != want.Type || got.Gen != want.Gen || got.Prev != want.Prev {
+			t.Fatalf("frame header mismatch: got %+v want %+v", got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("payload mismatch on %s frame", want.Type)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d unread bytes after round trip", buf.Len())
+	}
+}
+
+func TestReadFrameRejectsOversizePayload(t *testing.T) {
+	raw := frameBytes(&Frame{Type: FrameDelta, Gen: 2, Prev: 1, Payload: bytes.Repeat([]byte("x"), 100)})
+	_, err := ReadFrame(bytes.NewReader(raw), 64)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestReadFrameRejectsCorruption(t *testing.T) {
+	base := frameBytes(&Frame{Type: FrameDelta, Gen: 2, Prev: 1, Payload: []byte("payload bytes")})
+	// Every single-bit flip must surface as ErrCorrupt, ErrTooLarge
+	// (length field grown past the cap) or a read error (length field
+	// shrunk, leaving trailing bytes — the next ReadFrame would fail on
+	// magic). Never a silent success with altered content.
+	for i := 0; i < len(base); i++ {
+		for bit := 0; bit < 8; bit++ {
+			raw := append([]byte(nil), base...)
+			raw[i] ^= 1 << bit
+			f, err := ReadFrame(bytes.NewReader(raw), len(base))
+			if err != nil {
+				continue
+			}
+			// A flip in the length field that still checksums is
+			// impossible; a successful read must return the original.
+			if f.Gen != 2 || f.Prev != 1 || f.Type != FrameDelta || !bytes.Equal(f.Payload, []byte("payload bytes")) {
+				t.Fatalf("bit flip at byte %d bit %d read back altered frame %+v", i, bit, f)
+			}
+		}
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	base := frameBytes(&Frame{Type: FrameFull, Gen: 1, Payload: []byte("0123456789")})
+	for cut := 0; cut < len(base); cut++ {
+		_, err := ReadFrame(bytes.NewReader(base[:cut]), 0)
+		if err == nil {
+			t.Fatalf("truncation at %d bytes read a whole frame", cut)
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			// Truncation inside the payload after a valid header is a
+			// short read; truncation inside the header likewise.
+			t.Fatalf("truncation at %d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+func TestReadFrameRejectsBadMagicAndType(t *testing.T) {
+	raw := frameBytes(&Frame{Type: FrameHeartbeat, Gen: 3, Prev: 3})
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: want ErrCorrupt, got %v", err)
+	}
+	bad = append([]byte(nil), raw...)
+	bad[2] = 0x7f // unknown type; fails before the checksum is consulted
+	if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad type: want ErrCorrupt, got %v", err)
+	}
+}
+
+func sampleDelta() *Delta {
+	return &Delta{
+		Header: []byte("<GANGLIA_XML>\n<GRID>\n"),
+		Health: []byte("<SOURCE_HEALTH/>\n"),
+		Slots: []SlotDelta{
+			{Name: "meteor", Clusters: []ClusterDelta{{
+				Name: "meteor",
+				Open: []byte("<CLUSTER NAME=\"meteor\">\n"),
+				Hosts: []HostDelta{
+					{Name: "host-0", Changed: true, Bytes: []byte("<HOST NAME=\"host-0\"/>\n")},
+					{Name: "host-1", Changed: true, Bytes: []byte("<HOST NAME=\"host-1\"/>\n")},
+				},
+			}}},
+			{Name: "sdsc", Grids: true, Bytes: []byte("<GRID NAME=\"sdsc\"/>\n")},
+		},
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	want := sampleDelta()
+	got, err := DecodeDelta(AppendDelta(nil, want))
+	if err != nil {
+		t.Fatalf("DecodeDelta: %v", err)
+	}
+	if !bytes.Equal(got.Header, want.Header) || !bytes.Equal(got.Health, want.Health) {
+		t.Fatalf("prologue mismatch")
+	}
+	if len(got.Slots) != 2 || got.Slots[0].Name != "meteor" || !got.Slots[1].Grids {
+		t.Fatalf("slot skeleton mismatch: %+v", got.Slots)
+	}
+	if len(got.Slots[0].Clusters) != 1 || len(got.Slots[0].Clusters[0].Hosts) != 2 {
+		t.Fatalf("cluster skeleton mismatch")
+	}
+
+	summ := &Delta{Header: []byte("h"), HasSummary: true, Summary: []byte("<HOSTS/>\n")}
+	got, err = DecodeDelta(AppendDelta(nil, summ))
+	if err != nil {
+		t.Fatalf("DecodeDelta(summary): %v", err)
+	}
+	if !got.HasSummary || !bytes.Equal(got.Summary, summ.Summary) {
+		t.Fatalf("summary form mismatch: %+v", got)
+	}
+}
+
+func TestDecodeDeltaRejectsTrailingAndTruncated(t *testing.T) {
+	enc := AppendDelta(nil, sampleDelta())
+	if _, err := DecodeDelta(append(enc, 0x00)); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("trailing byte: want ErrBadDelta, got %v", err)
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeDelta(enc[:cut]); !errors.Is(err, ErrBadDelta) {
+			t.Fatalf("truncation at %d: want ErrBadDelta, got %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeDeltaBoundsAllocationByInput(t *testing.T) {
+	// A payload declaring 2^40 slots must be rejected up front: counts
+	// are bounded by the remaining input length before sizing any slice.
+	var b []byte
+	b = appendBlob(b, nil) // header
+	b = appendBlob(b, nil) // health
+	b = append(b, 0)       // no summary
+	b = append(b, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f)
+	if _, err := DecodeDelta(b); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("hostile count: want ErrBadDelta, got %v", err)
+	}
+}
+
+func TestLedgerFullDeltaAssemble(t *testing.T) {
+	l := NewLedger()
+	if l.Synced() {
+		t.Fatal("fresh ledger claims synced")
+	}
+	full := sampleDelta()
+	if err := l.Apply(full, true); err != nil {
+		t.Fatalf("Apply(full): %v", err)
+	}
+	footer := []byte("</GRID>\n")
+	got := l.Assemble(nil, footer)
+	want := []byte("<GANGLIA_XML>\n<GRID>\n" + "<SOURCE_HEALTH/>\n" +
+		"<CLUSTER NAME=\"meteor\">\n" +
+		"<HOST NAME=\"host-0\"/>\n<HOST NAME=\"host-1\"/>\n" + ClusterClose +
+		"<GRID NAME=\"sdsc\"/>\n" + "</GRID>\n")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("full assemble:\n got %q\nwant %q", got, want)
+	}
+
+	// One step: host-0 changes, host-1 unchanged, grid slot unchanged.
+	step := &Delta{
+		Header: full.Header,
+		Health: full.Health,
+		Slots: []SlotDelta{
+			{Name: "meteor", Clusters: []ClusterDelta{{
+				Name: "meteor",
+				Open: full.Slots[0].Clusters[0].Open,
+				Hosts: []HostDelta{
+					{Name: "host-0", Changed: true, Bytes: []byte("<HOST NAME=\"host-0\" NEW=\"1\"/>\n")},
+					{Name: "host-1"},
+				},
+			}}},
+			{Name: "sdsc", Grids: true, Unchanged: true},
+		},
+	}
+	if err := l.Apply(step, false); err != nil {
+		t.Fatalf("Apply(delta): %v", err)
+	}
+	got = l.Assemble(nil, footer)
+	if !bytes.Contains(got, []byte(`NEW="1"`)) || !bytes.Contains(got, []byte("host-1")) {
+		t.Fatalf("delta assemble missing content: %q", got)
+	}
+
+	// Expiry by omission: a delta listing only host-0 drops host-1.
+	drop := &Delta{
+		Header: full.Header,
+		Health: full.Health,
+		Slots: []SlotDelta{
+			{Name: "meteor", Clusters: []ClusterDelta{{
+				Name:  "meteor",
+				Open:  full.Slots[0].Clusters[0].Open,
+				Hosts: []HostDelta{{Name: "host-0"}},
+			}}},
+		},
+	}
+	if err := l.Apply(drop, false); err != nil {
+		t.Fatalf("Apply(drop): %v", err)
+	}
+	got = l.Assemble(nil, footer)
+	if bytes.Contains(got, []byte("host-1")) || bytes.Contains(got, []byte("sdsc")) {
+		t.Fatalf("expired entries still assembled: %q", got)
+	}
+}
+
+func TestLedgerRejectsUnknownRefs(t *testing.T) {
+	l := NewLedger()
+	ref := &Delta{Slots: []SlotDelta{{Name: "meteor", Unchanged: true}}}
+	if err := l.Apply(ref, false); !errors.Is(err, ErrUnknownRef) {
+		t.Fatalf("delta before sync: want ErrUnknownRef, got %v", err)
+	}
+	// A FULL payload carrying back-references must fail, not silently
+	// depend on pre-reset state.
+	if err := l.Apply(sampleDelta(), true); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	if err := l.Apply(ref, true); !errors.Is(err, ErrUnknownRef) {
+		t.Fatalf("full with refs: want ErrUnknownRef, got %v", err)
+	}
+	// After a failed apply the ledger refuses further deltas until a
+	// clean full sync.
+	if err := l.Apply(sampleDelta(), false); !errors.Is(err, ErrUnknownRef) {
+		t.Fatalf("delta after failure: want ErrUnknownRef, got %v", err)
+	}
+	if err := l.Apply(sampleDelta(), true); err != nil {
+		t.Fatalf("resync: %v", err)
+	}
+	ghost := &Delta{Slots: []SlotDelta{{Name: "meteor", Clusters: []ClusterDelta{{
+		Name:  "meteor",
+		Open:  []byte("<CLUSTER>\n"),
+		Hosts: []HostDelta{{Name: "no-such-host"}},
+	}}}}}
+	if err := l.Apply(ghost, false); !errors.Is(err, ErrUnknownRef) {
+		t.Fatalf("ghost host: want ErrUnknownRef, got %v", err)
+	}
+}
+
+// FuzzReadFrame drives the frame decoder with arbitrary byte streams:
+// it must never panic and never allocate past the payload cap, and any
+// frame it does return must re-encode to bytes the decoder accepts
+// again (decode/encode/decode fixed point).
+func FuzzReadFrame(f *testing.F) {
+	f.Add(frameBytes(&Frame{Type: FrameFull, Gen: 1, Payload: []byte("seed full frame")}))
+	f.Add(frameBytes(&Frame{Type: FrameDelta, Gen: 9, Prev: 8, Payload: AppendDelta(nil, sampleDelta())}))
+	f.Add(frameBytes(&Frame{Type: FrameHeartbeat, Gen: 4, Prev: 4}))
+
+	truncated := frameBytes(&Frame{Type: FrameFull, Gen: 2, Payload: bytes.Repeat([]byte("t"), 64)})
+	f.Add(truncated[:len(truncated)/2])
+
+	flipped := frameBytes(&Frame{Type: FrameDelta, Gen: 3, Prev: 2, Payload: []byte("bit flip target")})
+	flipped = append([]byte(nil), flipped...)
+	flipped[headerSize+4] ^= 0x10
+	f.Add(flipped)
+
+	oversize := frameBytes(&Frame{Type: FrameFull, Gen: 5, Payload: []byte("tiny")})
+	oversize = append([]byte(nil), oversize...)
+	oversize[19], oversize[20] = 0x7f, 0xff // declared length ~2 GiB
+	f.Add(oversize)
+
+	const cap = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data), cap)
+		if err != nil {
+			return
+		}
+		if len(fr.Payload) > cap {
+			t.Fatalf("payload %d exceeds cap %d", len(fr.Payload), cap)
+		}
+		re := AppendFrame(nil, fr)
+		fr2, err := ReadFrame(bytes.NewReader(re), cap)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if fr2.Type != fr.Type || fr2.Gen != fr.Gen || fr2.Prev != fr.Prev || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("decode/encode/decode not a fixed point")
+		}
+		// A decodable delta payload must survive its own round trip.
+		if fr.Type == FrameDelta || fr.Type == FrameFull {
+			if d, err := DecodeDelta(fr.Payload); err == nil {
+				if _, err := DecodeDelta(AppendDelta(nil, d)); err != nil {
+					t.Fatalf("delta re-encode does not decode: %v", err)
+				}
+			}
+		}
+	})
+}

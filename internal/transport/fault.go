@@ -170,7 +170,15 @@ func (n *FaultNetwork) Dial(addr string) (net.Conn, error) {
 	n.mu.Unlock()
 
 	if !planned || !plan.active(start, n.clk.Now()) {
-		return n.inner.Dial(addr)
+		conn, err := n.inner.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		// Even a currently-healthy dial gets the live wrapper: a plan
+		// installed (or flapping down) later must cut the connection —
+		// persistent subscription links ride one connection across fault
+		// windows and have to observe the outage, not coast through it.
+		return &liveConn{Conn: conn, n: n, addr: addr}, nil
 	}
 
 	switch plan.Mode {
@@ -211,6 +219,57 @@ func (n *FaultNetwork) Dial(addr string) (net.Conn, error) {
 		fc.plan.GarbleEvery = 16
 	}
 	return fc, nil
+}
+
+// liveConn is a connection dialed while its address was healthy. It
+// carries real bytes until the address's *current* plan turns active —
+// a flap schedule flipping down, or a fault installed after the dial —
+// then fails every Read and Write with a reset error and closes the
+// inner connection, so long-lived streams see the outage as the abrupt
+// link loss it models. The check runs at call time: a Read blocked
+// inside the inner connection is not interrupted mid-flight, but any
+// deadline or delivered byte brings control back here and the cut
+// lands.
+type liveConn struct {
+	net.Conn
+	n    *FaultNetwork
+	addr string
+	once sync.Once
+}
+
+// cut reports whether the address is faulted now, closing the inner
+// connection the first time it is.
+func (c *liveConn) cut() bool {
+	c.n.mu.Lock()
+	plan, planned := c.n.plans[c.addr]
+	start := c.n.start
+	c.n.mu.Unlock()
+	if !planned || !plan.active(start, c.n.clk.Now()) {
+		return false
+	}
+	c.once.Do(func() { _ = c.Conn.Close() })
+	return true
+}
+
+func (c *liveConn) errDown(op string) error {
+	return &net.OpError{Op: op, Net: "fault", Addr: c.Conn.RemoteAddr(),
+		Err: fmt.Errorf("connection reset (fault: link down)")}
+}
+
+// Read delivers from the inner connection while the link is up.
+func (c *liveConn) Read(p []byte) (int, error) {
+	if c.cut() {
+		return 0, c.errDown("read")
+	}
+	return c.Conn.Read(p)
+}
+
+// Write delivers to the inner connection while the link is up.
+func (c *liveConn) Write(p []byte) (int, error) {
+	if c.cut() {
+		return 0, c.errDown("write")
+	}
+	return c.Conn.Write(p)
 }
 
 // hashAddr folds an address into a seed perturbation (FNV-1a).
