@@ -16,6 +16,7 @@
 //	ganglia-bench -experiment checkpoint -hosts 100
 //	ganglia-bench -experiment fabric -json BENCH_fabric.json
 //	ganglia-bench -experiment stream -json BENCH_stream.json
+//	ganglia-bench -experiment history -json BENCH_history.json
 //
 // Each experiment prints the regenerated table or figure series, then
 // re-checks the paper's qualitative claims and reports any violations.
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint, fabric, stream or all")
+		experiment = flag.String("experiment", "all", "fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint, fabric, stream, history or all")
 		hosts      = flag.Int("hosts", 100, "hosts per cluster (fig5, table1, serve)")
 		rounds     = flag.Int("rounds", 8, "measured polling rounds (fig5, fig6)")
 		samples    = flag.Int("samples", 5, "samples per view (table1)")
@@ -43,7 +44,7 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory to write fig5.csv/fig6.csv/table1.csv into (optional)")
 		detail     = flag.Bool("detail", false, "also print the fig5 per-phase work breakdown")
 		seed       = flag.Int64("seed", 1, "fault-plan and jitter seed (chaos)")
-		jsonOut    = flag.String("json", "", "file to write the result into as a regression baseline (render, fabric, stream)")
+		jsonOut    = flag.String("json", "", "file to write the result into as a regression baseline (render, fabric, stream, history)")
 	)
 	flag.Parse()
 
@@ -207,17 +208,26 @@ func main() {
 			check("stream", res.ShapeErrors())
 			writeJSON(res.WriteJSON)
 		},
+		"history": func() {
+			res, err := bench.RunHistory(bench.HistoryConfig{Hosts: *hosts})
+			if err != nil {
+				log.Fatalf("history: %v", err)
+			}
+			fmt.Println(res.Table())
+			check("history", res.ShapeErrors())
+			writeJSON(res.WriteJSON)
+		},
 	}
 
 	switch *experiment {
 	case "all":
-		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve", "render", "chaos", "checkpoint", "fabric", "stream"} {
+		for _, name := range []string{"fig5", "fig6", "table1", "bandwidth", "fidelity", "serve", "render", "chaos", "checkpoint", "fabric", "stream", "history"} {
 			run[name]()
 		}
 	default:
 		f, ok := run[*experiment]
 		if !ok {
-			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint, fabric, stream or all)", *experiment)
+			log.Fatalf("unknown experiment %q (want fig5, fig6, table1, bandwidth, fidelity, serve, render, chaos, checkpoint, fabric, stream, history or all)", *experiment)
 		}
 		f()
 	}

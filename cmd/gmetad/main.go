@@ -95,6 +95,7 @@ func main() {
 		noHealth    = flag.Bool("no-health-xml", false, "omit per-source SOURCE_HEALTH elements from depth-0 responses")
 		archive     = flag.Bool("archive", true, "keep round-robin metric histories")
 		archivePath = flag.String("archive-path", "", "base path for archive snapshots: generations are written as <path>.gen-<seq>, the newest valid one is restored on start, corrupt ones are quarantined as <path>.corrupt-<seq>")
+		archShards  = flag.Int("archive-shards", 0, "lock shards partitioning the archive pool; history queries on one shard never wait on updates to another (0 = default)")
 		saveEvery   = flag.Duration("save-every", 5*time.Minute, "archive checkpoint interval (with -archive-path)")
 		generations = flag.Int("generations", gmetad.DefaultCheckpointGenerations, "archive snapshot generations to retain")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM, how long to wait for in-flight responses before abandoning them")
@@ -217,15 +218,16 @@ func main() {
 	}
 
 	cfg := gmetad.Config{
-		GridName:     *grid,
-		Authority:    *authority,
-		Network:      tcp,
-		Sources:      sources,
-		Mode:         mode,
-		PollInterval: *poll,
-		ReadTimeout:  *readTimeout,
-		Archive:      *archive,
-		ArchivePath:  *archivePath,
+		GridName:      *grid,
+		Authority:     *authority,
+		Network:       tcp,
+		Sources:       sources,
+		Mode:          mode,
+		PollInterval:  *poll,
+		ReadTimeout:   *readTimeout,
+		Archive:       *archive,
+		ArchivePath:   *archivePath,
+		ArchiveShards: *archShards,
 
 		CheckpointInterval:    *saveEvery,
 		CheckpointGenerations: *generations,
@@ -304,6 +306,11 @@ func main() {
 			if snap.StreamFrames+snap.StreamGaps+snap.StreamResyncs+snap.StreamFallbacks > 0 {
 				fmt.Printf("gmetad: %d stream frames applied, %d gaps detected, %d resyncs, %d poll fallbacks\n",
 					snap.StreamFrames, snap.StreamGaps, snap.StreamResyncs, snap.StreamFallbacks)
+			}
+			if snap.HistoryQueries+snap.TopKQueries > 0 {
+				fmt.Printf("gmetad: %d history queries (%d topk) served %d points; archive shards: %d contended acquisitions, %v waited\n",
+					snap.HistoryQueries, snap.TopKQueries, snap.HistoryPoints,
+					snap.ArchiveShardContended, snap.ArchiveShardWait)
 			}
 			if snap.Checkpoints+snap.CheckpointFails+snap.QuarantinedSnapshots > 0 {
 				fmt.Printf("gmetad: %d checkpoints (%d failed), %d generations recovered, %d snapshots quarantined\n",

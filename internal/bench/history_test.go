@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistoryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunHistory(HistoryConfig{Hosts: 16, Rounds: 12, Queries: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The qualitative claims (populated store, both legs served, compact
+	// snapshots, throughput survives concurrent polling) live in
+	// ShapeErrors, shared with the ganglia-bench CLI.
+	for _, e := range res.ShapeErrors() {
+		t.Errorf("shape: %s\n%s", e, res.Table())
+	}
+	if res.Shards <= 1 {
+		t.Errorf("pool ran with %d shards, want the sharded default", res.Shards)
+	}
+	if res.InternedNames >= res.Series {
+		t.Errorf("interning saved nothing: %d names for %d series",
+			res.InternedNames, res.Series)
+	}
+	tab := res.Table()
+	for _, want := range []string{"quiet", "during poll", "interned"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded HistoryResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("baseline JSON does not round-trip: %v", err)
+	}
+	if decoded.Series != res.Series || decoded.Shards != res.Shards {
+		t.Errorf("round-trip changed the result: %+v != %+v", decoded, res)
+	}
+	t.Logf("\n%s", tab)
+}

@@ -55,6 +55,16 @@ type Accounting struct {
 	streamGaps      atomic.Int64
 	streamResyncs   atomic.Int64
 	streamFallbacks atomic.Int64
+
+	historyQueries atomic.Int64
+	historyPoints  atomic.Int64
+	topkQueries    atomic.Int64
+	// shardContended/shardWait mirror the archive pool's cumulative
+	// shard-lock wait hints (synced by the history and archive paths),
+	// so they participate in the Snapshot/Sub discipline like every
+	// other counter.
+	shardContended atomic.Int64
+	shardWait      atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -132,6 +142,18 @@ type Snapshot struct {
 	StreamGaps      int64
 	StreamResyncs   int64
 	StreamFallbacks int64
+
+	// HistoryQueries counts answered history queries and HistoryPoints
+	// the POINT elements they carried; TopKQueries counts the subset
+	// that ran a cross-host topk reduction. ArchiveShardContended and
+	// ArchiveShardWait are the archive pool's shard-lock wait hints:
+	// how many lock acquisitions had to wait (poll-loop updates vs
+	// history fetches) and for how long in total.
+	HistoryQueries        int64
+	HistoryPoints         int64
+	TopKQueries           int64
+	ArchiveShardContended int64
+	ArchiveShardWait      time.Duration
 }
 
 // Work returns the total processing time across phases.
@@ -188,6 +210,12 @@ func (a *Accounting) Snapshot() Snapshot {
 		StreamGaps:      a.streamGaps.Load(),
 		StreamResyncs:   a.streamResyncs.Load(),
 		StreamFallbacks: a.streamFallbacks.Load(),
+
+		HistoryQueries:        a.historyQueries.Load(),
+		HistoryPoints:         a.historyPoints.Load(),
+		TopKQueries:           a.topkQueries.Load(),
+		ArchiveShardContended: a.shardContended.Load(),
+		ArchiveShardWait:      time.Duration(a.shardWait.Load()),
 	}
 }
 
@@ -231,6 +259,12 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		StreamGaps:      s.StreamGaps - o.StreamGaps,
 		StreamResyncs:   s.StreamResyncs - o.StreamResyncs,
 		StreamFallbacks: s.StreamFallbacks - o.StreamFallbacks,
+
+		HistoryQueries:        s.HistoryQueries - o.HistoryQueries,
+		HistoryPoints:         s.HistoryPoints - o.HistoryPoints,
+		TopKQueries:           s.TopKQueries - o.TopKQueries,
+		ArchiveShardContended: s.ArchiveShardContended - o.ArchiveShardContended,
+		ArchiveShardWait:      s.ArchiveShardWait - o.ArchiveShardWait,
 	}
 }
 

@@ -40,6 +40,7 @@ func (g *Gmetad) archiveSource(data *sourceData, now time.Time) {
 	if data.kind == SourceGmetad {
 		g.archiveSummary(data.name, data.summary, now)
 	}
+	g.syncArchiveContention()
 }
 
 // archiveHost writes one host's numeric metrics. A down host gets
@@ -57,10 +58,9 @@ func (g *Gmetad) archiveHost(cluster string, h *gxml.Host, now time.Time) {
 		if !up {
 			v = 0
 		}
-		key := cluster + "/" + h.Name + "/" + m.Name
 		// ErrPastUpdate is expected when two polls land within one
 		// archive step; the sample is simply coalesced away.
-		_ = g.pool.Update(key, now, v)
+		_ = g.pool.UpdateSeries(cluster, h.Name, m.Name, now, v)
 	}
 }
 
@@ -72,8 +72,7 @@ func (g *Gmetad) archiveSummary(scope string, s *summary.Summary, now time.Time)
 	}
 	for _, name := range s.Names() {
 		m := s.Metrics[name]
-		key := scope + "/" + SummaryHost + "/" + name
-		_ = g.pool.Update(key, now, m.Sum)
+		_ = g.pool.UpdateSeries(scope, SummaryHost, name, now, m.Sum)
 	}
 }
 
@@ -91,7 +90,7 @@ func (g *Gmetad) zeroFill(data *sourceData, now time.Time) {
 					if _, ok := m.Val.Float64(); !ok {
 						continue
 					}
-					_ = g.pool.Update(cname+"/"+hname+"/"+m.Name, now, 0)
+					_ = g.pool.UpdateSeries(cname, hname, m.Name, now, 0)
 				}
 			}
 			g.zeroFillSummary(cname, c.summary, now)
@@ -107,6 +106,6 @@ func (g *Gmetad) zeroFillSummary(scope string, s *summary.Summary, now time.Time
 		return
 	}
 	for _, name := range s.Names() {
-		_ = g.pool.Update(scope+"/"+SummaryHost+"/"+name, now, 0)
+		_ = g.pool.UpdateSeries(scope, SummaryHost, name, now, 0)
 	}
 }

@@ -189,6 +189,11 @@ type Config struct {
 	// ArchiveSpec configures the databases; defaults to
 	// rrd.DefaultSpec.
 	ArchiveSpec rrd.Spec
+	// ArchiveShards is the archive pool's lock-shard count: history
+	// fetches on the serve path contend only with poll-loop updates
+	// that hash to the same shard. Defaults to rrd.DefaultShards;
+	// 1 restores the legacy global-lock layout (for measurement).
+	ArchiveShards int
 	// ArchivePath, if set, is the base path of the archive snapshots:
 	// checkpoints are published as <ArchivePath>.gen-<seq> generations,
 	// and New restores the newest generation that verifies, falling
@@ -406,6 +411,9 @@ func New(cfg Config) (*Gmetad, error) {
 	if len(cfg.ArchiveSpec.Archives) == 0 {
 		cfg.ArchiveSpec = rrd.DefaultSpec()
 	}
+	if cfg.ArchiveShards <= 0 {
+		cfg.ArchiveShards = rrd.DefaultShards
+	}
 	if cfg.QueryReadTimeout <= 0 {
 		cfg.QueryReadTimeout = 10 * time.Second
 	}
@@ -459,7 +467,11 @@ func New(cfg Config) (*Gmetad, error) {
 			g.recoverArchives()
 		}
 		if g.pool == nil {
-			g.pool = rrd.NewPool(cfg.ArchiveSpec)
+			g.pool = rrd.NewPoolShards(cfg.ArchiveSpec, cfg.ArchiveShards)
+		} else if g.pool.Shards() != cfg.ArchiveShards {
+			// Recovered pools are built with the default shard count;
+			// honor the configuration.
+			g.pool = g.pool.Resharded(cfg.ArchiveShards)
 		}
 	}
 	g.ckptRng = rand.New(rand.NewSource(cfg.HealthSeed ^ 0x636b7074)) // "ckpt"

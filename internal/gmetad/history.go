@@ -2,6 +2,9 @@ package gmetad
 
 import (
 	"fmt"
+	"io"
+	"math"
+	"sort"
 	"time"
 
 	"ganglia/internal/gxml"
@@ -9,46 +12,255 @@ import (
 	"ganglia/internal/rrd"
 )
 
-// historyReport answers a depth-3 ?filter=history query from the
-// round-robin archives: the "basic queries against" metric histories of
-// paper §2.1. The path addresses cluster/host/metric with literal
-// segments; the pseudo-host SummaryHost addresses a cluster's summary
-// series.
-func (g *Gmetad) historyReport(q *query.Query) (*gxml.Report, error) {
+// The history query engine: ?filter=history queries, optionally
+// qualified with start/end/step/cf/topk, answered with query-time
+// consolidation from the round-robin archives — the "basic queries
+// against" metric histories of paper §2.1, extended toward the
+// relational time-range access R-GMA's consumers expect. Answers are
+// streamed straight from archive points through the gxml writer
+// primitives; no Report DOM is built on the serve path, and no answer
+// is cached (the archive pool is mutable between polls; the response
+// cache's epoch does not version it).
+
+// historySeries is one resolved series of a history answer.
+type historySeries struct {
+	cluster, host, metric string
+	cf                    rrd.CF
+	step                  int64 // STEP attribute, seconds
+	points                []rrd.Point
+}
+
+// cfOf maps the query's consolidation-function spelling to the archive
+// CF; the unspelled default is AVERAGE.
+func cfOf(p query.Params) rrd.CF {
+	switch p.CF {
+	case "MIN":
+		return rrd.Min
+	case "MAX":
+		return rrd.Max
+	case "LAST":
+		return rrd.Last
+	}
+	return rrd.Average
+}
+
+// historyRange converts the query parameters to FetchRange arguments;
+// zero times mean "that edge of the retained window".
+func historyRange(p query.Params) (start, end time.Time, step time.Duration) {
+	if t, ok := p.StartTime(); ok {
+		start = t
+	}
+	if t, ok := p.EndTime(); ok {
+		end = t
+	}
+	return start, end, p.StepDuration()
+}
+
+// stepAttr is the STEP attribute value: the query's consolidation step
+// when one was asked for, the configured primary archive step otherwise
+// (the legacy dump's contract).
+func (g *Gmetad) stepAttr(p query.Params) int64 {
+	if p.Step != 0 {
+		return p.Step
+	}
+	return int64(g.cfg.ArchiveSpec.Step / time.Second)
+}
+
+// historySeriesFor resolves a history query against the archive pool.
+func (g *Gmetad) historySeriesFor(q *query.Query) ([]historySeries, error) {
 	if g.pool == nil {
 		return nil, fmt.Errorf("gmetad: archiving disabled, no histories")
-	}
-	if q.Depth() != query.MaxDepth {
-		return nil, fmt.Errorf("%w: history queries address /cluster/host/metric", ErrNotFound)
 	}
 	for _, seg := range q.Segments {
 		if seg.IsRegex() {
 			return nil, fmt.Errorf("%w: history queries take literal segments", ErrNotFound)
 		}
 	}
+	if q.Params.TopK > 0 {
+		return g.topkSeries(q)
+	}
+	if q.Depth() != query.MaxDepth {
+		return nil, fmt.Errorf("%w: history queries address /cluster/host/metric", ErrNotFound)
+	}
 	cluster, host, metricName := q.Segments[0].Name(), q.Segments[1].Name(), q.Segments[2].Name()
-	key := cluster + "/" + host + "/" + metricName
+	cf := cfOf(q.Params)
+	start, end, step := historyRange(q.Params)
+	points := g.pool.FetchRangeSeries(cluster, host, metricName, cf, start, end, step)
+	if len(points) == 0 {
+		if q.Params.Zero() {
+			// The legacy dump's contract: a bare history query on a
+			// series with nothing to show is "not found".
+			return nil, fmt.Errorf("%w: no archive for %s/%s/%s", ErrNotFound, cluster, host, metricName)
+		}
+		// A qualified query distinguishes "no such series" from "known
+		// series, empty window" — the latter answers with an empty
+		// HISTORY element.
+		if !g.pool.HasSeries(cluster, host, metricName) {
+			return nil, fmt.Errorf("%w: no archive for %s/%s/%s", ErrNotFound, cluster, host, metricName)
+		}
+	}
+	return []historySeries{{
+		cluster: cluster,
+		host:    host,
+		metric:  metricName,
+		cf:      cf,
+		step:    g.stepAttr(q.Params),
+		points:  points,
+	}}, nil
+}
 
-	// Serve the whole retained window of the finest archive — the
-	// highest-resolution view, biased to recent data (§2.1).
-	points := g.pool.FetchRecent(key, rrd.Average)
-	if points == nil {
-		return nil, fmt.Errorf("%w: no archive for %s", ErrNotFound, key)
+// topkSeries answers the cross-host reduction: /cluster/metric?topk=K
+// reports the K hosts whose consolidated series score highest under the
+// query's CF, one HISTORY element per host in rank order (ties rank by
+// host name). Hosts whose window holds no known value are excluded —
+// they have no score.
+func (g *Gmetad) topkSeries(q *query.Query) ([]historySeries, error) {
+	if q.Depth() != 2 {
+		return nil, fmt.Errorf("%w: topk queries address /cluster/metric", ErrNotFound)
 	}
-	h := &gxml.History{
-		Cluster: cluster,
-		Host:    host,
-		Metric:  metricName,
-		CF:      rrd.Average.String(),
-		Step:    int64(g.cfg.ArchiveSpec.Step / time.Second),
+	cluster, metricName := q.Segments[0].Name(), q.Segments[1].Name()
+	hosts := g.pool.SeriesHosts(cluster, metricName)
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("%w: no archives for %s/*/%s", ErrNotFound, cluster, metricName)
 	}
+	cf := cfOf(q.Params)
+	start, end, step := historyRange(q.Params)
+	stepAttr := g.stepAttr(q.Params)
+
+	type scored struct {
+		s     historySeries
+		score float64
+	}
+	var ranked []scored
+	for _, host := range hosts {
+		if host == SummaryHost {
+			continue // the summary pseudo-host is not a cluster member
+		}
+		points := g.pool.FetchRangeSeries(cluster, host, metricName, cf, start, end, step)
+		score, known := scorePoints(points, cf)
+		if !known {
+			continue
+		}
+		ranked = append(ranked, scored{
+			s: historySeries{
+				cluster: cluster,
+				host:    host,
+				metric:  metricName,
+				cf:      cf,
+				step:    stepAttr,
+				points:  points,
+			},
+			score: score,
+		})
+	}
+	// SeriesHosts returns hosts sorted ascending; a stable sort on score
+	// alone therefore ranks ties by host name.
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
+	if len(ranked) > q.Params.TopK {
+		ranked = ranked[:q.Params.TopK]
+	}
+	out := make([]historySeries, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.s
+	}
+	return out, nil
+}
+
+// scorePoints reduces a consolidated window to one ranking score with
+// the same CF the window was consolidated under; known is false when
+// every point is unknown.
+func scorePoints(points []rrd.Point, cf rrd.CF) (score float64, known bool) {
+	n := 0
 	for _, p := range points {
-		h.Points = append(h.Points, gxml.HistoryPoint{Time: p.Time.Unix(), Value: p.Value})
+		if math.IsNaN(p.Value) {
+			continue
+		}
+		switch cf {
+		case rrd.Average:
+			score += p.Value
+		case rrd.Min:
+			if n == 0 || p.Value < score {
+				score = p.Value
+			}
+		case rrd.Max:
+			if n == 0 || p.Value > score {
+				score = p.Value
+			}
+		case rrd.Last:
+			score = p.Value
+		}
+		n++
 	}
-	//lint:allow nocopyserve history answers are built from the archive pool, not from snapshots; the DOM is their contract
-	return &gxml.Report{
-		Version:   gxml.Version,
-		Source:    "gmetad",
-		Histories: []*gxml.History{h},
-	}, nil
+	if n == 0 {
+		return 0, false
+	}
+	if cf == rrd.Average {
+		score /= float64(n)
+	}
+	return score, true
+}
+
+// writeHistoryAnswer streams one history answer into w: resolution
+// errors are decided before the first byte, then the document is
+// serialized element by element from the archive points. This is the
+// serve path for ?filter=history — the non-DOM history writer that
+// retired the history path's nocopyserve escape.
+func (g *Gmetad) writeHistoryAnswer(w io.Writer, q *query.Query) error {
+	series, err := g.historySeriesFor(q)
+	if err != nil {
+		return err
+	}
+	g.acct.historyQueries.Add(1)
+	if q.Params.TopK > 0 {
+		g.acct.topkQueries.Add(1)
+	}
+	xw := gxml.NewWriter(w)
+	xw.OpenDoc("", "gmetad")
+	var npts int64
+	for i := range series {
+		s := &series[i]
+		xw.OpenHistory(s.cluster, s.host, s.metric, s.cf.String(), s.step)
+		for _, p := range s.points {
+			xw.PointElem(p.Time.Unix(), p.Value)
+		}
+		xw.CloseHistory()
+		npts += int64(len(s.points))
+	}
+	xw.CloseDoc()
+	g.acct.historyPoints.Add(npts)
+	g.syncArchiveContention()
+	return xw.Flush()
+}
+
+// toHistoryElems converts resolved series to the DOM form for the
+// reference pipeline (reference.go) and the public Report API.
+func toHistoryElems(series []historySeries) []*gxml.History {
+	out := make([]*gxml.History, len(series))
+	for i := range series {
+		s := &series[i]
+		h := &gxml.History{
+			Cluster: s.cluster,
+			Host:    s.host,
+			Metric:  s.metric,
+			CF:      s.cf.String(),
+			Step:    s.step,
+		}
+		for _, p := range s.points {
+			h.Points = append(h.Points, gxml.HistoryPoint{Time: p.Time.Unix(), Value: p.Value})
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// syncArchiveContention mirrors the pool's cumulative shard-lock wait
+// hints into the accounting counters, so status surfaces read them with
+// the usual Snapshot/Sub discipline.
+func (g *Gmetad) syncArchiveContention() {
+	if g.pool == nil {
+		return
+	}
+	contended, wait := g.pool.LockContention()
+	g.acct.shardContended.Store(int64(contended))
+	g.acct.shardWait.Store(int64(wait))
 }

@@ -24,6 +24,22 @@ import (
 	"ganglia/internal/query"
 )
 
+// historyReport answers a ?filter=history query as a Report DOM: the
+// history engine (history.go) resolves the series, and this wrap is the
+// tree form for Report's callers and the oracle the streaming history
+// writer is tested byte-identical against.
+func (g *Gmetad) historyReport(q *query.Query) (*gxml.Report, error) {
+	series, err := g.historySeriesFor(q)
+	if err != nil {
+		return nil, err
+	}
+	return &gxml.Report{
+		Version:   gxml.Version,
+		Source:    "gmetad",
+		Histories: toHistoryElems(series),
+	}, nil
+}
+
 // ReferenceReport answers one query by building a gxml.Report DOM —
 // the paper's §2.3 query engine in its original deep-copy form.
 // Resolution cost is one hash lookup per literal path segment;

@@ -506,14 +506,15 @@ func (g *Gmetad) writeAnswer(w io.Writer, q *query.Query) error {
 
 var footerBytes = []byte(respFooter)
 
-// WriteAnswer renders the full response to a non-history query into w —
-// the serve path without the socket. Benchmarks and tools use it to
-// measure the render pipeline in isolation; history queries must go
-// through Report, which owns the archive-pool contract.
+// WriteAnswer renders the full response to a query into w — the serve
+// path without the socket. Benchmarks and tools use it to measure the
+// render pipeline in isolation. History queries stream from the archive
+// pool (history.go), uncached; everything else goes through the
+// response cache and fragment splicing.
 func (g *Gmetad) WriteAnswer(w io.Writer, q *query.Query) error {
 	switch q.Filter {
 	case query.FilterHistory:
-		return fmt.Errorf("gmetad: WriteAnswer does not serve history queries")
+		return g.writeHistoryAnswer(w, q)
 	case query.FilterStream, query.FilterStreamSummary, query.FilterWatch:
 		// Subscriptions and long-polls are connection protocols, not
 		// renderings; they only exist on the interactive port.

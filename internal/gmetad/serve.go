@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"ganglia/internal/clock"
-	"ganglia/internal/gxml"
 	"ganglia/internal/query"
 )
 
@@ -214,8 +213,9 @@ func (g *Gmetad) ServeQuery(l net.Listener) {
 // serve time. The write deadline disconnects clients that stop reading
 // mid-response. Live queries go through the zero-copy pipeline
 // (render.go): cached body splice on a hit, fragment splicing on a
-// miss. History answers read the mutable archive pool, which the epoch
-// does not version, so they are never cached and keep the DOM path.
+// miss. History answers stream from the archive pool (history.go);
+// the pool is mutable between polls and the epoch does not version it,
+// so they are never cached.
 func (g *Gmetad) answer(c net.Conn, q *query.Query) {
 	g.acct.queries.Add(1)
 	timed(&g.acct.serve, func() {
@@ -226,11 +226,7 @@ func (g *Gmetad) answer(c net.Conn, q *query.Query) {
 		cw := &countingWriter{w: c}
 		var err error
 		if q.Filter == query.FilterHistory {
-			var rep *gxml.Report
-			rep, err = g.Report(q)
-			if err == nil {
-				_ = gxml.WriteReport(cw, rep) //lint:allow nocopyserve history answers read the mutable archive pool; the DOM path is their contract
-			}
+			err = g.writeHistoryAnswer(cw, q)
 		} else {
 			err = g.writeAnswer(cw, q)
 		}

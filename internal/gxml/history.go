@@ -33,25 +33,42 @@ func (p HistoryPoint) Unknown() bool { return math.IsNaN(p.Value) }
 
 // HistoryElem emits a HISTORY element with its points.
 func (w *Writer) HistoryElem(h *History) {
-	w.str("<HISTORY")
-	w.attr("CLUSTER", h.Cluster)
-	w.attr("HOST", h.Host)
-	w.attr("METRIC", h.Metric)
-	w.attr("CF", h.CF)
-	w.attrInt("STEP", h.Step)
-	w.str(">\n")
+	w.OpenHistory(h.Cluster, h.Host, h.Metric, h.CF, h.Step)
 	for _, p := range h.Points {
-		w.str("<POINT")
-		w.attrInt("T", p.Time)
-		if p.Unknown() {
-			w.attr("V", "NaN")
-		} else {
-			w.attrFloat("V", p.Value)
-		}
-		w.str("/>\n")
+		w.PointElem(p.Time, p.Value)
 	}
-	w.str("</HISTORY>\n")
+	w.CloseHistory()
 }
+
+// OpenHistory emits a HISTORY element's open tag — the streaming form
+// for answers serialized straight from the archive store, point by
+// point, without materializing a History tree. Balance with
+// CloseHistory.
+func (w *Writer) OpenHistory(cluster, host, metric, cf string, step int64) {
+	w.str("<HISTORY")
+	w.attr("CLUSTER", cluster)
+	w.attr("HOST", host)
+	w.attr("METRIC", metric)
+	w.attr("CF", cf)
+	w.attrInt("STEP", step)
+	w.str(">\n")
+}
+
+// PointElem emits one POINT element; a NaN value is spelled "NaN"
+// (an unknown slot).
+func (w *Writer) PointElem(t int64, v float64) {
+	w.str("<POINT")
+	w.attrInt("T", t)
+	if math.IsNaN(v) {
+		w.attr("V", "NaN")
+	} else {
+		w.attrFloat("V", v)
+	}
+	w.str("/>\n")
+}
+
+// CloseHistory emits a HISTORY element's close tag.
+func (w *Writer) CloseHistory() { w.str("</HISTORY>\n") }
 
 // parseHistoryValue decodes a POINT's V attribute; unparseable text
 // degrades to NaN (unknown) rather than an error.

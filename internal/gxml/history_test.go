@@ -53,6 +53,42 @@ func TestHistoryRoundTrip(t *testing.T) {
 	}
 }
 
+// The streaming primitives must produce byte-identical documents to the
+// DOM path: gmetad's history equivalence oracle depends on it.
+func TestHistoryStreamingMatchesDOM(t *testing.T) {
+	hs := []*History{
+		{Cluster: "meteor", Host: "compute-0-0", Metric: "load_one", CF: "AVERAGE", Step: 15,
+			Points: []HistoryPoint{
+				{Time: 1_057_000_015, Value: 0.5},
+				{Time: 1_057_000_030, Value: math.NaN()},
+				{Time: 1_057_000_045, Value: 2.25},
+			}},
+		{Cluster: "meteor", Host: "__summary__", Metric: "load_one", CF: "MAX", Step: 60},
+	}
+	var dom bytes.Buffer
+	if err := WriteReport(&dom, &Report{Source: "gmetad", Histories: hs}); err != nil {
+		t.Fatal(err)
+	}
+
+	var stream bytes.Buffer
+	w := NewWriter(&stream)
+	w.OpenDoc("", "gmetad")
+	for _, h := range hs {
+		w.OpenHistory(h.Cluster, h.Host, h.Metric, h.CF, h.Step)
+		for _, p := range h.Points {
+			w.PointElem(p.Time, p.Value)
+		}
+		w.CloseHistory()
+	}
+	w.CloseDoc()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dom.Bytes(), stream.Bytes()) {
+		t.Errorf("streaming differs from DOM:\n--- dom ---\n%s--- stream ---\n%s", dom.Bytes(), stream.Bytes())
+	}
+}
+
 func TestHistoryNestingRules(t *testing.T) {
 	bad := []string{
 		// POINT outside HISTORY.

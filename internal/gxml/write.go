@@ -30,6 +30,10 @@ type Writer struct {
 	out sink
 	bw  *bufio.Writer // non-nil when out buffers an underlying io.Writer
 	err error
+	// scratch backs numeric attribute formatting. A function-local
+	// buffer would escape through the sink interface and cost one heap
+	// allocation per attribute — per POINT on the history path.
+	scratch [40]byte
 }
 
 // NewWriter returns a Writer on w. A *bytes.Buffer destination is
@@ -81,8 +85,7 @@ func (w *Writer) attrInt(name string, v int64) {
 	w.str(name)
 	w.str(`="`)
 	if w.err == nil {
-		var buf [20]byte
-		_, w.err = w.out.Write(strconv.AppendInt(buf[:0], v, 10))
+		_, w.err = w.out.Write(strconv.AppendInt(w.scratch[:0], v, 10))
 	}
 	w.str(`"`)
 }
@@ -92,8 +95,7 @@ func (w *Writer) attrFloat(name string, v float64) {
 	w.str(name)
 	w.str(`="`)
 	if w.err == nil {
-		var buf [32]byte
-		_, w.err = w.out.Write(strconv.AppendFloat(buf[:0], v, 'f', -1, 64))
+		_, w.err = w.out.Write(strconv.AppendFloat(w.scratch[:0], v, 'f', -1, 64))
 	}
 	w.str(`"`)
 }
@@ -181,15 +183,7 @@ func RenderReport(r *Report) ([]byte, error) {
 
 // Report emits a complete document.
 func (w *Writer) Report(r *Report) {
-	version := r.Version
-	if version == "" {
-		version = Version
-	}
-	w.str(XMLDecl)
-	w.str("<GANGLIA_XML")
-	w.attr("VERSION", version)
-	w.attr("SOURCE", r.Source)
-	w.str(">\n")
+	w.OpenDoc(r.Version, r.Source)
 	for _, c := range r.Clusters {
 		w.Cluster(c)
 	}
@@ -199,8 +193,26 @@ func (w *Writer) Report(r *Report) {
 	for _, h := range r.Histories {
 		w.HistoryElem(h)
 	}
-	w.str("</GANGLIA_XML>\n")
+	w.CloseDoc()
 }
+
+// OpenDoc emits the XML declaration and the GANGLIA_XML open tag —
+// the streaming entry point for answers composed element by element
+// instead of through a Report tree. An empty version defaults to
+// Version. Balance with CloseDoc.
+func (w *Writer) OpenDoc(version, source string) {
+	if version == "" {
+		version = Version
+	}
+	w.str(XMLDecl)
+	w.str("<GANGLIA_XML")
+	w.attr("VERSION", version)
+	w.attr("SOURCE", source)
+	w.str(">\n")
+}
+
+// CloseDoc emits the GANGLIA_XML close tag.
+func (w *Writer) CloseDoc() { w.str("</GANGLIA_XML>\n") }
 
 // OpenGrid emits a GRID element's open tag. Callers emit the body
 // (health, summary, or children) and balance with CloseGrid.

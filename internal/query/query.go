@@ -6,21 +6,33 @@
 // engines "too heavyweight and inefficient" and observed that "a
 // simpler query facility could achieve the efficiency gains we sought":
 //
-//	query   := path [ "?" "filter=" name ]
+//	query   := path [ "?" param *( "&" param ) ]
 //	path    := "/" | "/" segment [ "/" segment [ "/" segment ] ]
 //	segment := literal | "~" regex
+//	param   := "filter=" name
+//	         | "start=" unix | "end=" unix | "step=" seconds
+//	         | "cf=" ( "AVERAGE" | "MIN" | "MAX" | "LAST" )
+//	         | "topk=" count
 //
 // Segments address, in order, a data source (cluster or grid), a host,
 // and a metric — the three hash-table levels of the gmetad DOM. The
 // "~regex" segment form is the richer regular-expression matching that
 // the paper's §4 plans as future work.
+//
+// The start/end/step/cf/topk parameters qualify history queries —
+// time-range selection with query-time consolidation, the relational
+// flavor of time-range access R-GMA's consumers expect — and imply
+// filter=history when no filter is spelled; combining them with any
+// other filter is an error.
 package query
 
 import (
 	"errors"
 	"fmt"
 	"regexp"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Filter selects an alternative report form.
@@ -103,12 +115,54 @@ func (m Matcher) Name() string {
 	return m.literal
 }
 
+// Params qualifies a history query: an optional time range, an optional
+// query-time consolidation step and function, and an optional cross-host
+// reduction. The zero value means "no parameters" — the legacy raw dump
+// of the finest archive.
+type Params struct {
+	// HasStart/HasEnd report whether the range ends were spelled;
+	// Start/End are inclusive unix seconds.
+	HasStart, HasEnd bool
+	Start, End       int64
+	// Step is the consolidation bucket length in seconds; 0 = archive
+	// resolution.
+	Step int64
+	// CF is the canonical consolidation-function spelling ("AVERAGE",
+	// "MIN", "MAX", "LAST"); "" defaults to AVERAGE.
+	CF string
+	// TopK, when positive, reduces a /cluster/metric query across hosts:
+	// report the K highest-scoring hosts' series.
+	TopK int
+}
+
+// Zero reports whether no parameter was spelled.
+func (p Params) Zero() bool {
+	return !p.HasStart && !p.HasEnd && p.Step == 0 && p.CF == "" && p.TopK == 0
+}
+
+// StartTime returns the range start, if spelled.
+func (p Params) StartTime() (time.Time, bool) {
+	return time.Unix(p.Start, 0), p.HasStart
+}
+
+// EndTime returns the range end, if spelled.
+func (p Params) EndTime() (time.Time, bool) {
+	return time.Unix(p.End, 0), p.HasEnd
+}
+
+// StepDuration returns the consolidation step, 0 when unspelled.
+func (p Params) StepDuration() time.Duration {
+	return time.Duration(p.Step) * time.Second
+}
+
 // Query is one parsed query.
 type Query struct {
 	// Segments holds up to three path matchers: source, host, metric.
 	Segments []Matcher
 	// Filter is the optional report-form filter.
 	Filter Filter
+	// Params qualifies history queries.
+	Params Params
 
 	raw string
 	key string
@@ -125,6 +179,8 @@ var (
 	ErrBadFilter = errors.New("query: unknown filter")
 	ErrBadRegex  = errors.New("query: bad regular expression segment")
 	ErrEmptySeg  = errors.New("query: empty or blank path segment")
+	ErrBadParam  = errors.New("query: bad parameter")
+	ErrDupParam  = errors.New("query: duplicate parameter")
 )
 
 // Parse parses a query line as received on gmetad's interactive port.
@@ -139,11 +195,12 @@ func Parse(s string) (*Query, error) {
 	q := &Query{raw: raw}
 
 	if i := strings.IndexByte(s, '?'); i >= 0 {
-		f, err := parseFilter(s[i+1:])
+		f, params, err := parseParams(s[i+1:])
 		if err != nil {
 			return nil, err
 		}
 		q.Filter = f
+		q.Params = params
 		s = s[:i]
 	}
 	if s == "" || s[0] != '/' {
@@ -185,12 +242,7 @@ func parseSegment(seg string) (Matcher, error) {
 	return Matcher{literal: seg}, nil
 }
 
-func parseFilter(s string) (Filter, error) {
-	s = strings.TrimSpace(s)
-	val, ok := strings.CutPrefix(s, "filter=")
-	if !ok {
-		return FilterNone, fmt.Errorf("%w: %q", ErrBadFilter, s)
-	}
+func parseFilter(val string) (Filter, error) {
 	switch val {
 	case "summary":
 		return FilterSummary, nil
@@ -205,6 +257,98 @@ func parseFilter(s string) (Filter, error) {
 	default:
 		return FilterNone, fmt.Errorf("%w: %q", ErrBadFilter, val)
 	}
+}
+
+// parseParams parses the "&"-separated parameter list after "?".
+// History parameters imply filter=history when no filter is spelled.
+func parseParams(s string) (Filter, Params, error) {
+	var (
+		f          Filter
+		p          Params
+		haveFilter bool
+		haveStep   bool
+		haveCF     bool
+		haveTopK   bool
+	)
+	for _, kv := range strings.Split(s, "&") {
+		kv = strings.TrimSpace(kv)
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			// Preserve the legacy error for a bare "?garbage" suffix.
+			return f, p, fmt.Errorf("%w: %q", ErrBadFilter, kv)
+		}
+		switch key {
+		case "filter":
+			if haveFilter {
+				return f, p, fmt.Errorf("%w: filter", ErrDupParam)
+			}
+			haveFilter = true
+			var err error
+			if f, err = parseFilter(val); err != nil {
+				return f, p, err
+			}
+		case "start":
+			if p.HasStart {
+				return f, p, fmt.Errorf("%w: start", ErrDupParam)
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return f, p, fmt.Errorf("%w: start=%q", ErrBadParam, val)
+			}
+			p.HasStart, p.Start = true, n
+		case "end":
+			if p.HasEnd {
+				return f, p, fmt.Errorf("%w: end", ErrDupParam)
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return f, p, fmt.Errorf("%w: end=%q", ErrBadParam, val)
+			}
+			p.HasEnd, p.End = true, n
+		case "step":
+			if haveStep {
+				return f, p, fmt.Errorf("%w: step", ErrDupParam)
+			}
+			haveStep = true
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 {
+				return f, p, fmt.Errorf("%w: step=%q (want positive seconds)", ErrBadParam, val)
+			}
+			p.Step = n
+		case "cf":
+			if haveCF {
+				return f, p, fmt.Errorf("%w: cf", ErrDupParam)
+			}
+			haveCF = true
+			switch up := strings.ToUpper(val); up {
+			case "AVERAGE", "MIN", "MAX", "LAST":
+				p.CF = up
+			default:
+				return f, p, fmt.Errorf("%w: cf=%q (want AVERAGE|MIN|MAX|LAST)", ErrBadParam, val)
+			}
+		case "topk":
+			if haveTopK {
+				return f, p, fmt.Errorf("%w: topk", ErrDupParam)
+			}
+			haveTopK = true
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return f, p, fmt.Errorf("%w: topk=%q (want positive count)", ErrBadParam, val)
+			}
+			p.TopK = n
+		default:
+			return f, p, fmt.Errorf("%w: %q", ErrBadParam, key)
+		}
+	}
+	if !p.Zero() {
+		if !haveFilter {
+			f = FilterHistory
+		} else if f != FilterHistory {
+			return f, p, fmt.Errorf("%w: history parameters require filter=history, got filter=%s",
+				ErrBadParam, f)
+		}
+	}
+	return f, p, nil
 }
 
 // MustParse is Parse for constant queries in tests and examples.
@@ -234,7 +378,10 @@ func (q *Query) Root() bool { return len(q.Segments) == 0 }
 // Depth returns the number of path segments.
 func (q *Query) Depth() int { return len(q.Segments) }
 
-// String reconstructs the canonical query text.
+// String reconstructs the canonical query text. Parameters are emitted
+// in a fixed order (filter, start, end, step, cf, topk) with canonical
+// value spellings, so every equivalent query prints — and therefore
+// keys — identically.
 func (q *Query) String() string {
 	var sb strings.Builder
 	if len(q.Segments) == 0 {
@@ -244,9 +391,38 @@ func (q *Query) String() string {
 		sb.WriteByte('/')
 		sb.WriteString(m.Name())
 	}
+	if q.Filter == FilterNone && q.Params.Zero() {
+		return sb.String()
+	}
+	sb.WriteByte('?')
+	sep := false
+	add := func(k, v string) {
+		if sep {
+			sb.WriteByte('&')
+		}
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(v)
+		sep = true
+	}
 	if q.Filter != FilterNone {
-		sb.WriteString("?filter=")
-		sb.WriteString(q.Filter.String())
+		add("filter", q.Filter.String())
+	}
+	p := q.Params
+	if p.HasStart {
+		add("start", strconv.FormatInt(p.Start, 10))
+	}
+	if p.HasEnd {
+		add("end", strconv.FormatInt(p.End, 10))
+	}
+	if p.Step != 0 {
+		add("step", strconv.FormatInt(p.Step, 10))
+	}
+	if p.CF != "" {
+		add("cf", p.CF)
+	}
+	if p.TopK != 0 {
+		add("topk", strconv.Itoa(p.TopK))
 	}
 	return sb.String()
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestParseRoot(t *testing.T) {
@@ -51,6 +52,79 @@ func TestParseFilter(t *testing.T) {
 	}
 }
 
+func TestParseHistoryParams(t *testing.T) {
+	q := MustParse("/meteor/compute-0-0/load_one?filter=history&start=100&end=200&step=30&cf=max&topk=3")
+	if q.Filter != FilterHistory {
+		t.Fatalf("filter = %v", q.Filter)
+	}
+	p := q.Params
+	if !p.HasStart || p.Start != 100 || !p.HasEnd || p.End != 200 {
+		t.Errorf("range = %+v", p)
+	}
+	if p.Step != 30 || p.CF != "MAX" || p.TopK != 3 {
+		t.Errorf("step/cf/topk = %+v", p)
+	}
+	if st, ok := p.StartTime(); !ok || st.Unix() != 100 {
+		t.Errorf("StartTime = %v %v", st, ok)
+	}
+	if p.StepDuration() != 30*time.Second {
+		t.Errorf("StepDuration = %v", p.StepDuration())
+	}
+
+	// Order independence and implied filter.
+	q2 := MustParse("/meteor/compute-0-0/load_one?cf=MAX&topk=3&end=200&step=30&start=100")
+	if q2.Filter != FilterHistory {
+		t.Errorf("params did not imply filter=history: %v", q2.Filter)
+	}
+	if q2.Key() != q.Key() {
+		t.Errorf("param order changes key: %q vs %q", q2.Key(), q.Key())
+	}
+
+	// start > end is a parse-level pass; the engine answers it empty.
+	if q := MustParse("/m/h/x?start=200&end=100"); q.Params.Start != 200 || q.Params.End != 100 {
+		t.Errorf("inverted range mangled: %+v", q.Params)
+	}
+
+	// A bare history filter has zero params.
+	if q := MustParse("/m/h/x?filter=history"); !q.Params.Zero() {
+		t.Errorf("bare history has params: %+v", q.Params)
+	}
+}
+
+func TestParseParamErrors(t *testing.T) {
+	cases := map[string]error{
+		"/m/h/x?start=abc":                     ErrBadParam,
+		"/m/h/x?step=0":                        ErrBadParam,
+		"/m/h/x?step=-5":                       ErrBadParam,
+		"/m/h/x?cf=median":                     ErrBadParam,
+		"/m/h/x?topk=0":                        ErrBadParam,
+		"/m/h/x?topk=x":                        ErrBadParam,
+		"/m/h/x?bogus=1":                       ErrBadParam,
+		"/m/h/x?start=1&start=2":               ErrDupParam,
+		"/m/h/x?filter=history&filter=history": ErrDupParam,
+		"/m?filter=summary&start=1":            ErrBadParam, // params need history
+		"/m?filter=stream&topk=2":              ErrBadParam,
+		"/m/h/x?summary":                       ErrBadFilter, // legacy spelling
+	}
+	for s, want := range cases {
+		if _, err := Parse(s); !errors.Is(err, want) {
+			t.Errorf("Parse(%q) = %v, want %v", s, err, want)
+		}
+	}
+}
+
+func TestParamsCanonicalString(t *testing.T) {
+	// cf case-folds, param order normalizes, implied filter appears.
+	q := MustParse("/m/h/x?cf=average&start=007")
+	want := "/m/h/x?filter=history&start=7&cf=AVERAGE"
+	if q.String() != want {
+		t.Errorf("String = %q, want %q", q.String(), want)
+	}
+	if q2 := MustParse(q.String()); q2.String() != want {
+		t.Errorf("not a fixed point: %q", q2.String())
+	}
+}
+
 func TestParseRegexSegments(t *testing.T) {
 	q := MustParse("/meteor/~compute-0-[0-4]$")
 	m := q.Segments[1]
@@ -89,7 +163,10 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestStringRoundTrip(t *testing.T) {
-	for _, s := range []string{"/", "/meteor", "/meteor/compute-0-0", "/meteor/compute-0-0/load_one", "/meteor?filter=summary", "/a/~b.*"} {
+	for _, s := range []string{"/", "/meteor", "/meteor/compute-0-0", "/meteor/compute-0-0/load_one", "/meteor?filter=summary", "/a/~b.*",
+		"/m/h/x?filter=history&start=100&end=200&step=30&cf=MIN&topk=2",
+		"/m/h/x?start=-60&cf=last",
+		"/m/x?topk=5"} {
 		q := MustParse(s)
 		q2, err := Parse(q.String())
 		if err != nil {

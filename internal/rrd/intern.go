@@ -1,0 +1,116 @@
+package rrd
+
+import (
+	"strings"
+	"sync"
+)
+
+// Name interning. A pool holding a million series would otherwise hold
+// a million private copies of a few hundred distinct cluster, host and
+// metric names ("load_one" appears once per host, every host name once
+// per metric). The intern table maps every component to one shared
+// canonical string, so a series key is three string headers over shared
+// backing arrays — the storage-side half of making the archive store
+// viable at the radiotelescope regime of few names × many samples.
+
+// internTable deduplicates name strings. It is shared by all of a
+// pool's shards: names cross shard boundaries (the same metric lives in
+// many series), so the table is the one piece of pool state outside the
+// shard locks, behind its own read-mostly lock.
+type internTable struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// intern3 canonicalizes three name components in one lock round trip —
+// the common case (a key lookup on a warm pool) takes a single RLock.
+func (t *internTable) intern3(a, b, c string) (string, string, string) {
+	t.mu.RLock()
+	ia, oka := t.m[a]
+	ib, okb := t.m[b]
+	ic, okc := t.m[c]
+	t.mu.RUnlock()
+	if oka && okb && okc {
+		return ia, ib, ic
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.internLocked(a), t.internLocked(b), t.internLocked(c)
+}
+
+// internLocked returns the canonical copy of s, cloning on first sight:
+// the argument may be a substring of a larger buffer (a key split into
+// components), and storing it verbatim would pin that whole buffer.
+func (t *internTable) internLocked(s string) string {
+	if i, ok := t.m[s]; ok {
+		return i
+	}
+	if t.m == nil {
+		t.m = make(map[string]string)
+	}
+	s = strings.Clone(s)
+	t.m[s] = s
+	return s
+}
+
+// len returns the number of distinct interned names.
+func (t *internTable) len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}
+
+// seriesKey is one series' identity: interned cluster/host/metric name
+// components plus the original segment count, so arbitrary slash keys
+// (including the degenerate single-segment keys unit tests use) round
+// trip exactly through String.
+type seriesKey struct {
+	cluster, host, metric string
+	depth                 uint8
+}
+
+// splitKey decomposes a slash key into at most three components; a key
+// with more than two slashes keeps the tail in the metric component.
+func splitKey(key string) (cluster, host, metric string, depth uint8) {
+	cluster, depth = key, 1
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		cluster, host, depth = key[:i], key[i+1:], 2
+		if j := strings.IndexByte(host, '/'); j >= 0 {
+			host, metric, depth = host[:j], host[j+1:], 3
+		}
+	}
+	return
+}
+
+// String reassembles the slash key.
+func (k seriesKey) String() string {
+	switch k.depth {
+	case 1:
+		return k.cluster
+	case 2:
+		return k.cluster + "/" + k.host
+	}
+	return k.cluster + "/" + k.host + "/" + k.metric
+}
+
+// hash is FNV-1a over the components with separators, the shard
+// selector. It must agree for every spelling of the same series, so it
+// hashes the components rather than the original key string.
+func (k seriesKey) hash() uint32 {
+	const prime = 16777619
+	h := uint32(2166136261)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint32(s[i])
+			h *= prime
+		}
+		h ^= '/'
+		h *= prime
+	}
+	mix(k.cluster)
+	mix(k.host)
+	mix(k.metric)
+	h ^= uint32(k.depth)
+	h *= prime
+	return h
+}

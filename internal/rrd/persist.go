@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"time"
 )
 
@@ -12,8 +13,18 @@ import (
 // the experiments). SaveTo/LoadPool serialize a whole pool; a database
 // restored from a snapshot continues exactly where it stopped, and the
 // next Update after a long gap produces the usual unknown slots.
+//
+// Format evolution rides on gob's field tolerance. Current snapshots
+// carry each database's row store as one columnar Slab plus a Known
+// flag; archive records carry only cursor state. Legacy snapshots
+// instead carry a per-archive Ring and no Known flag — restore accepts
+// both, rebuilding the slab from the rings and recomputing Known by
+// scanning the finest archive, so existing generational checkpoints
+// recover byte-identically.
 
-// persistVersion is bumped when the on-disk layout changes.
+// persistVersion is bumped when the on-disk layout changes
+// incompatibly; the Slab/Known evolution is bidirectionally tolerated
+// by gob and keeps version 1.
 const persistVersion = 1
 
 type dbSnapshot struct {
@@ -27,11 +38,18 @@ type dbSnapshot struct {
 	PDPKnown   time.Duration
 	Updates    uint64
 
+	// Slab is the columnar row store: every archive's ring,
+	// concatenated in archive order. Known records whether the finest
+	// archive ever stored a valid row. Legacy snapshots have neither
+	// and populate per-archive Ring instead.
+	Slab  []float64
+	Known bool
+
 	Archives []archSnapshot
 }
 
 type archSnapshot struct {
-	Ring    []float64
+	Ring    []float64 // legacy layout only; current snapshots use Slab
 	End     time.Time
 	Next    int
 	Wrapped bool
@@ -59,10 +77,11 @@ func (d *Database) snapshot() dbSnapshot {
 		PDPSum:     d.pdpSum,
 		PDPKnown:   d.pdpKnown,
 		Updates:    d.updates,
+		Slab:       append([]float64(nil), d.slab...),
+		Known:      d.known,
 	}
 	for _, a := range d.archives {
 		s.Archives = append(s.Archives, archSnapshot{
-			Ring:    append([]float64(nil), a.ring...),
 			End:     a.end,
 			Next:    a.next,
 			Wrapped: a.wrapped,
@@ -74,7 +93,7 @@ func (d *Database) snapshot() dbSnapshot {
 	return s
 }
 
-// restore rebuilds a database from a snapshot.
+// restore rebuilds a database from a snapshot, current or legacy.
 func restore(s dbSnapshot) (*Database, error) {
 	d, err := New(s.Spec)
 	if err != nil {
@@ -91,13 +110,23 @@ func restore(s dbSnapshot) (*Database, error) {
 	d.pdpSum = s.PDPSum
 	d.pdpKnown = s.PDPKnown
 	d.updates = s.Updates
+	if len(s.Slab) > 0 {
+		if len(s.Slab) != len(d.slab) {
+			return nil, fmt.Errorf("rrd: snapshot slab %d rows, spec declares %d",
+				len(s.Slab), len(d.slab))
+		}
+		copy(d.slab, s.Slab)
+	}
 	for i, as := range s.Archives {
 		a := d.archives[i]
-		if len(as.Ring) != len(a.ring) {
-			return nil, fmt.Errorf("rrd: archive %d ring %d, spec declares %d",
-				i, len(as.Ring), len(a.ring))
+		if len(s.Slab) == 0 {
+			// Legacy layout: per-archive rings.
+			if len(as.Ring) != len(a.ring) {
+				return nil, fmt.Errorf("rrd: archive %d ring %d, spec declares %d",
+					i, len(as.Ring), len(a.ring))
+			}
+			copy(a.ring, as.Ring)
 		}
-		copy(a.ring, as.Ring)
 		a.end = as.End
 		a.next = as.Next
 		a.wrapped = as.Wrapped
@@ -105,28 +134,48 @@ func restore(s dbSnapshot) (*Database, error) {
 		a.accumN = as.AccumN
 		a.unknown = as.Unknown
 	}
+	d.known = s.Known
+	if !d.known {
+		// Legacy snapshots predate the flag; recover it from the finest
+		// archive (unused slots are NaN-initialized, so any valid value
+		// means a valid row was stored).
+		for _, v := range d.archives[0].ring {
+			if !math.IsNaN(v) {
+				d.known = true
+				break
+			}
+		}
+	}
 	return d, nil
 }
 
-// SaveTo serializes the pool. Concurrent updates are blocked for the
-// duration.
-func (p *Pool) SaveTo(w io.Writer) error {
-	// Snapshot under the lock, encode outside it: gob writes to w,
-	// which may be a slow disk or socket, and a stalled writer must not
-	// block every archive update in the pool.
-	p.mu.Lock()
+// snapshotAll captures every database under the shard locks and returns
+// the pool-level snapshot, leaving encoding to the caller.
+func (p *Pool) snapshotAll() poolSnapshot {
 	snap := poolSnapshot{
 		Version: persistVersion,
 		Spec:    p.spec,
-		DBs:     make(map[string]dbSnapshot, len(p.dbs)),
-		Updates: p.updates,
-		Errors:  p.errors,
+		DBs:     make(map[string]dbSnapshot),
 	}
-	for k, db := range p.dbs {
-		snap.DBs[k] = db.snapshot()
+	for _, s := range p.shards {
+		s.lock()
+		for k, db := range s.dbs {
+			snap.DBs[k.String()] = db.snapshot()
+		}
+		snap.Updates += s.updates
+		snap.Errors += s.errors
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
-	return gob.NewEncoder(w).Encode(snap)
+	return snap
+}
+
+// SaveTo serializes the pool. Concurrent updates to a shard are blocked
+// only while that shard is being snapshotted.
+func (p *Pool) SaveTo(w io.Writer) error {
+	// Snapshot under the shard locks, encode outside them: gob writes
+	// to w, which may be a slow disk or socket, and a stalled writer
+	// must not block archive updates.
+	return gob.NewEncoder(w).Encode(p.snapshotAll())
 }
 
 // LoadPool reconstructs a pool saved with SaveTo.
@@ -139,14 +188,44 @@ func LoadPool(r io.Reader) (*Pool, error) {
 		return nil, fmt.Errorf("rrd: snapshot version %d, want %d", snap.Version, persistVersion)
 	}
 	p := NewPool(snap.Spec)
-	p.updates = snap.Updates
-	p.errors = snap.Errors
+	// Cumulative counters are pool-level facts; park them on shard 0
+	// (Stats sums across shards).
+	p.shards[0].updates = snap.Updates
+	p.shards[0].errors = snap.Errors
 	for k, ds := range snap.DBs {
 		db, err := restore(ds)
 		if err != nil {
 			return nil, fmt.Errorf("rrd: restore %q: %w", k, err)
 		}
-		p.dbs[k] = db
+		sk := p.keyOf(k)
+		p.shardOf(sk).dbs[sk] = db
 	}
 	return p, nil
+}
+
+// Resharded returns a pool with n shards holding this pool's databases
+// and counters. Checkpoint recovery constructs pools with the default
+// shard count; a gmetad configured differently reshards the recovered
+// pool before serving from it. The databases move (not copy): the
+// receiver must not be used afterwards.
+func (p *Pool) Resharded(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	if n == len(p.shards) {
+		return p
+	}
+	np := NewPoolShards(p.spec, n)
+	for _, s := range p.shards {
+		s.lock()
+		for k, db := range s.dbs {
+			c, h, m := np.names.intern3(k.cluster, k.host, k.metric)
+			nk := seriesKey{cluster: c, host: h, metric: m, depth: k.depth}
+			np.shardOf(nk).dbs[nk] = db
+		}
+		np.shards[0].updates += s.updates
+		np.shards[0].errors += s.errors
+		s.mu.Unlock()
+	}
+	return np
 }

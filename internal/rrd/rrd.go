@@ -117,7 +117,9 @@ type archive struct {
 	spec   ArchiveSpec
 	factor int // spec.Step / db.Step
 
-	ring []float64 // NaN = unknown
+	// ring is this archive's window into the database's columnar slab:
+	// a sub-slice, not a private allocation. NaN = unknown.
+	ring []float64
 	// end is the exclusive end time of the most recent row; the ring
 	// is full once wrapped is true.
 	end     time.Time
@@ -150,8 +152,19 @@ type Database struct {
 	pdpSum     float64
 	pdpKnown   time.Duration
 
+	// slab is the columnar row store: one contiguous allocation holding
+	// every archive's ring as a sub-slice. The checkpoint format reads
+	// and writes it as a single column (see persist.go), and a pool of
+	// many small databases makes one allocation each instead of one per
+	// archive.
+	slab     []float64
 	archives []*archive
 	updates  uint64
+
+	// known is set once archives[0] has stored at least one valid
+	// (non-NaN) row; until then Last is meaningless and Pool.Last
+	// reports (0, false).
+	known bool
 }
 
 // New creates a Database. The first Update establishes the time origin.
@@ -168,7 +181,7 @@ func New(spec Spec) (*Database, error) {
 	if len(spec.Archives) == 0 {
 		return nil, fmt.Errorf("%w: no archives", ErrBadSpec)
 	}
-	db := &Database{spec: spec}
+	total := 0
 	for _, as := range spec.Archives {
 		if as.Rows <= 0 {
 			return nil, fmt.Errorf("%w: archive rows %d", ErrBadSpec, as.Rows)
@@ -177,17 +190,23 @@ func New(spec Spec) (*Database, error) {
 			return nil, fmt.Errorf("%w: archive step %v not a multiple of %v",
 				ErrBadSpec, as.Step, spec.Step)
 		}
+		total += as.Rows
+	}
+	db := &Database{spec: spec, slab: make([]float64, total)}
+	for i := range db.slab {
+		db.slab[i] = math.NaN()
+	}
+	off := 0
+	for _, as := range spec.Archives {
 		if as.XFF == 0 {
 			as.XFF = 0.5
 		}
 		a := &archive{
 			spec:   as,
 			factor: int(as.Step / spec.Step),
-			ring:   make([]float64, as.Rows),
+			ring:   db.slab[off : off+as.Rows : off+as.Rows],
 		}
-		for i := range a.ring {
-			a.ring[i] = math.NaN()
-		}
+		off += as.Rows
 		db.archives = append(db.archives, a)
 	}
 	return db, nil
@@ -276,14 +295,17 @@ func (d *Database) closePDP(end time.Time) {
 	d.pdpSum = 0
 	d.pdpKnown = 0
 	d.pdpStart = end
-	for _, a := range d.archives {
-		a.push(primary, end)
+	for i, a := range d.archives {
+		if emitted, row := a.push(primary, end); i == 0 && emitted && !math.IsNaN(row) {
+			d.known = true
+		}
 	}
 }
 
 // push accumulates one primary point into the archive's current window,
-// emitting a row when the window completes.
-func (a *archive) push(v float64, end time.Time) {
+// emitting a row when the window completes; it reports whether a row
+// was emitted and its value.
+func (a *archive) push(v float64, end time.Time) (bool, float64) {
 	if math.IsNaN(v) {
 		a.unknown++
 	} else {
@@ -304,7 +326,7 @@ func (a *archive) push(v float64, end time.Time) {
 		a.accumN++
 	}
 	if a.accumN+a.unknown < a.factor {
-		return
+		return false, 0
 	}
 	var row float64
 	frac := float64(a.unknown) / float64(a.factor)
@@ -323,6 +345,7 @@ func (a *archive) push(v float64, end time.Time) {
 	}
 	a.end = end
 	a.accum, a.accumN, a.unknown = 0, 0, 0
+	return true, row
 }
 
 // rows returns the number of valid rows currently stored.
@@ -333,18 +356,39 @@ func (a *archive) rows() int {
 	return a.next
 }
 
+// fetchArchives returns the archives a cf query may be served from:
+// the cf-matching ones when any holds data, otherwise every populated
+// archive — a layout provisioned without e.g. MAX rollups (the stock
+// Ganglia layout is AVERAGE-only) still answers cf=MAX by
+// re-consolidating the rows it does have at query time.
+func (d *Database) fetchArchives(cf CF) []*archive {
+	var match, any []*archive
+	for _, a := range d.archives {
+		if a.rows() == 0 {
+			continue
+		}
+		if a.spec.CF == cf {
+			match = append(match, a)
+		}
+		any = append(any, a)
+	}
+	if len(match) > 0 {
+		return match
+	}
+	return any
+}
+
 // Fetch returns the consolidated points with function cf covering
 // [start, end], from the highest-resolution archive whose retention
 // reaches back to start. This is the multiple-time-scale query of
 // paper §2.1: asking about last hour hits the fine archive, asking
-// about last year the coarse one.
+// about last year the coarse one. When no archive was provisioned
+// with cf, the rows come from the finest archive that exists (see
+// fetchArchives).
 func (d *Database) Fetch(cf CF, start, end time.Time) []Point {
 	var chosen *archive
 	var chosenOldest time.Time
-	for _, a := range d.archives {
-		if a.spec.CF != cf || a.rows() == 0 {
-			continue
-		}
+	for _, a := range d.fetchArchives(cf) {
 		oldest := a.end.Add(-time.Duration(a.rows()) * a.spec.Step)
 		if !oldest.After(start) {
 			chosen = a
@@ -377,14 +421,110 @@ func (d *Database) Fetch(cf CF, start, end time.Time) []Point {
 	return pts
 }
 
-// FetchRecent returns the entire contents of the finest archive with
-// consolidation function cf — the highest-resolution window available,
-// which is what an interactive history view wants.
-func (d *Database) FetchRecent(cf CF) []Point {
-	for _, a := range d.archives {
-		if a.spec.CF != cf || a.rows() == 0 {
+// FetchRange is Fetch with query-time consolidation: the archive rows
+// covering [start, end] are re-consolidated into buckets of length
+// step, each bucket reported at its (step-grid-aligned) end time. This
+// is how one archive layout answers the "wide range of time scale
+// queries" of paper §2.1 at arbitrary granularity — the stored rollups
+// give the base resolution, the query picks the display resolution.
+//
+// A non-positive step means "no re-consolidation" and returns the
+// archive rows as-is, exactly as Fetch would. A start after end returns
+// nil. A step coarser than the whole retained range degenerates to a
+// single bucket. Buckets whose every source row is unknown yield NaN
+// points (the query asked about a window; the answer is "unknown", not
+// silence), but ranges with no stored rows at all yield no points.
+//
+// A zero start or end defaults to the matching edge of the finest
+// cf-archive's retained window, so FetchRange(cf, zero, zero, 0)
+// reproduces FetchRecent(cf) exactly — the property the history query
+// engine's equivalence oracle rests on.
+func (d *Database) FetchRange(cf CF, start, end time.Time, step time.Duration) []Point {
+	if start.IsZero() || end.IsZero() {
+		var fin *archive
+		if arcs := d.fetchArchives(cf); len(arcs) > 0 {
+			fin = arcs[0]
+		}
+		if fin == nil {
+			return nil
+		}
+		if end.IsZero() {
+			end = fin.end
+		}
+		if start.IsZero() {
+			start = fin.end.Add(-time.Duration(fin.rows()-1) * fin.spec.Step)
+		}
+	}
+	if start.After(end) {
+		return nil
+	}
+	src := d.Fetch(cf, start, end)
+	if step <= 0 || len(src) == 0 {
+		return src
+	}
+	var (
+		out  []Point
+		open bool
+		bEnd time.Time
+		acc  float64
+		n    int
+	)
+	flush := func() {
+		if !open {
+			return
+		}
+		v := math.NaN()
+		if n > 0 {
+			if cf == Average {
+				v = acc / float64(n)
+			} else {
+				v = acc
+			}
+		}
+		out = append(out, Point{Time: bEnd, Value: v})
+		open, acc, n = false, 0, 0
+	}
+	for _, p := range src {
+		// Bucket rows by the step grid: a row at time t belongs to the
+		// bucket ending at the smallest grid point >= t.
+		be := p.Time.Truncate(step)
+		if be.Before(p.Time) {
+			be = be.Add(step)
+		}
+		if !open || !be.Equal(bEnd) {
+			flush()
+			open, bEnd = true, be
+		}
+		if math.IsNaN(p.Value) {
 			continue
 		}
+		switch cf {
+		case Average:
+			acc += p.Value
+		case Min:
+			if n == 0 || p.Value < acc {
+				acc = p.Value
+			}
+		case Max:
+			if n == 0 || p.Value > acc {
+				acc = p.Value
+			}
+		case Last:
+			acc = p.Value
+		}
+		n++
+	}
+	flush()
+	return out
+}
+
+// FetchRecent returns the entire contents of the finest archive with
+// consolidation function cf — the highest-resolution window available,
+// which is what an interactive history view wants. Like Fetch, a cf
+// no archive was provisioned with is served from the finest archive
+// that exists.
+func (d *Database) FetchRecent(cf CF) []Point {
+	for _, a := range d.fetchArchives(cf) {
 		end := a.end
 		start := end.Add(-time.Duration(a.rows()-1) * a.spec.Step)
 		return d.Fetch(cf, start, end)

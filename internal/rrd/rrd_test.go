@@ -3,6 +3,7 @@ package rrd
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -229,10 +230,20 @@ func TestMultiResolutionBias(t *testing.T) {
 }
 
 func TestFetchUnknownCF(t *testing.T) {
+	// A cf no archive was provisioned with falls back to the rows that
+	// exist: the stock Ganglia layout is AVERAGE-only, and cf=MIN/MAX
+	// must still answer rather than serve silence.
 	db, _ := New(smallSpec())
 	fill(t, db, t0, 15*time.Second, []float64{1, 2, 3, 4, 5})
-	if pts := db.Fetch(Min, t0, t0.Add(time.Hour)); pts != nil {
-		t.Errorf("Min fetch returned %d points with no Min archive", len(pts))
+	want := db.Fetch(Average, t0, t0.Add(time.Hour))
+	got := db.Fetch(Min, t0, t0.Add(time.Hour))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Min fetch with no Min archive = %v, want the fallback rows %v", got, want)
+	}
+	// On an empty database every cf still answers nothing.
+	empty, _ := New(smallSpec())
+	if pts := empty.Fetch(Min, t0, t0.Add(time.Hour)); pts != nil {
+		t.Errorf("Min fetch on empty db returned %d points", len(pts))
 	}
 }
 

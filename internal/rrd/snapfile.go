@@ -137,23 +137,27 @@ func readRecord(br *bufio.Reader) (kind byte, payload []byte, crc uint32, err er
 }
 
 // WriteSnapshot serializes the pool in the framed, checksummed format.
-// The pool is snapshotted under its lock and encoded outside it, so a
-// slow writer never blocks archive updates. Output is deterministic:
-// the same pool state always produces the same bytes.
+// Each shard is snapshotted under its own lock and everything is
+// encoded outside them, so a slow writer never blocks archive updates.
+// Output is deterministic: database records are sorted by key, so the
+// same pool state always produces the same bytes regardless of shard
+// count or map order.
 func (p *Pool) WriteSnapshot(w io.Writer) error {
-	p.mu.Lock()
+	var dbs []snapFileDB
 	meta := snapFileMeta{
 		Version: persistVersion,
 		Spec:    p.spec,
-		Updates: p.updates,
-		Errors:  p.errors,
-		DBs:     len(p.dbs),
 	}
-	dbs := make([]snapFileDB, 0, len(p.dbs))
-	for k, db := range p.dbs {
-		dbs = append(dbs, snapFileDB{Key: k, DB: db.snapshot()})
+	for _, s := range p.shards {
+		s.lock()
+		for k, db := range s.dbs {
+			dbs = append(dbs, snapFileDB{Key: k.String(), DB: db.snapshot()})
+		}
+		meta.Updates += s.updates
+		meta.Errors += s.errors
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
+	meta.DBs = len(dbs)
 	sort.Slice(dbs, func(i, j int) bool { return dbs[i].Key < dbs[j].Key })
 
 	if _, err := w.Write(snapMagic[:]); err != nil {
@@ -253,7 +257,7 @@ func ReadSnapshot(r io.Reader) (*Pool, error) {
 			}
 			meta = &m
 			pool = NewPool(m.Spec)
-			pool.updates, pool.errors = m.Updates, m.Errors
+			pool.shards[0].updates, pool.shards[0].errors = m.Updates, m.Errors
 		case recDB:
 			if meta == nil {
 				return nil, corruptf("database record before metadata")
@@ -262,7 +266,9 @@ func ReadSnapshot(r io.Reader) (*Pool, error) {
 			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&d); err != nil {
 				return nil, corruptf("database record %d: %v", count, err)
 			}
-			if _, dup := pool.dbs[d.Key]; dup {
+			sk := pool.keyOf(d.Key)
+			shard := pool.shardOf(sk)
+			if _, dup := shard.dbs[sk]; dup {
 				return nil, corruptf("duplicate database %q", d.Key)
 			}
 			if err := snapshotSpecSane(d.DB.Spec); err != nil {
@@ -272,7 +278,7 @@ func ReadSnapshot(r io.Reader) (*Pool, error) {
 			if err != nil {
 				return nil, corruptf("database %q: %v", d.Key, err)
 			}
-			pool.dbs[d.Key] = db
+			shard.dbs[sk] = db
 		case recSeal:
 			if meta == nil {
 				return nil, corruptf("seal before metadata")
@@ -286,8 +292,8 @@ func ReadSnapshot(r io.Reader) (*Pool, error) {
 				return nil, corruptf("seal mismatch: file carries %d records (chain %08x), seal declares %d (%08x)",
 					count, chain, wantCount, wantChain)
 			}
-			if len(pool.dbs) != meta.DBs {
-				return nil, corruptf("restored %d databases, metadata declares %d", len(pool.dbs), meta.DBs)
+			if pool.Len() != meta.DBs {
+				return nil, corruptf("restored %d databases, metadata declares %d", pool.Len(), meta.DBs)
 			}
 			if _, err := br.ReadByte(); err != io.EOF {
 				return nil, corruptf("trailing data after seal")
